@@ -1,0 +1,209 @@
+// Command dedup runs one deduplication engine over an input — either a
+// directory of real files or a synthetic disk-image backup workload — and
+// prints the paper's metrics for the run.
+//
+// Examples:
+//
+//	dedup -algo mhd -ecs 4096 -sd 64 -dir /path/to/files
+//	dedup -algo subchunk -workload -machines 4 -days 5 -snapshot 4194304
+//	dedup -algo mhd -workload -verify
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"mhdedup/dedup"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "mhd", "algorithm: mhd, cdc, bimodal, subchunk, sparse")
+		ecs      = flag.Int("ecs", 4096, "expected chunk size in bytes")
+		sd       = flag.Int("sd", 64, "sample distance (hashes)")
+		cache    = flag.Int("cache", 64, "manifest cache capacity")
+		noBloom  = flag.Bool("no-bloom", false, "disable the bloom filter")
+		dir      = flag.String("dir", "", "deduplicate the files under this directory")
+		workload = flag.Bool("workload", false, "deduplicate a synthetic backup workload instead of -dir")
+		machines = flag.Int("machines", 4, "workload: number of machines")
+		days     = flag.Int("days", 5, "workload: days of backups")
+		snapshot = flag.Int64("snapshot", 4<<20, "workload: snapshot size in bytes")
+		edits    = flag.Int("edits", 20, "workload: edits per day")
+		editSize = flag.Int64("edit-bytes", 24<<10, "workload: mean edit size")
+		seed     = flag.Int64("seed", 1, "workload: RNG seed")
+		verify   = flag.Bool("verify", false, "restore every file and verify it matches the input")
+		save     = flag.String("save", "", "persist the deduplicated store to this directory after Finish")
+		resume   = flag.String("resume", "", "resume from a store directory previously written with -save")
+	)
+	flag.Parse()
+	if err := run(*algoName, *ecs, *sd, *cache, *noBloom, *dir, *workload,
+		*machines, *days, *snapshot, *edits, *editSize, *seed, *verify, *save, *resume); err != nil {
+		fmt.Fprintln(os.Stderr, "dedup:", err)
+		os.Exit(1)
+	}
+}
+
+func run(algoName string, ecs, sd, cache int, noBloom bool, dir string, workload bool,
+	machines, days int, snapshot int64, edits int, editSize, seed int64, verify bool, save, resume string) error {
+	opts := dedup.Options{
+		ECS:            ecs,
+		SD:             sd,
+		CacheManifests: cache,
+		DisableBloom:   noBloom,
+	}
+	var eng dedup.Engine
+	var err error
+	if resume != "" {
+		eng, err = dedup.Resume(dedup.Algorithm(algoName), opts, resume)
+	} else {
+		eng, err = dedup.New(dedup.Algorithm(algoName), opts)
+	}
+	if err != nil {
+		return err
+	}
+
+	type input struct {
+		name string
+		open func() (io.Reader, error)
+	}
+	var inputs []input
+	var verifySource func(name string) (io.Reader, error)
+
+	switch {
+	case workload:
+		cfg := dedup.DefaultWorkloadConfig()
+		cfg.Machines = machines
+		cfg.Days = days
+		cfg.SnapshotBytes = snapshot
+		cfg.EditsPerDay = edits
+		cfg.EditBytes = editSize
+		cfg.Seed = seed
+		w, err := dedup.NewWorkload(cfg)
+		if err != nil {
+			return err
+		}
+		for _, f := range w.Files() {
+			name := f.Name
+			inputs = append(inputs, input{name: name, open: func() (io.Reader, error) { return w.Open(name) }})
+		}
+		verifySource = w.Open
+	case dir != "":
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(dir, path)
+			if err != nil {
+				return err
+			}
+			inputs = append(inputs, input{name: rel, open: func() (io.Reader, error) {
+				f, err := os.Open(path)
+				return f, err
+			}})
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		sort.Slice(inputs, func(i, j int) bool { return inputs[i].name < inputs[j].name })
+		verifySource = func(name string) (io.Reader, error) {
+			return os.Open(filepath.Join(dir, name))
+		}
+	default:
+		return fmt.Errorf("either -dir or -workload is required")
+	}
+
+	for _, in := range inputs {
+		r, err := in.open()
+		if err != nil {
+			return err
+		}
+		err = eng.PutFile(in.name, r)
+		if c, ok := r.(io.Closer); ok {
+			c.Close()
+		}
+		if err != nil {
+			return fmt.Errorf("ingest %s: %w", in.name, err)
+		}
+	}
+	if err := eng.Finish(); err != nil {
+		return err
+	}
+
+	rep := eng.Report()
+	fmt.Printf("algorithm      %s (ECS=%d SD=%d)\n", algoName, ecs, sd)
+	fmt.Printf("files          %d (%d stored)\n", rep.FilesTotal, rep.Files)
+	fmt.Printf("input          %d bytes\n", rep.InputBytes)
+	fmt.Printf("stored data    %d bytes\n", rep.StoredDataBytes)
+	fmt.Printf("metadata       %d bytes (hooks %d, manifests %d, file manifests %d, inodes %d x 256)\n",
+		rep.MetadataBytes, rep.HookBytes, rep.ManifestBytes, rep.FileManifestBytes, rep.InodeCount())
+	fmt.Printf("data-only DER  %.4f\n", rep.DataOnlyDER())
+	fmt.Printf("real DER       %.4f\n", rep.RealDER())
+	fmt.Printf("MetaDataRatio  %.4f%%\n", rep.MetaDataRatio()*100)
+	fmt.Printf("DAD            %.0f bytes (L=%d slices)\n", rep.DAD(), rep.DupSlices)
+	fmt.Printf("disk accesses  %d (manifest loads %d, HHR %d)\n",
+		rep.Disk.Accesses(), rep.ManifestLoads, rep.HHRDiskAccesses)
+	fmt.Printf("throughput     %.3f (copy-time / dedup-time, modeled)\n",
+		rep.ThroughputRatio(dedup.DefaultCostModel()))
+	fmt.Printf("peak RAM       %d bytes\n", rep.RAMBytes)
+
+	if verify {
+		for _, in := range inputs {
+			src, err := verifySource(in.name)
+			if err != nil {
+				return err
+			}
+			want, err := io.ReadAll(src)
+			if c, ok := src.(io.Closer); ok {
+				c.Close()
+			}
+			if err != nil {
+				return err
+			}
+			var got countingVerifier
+			got.want = want
+			if err := eng.Restore(in.name, &got); err != nil {
+				return fmt.Errorf("restore %s: %w", in.name, err)
+			}
+			if got.failed || got.n != len(want) {
+				return fmt.Errorf("verify %s: restored bytes differ from input", in.name)
+			}
+		}
+		fmt.Printf("verify         OK (%d files restored byte-identically)\n", len(inputs))
+	}
+	if save != "" {
+		if err := dedup.SaveStore(eng, save); err != nil {
+			return err
+		}
+		fmt.Printf("store          saved to %s\n", save)
+	}
+	return nil
+}
+
+// countingVerifier compares written bytes against want without buffering a
+// second copy.
+type countingVerifier struct {
+	want   []byte
+	n      int
+	failed bool
+}
+
+func (v *countingVerifier) Write(p []byte) (int, error) {
+	if v.n+len(p) > len(v.want) {
+		v.failed = true
+	} else {
+		for i, b := range p {
+			if v.want[v.n+i] != b {
+				v.failed = true
+				break
+			}
+		}
+	}
+	v.n += len(p)
+	return len(p), nil
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTestFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	base := make([]byte, 200_000)
+	rng.Read(base)
+	files := map[string][]byte{
+		"img/a.img": base,
+		"img/b.img": append([]byte(nil), base...),
+	}
+	for name, data := range files {
+		path := filepath.Join(dir, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return files
+}
+
+func TestRunOnDirectoryWithVerifyAndSave(t *testing.T) {
+	dir := t.TempDir()
+	writeTestFiles(t, dir)
+	storeDir := filepath.Join(t.TempDir(), "store")
+	err := run("mhd", 512, 4, 8, false, dir, false,
+		0, 0, 0, 0, 0, 0, true /* verify */, storeDir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "chunks")); err != nil {
+		t.Errorf("store not saved: %v", err)
+	}
+}
+
+func TestRunResumeAppends(t *testing.T) {
+	dir1 := t.TempDir()
+	writeTestFiles(t, dir1)
+	storeDir := filepath.Join(t.TempDir(), "store")
+	if err := run("mhd", 512, 4, 8, false, dir1, false,
+		0, 0, 0, 0, 0, 0, false, storeDir, ""); err != nil {
+		t.Fatal(err)
+	}
+	// Second session: new directory with different names, resumed store.
+	dir2 := t.TempDir()
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 100_000)
+	rng.Read(data)
+	if err := os.WriteFile(filepath.Join(dir2, "c.img"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("mhd", 512, 4, 8, false, dir2, false,
+		0, 0, 0, 0, 0, 0, true, storeDir, storeDir); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWorkloadAllAlgorithms(t *testing.T) {
+	for _, a := range []string{"mhd", "si-mhd", "cdc", "bimodal", "subchunk", "sparse", "fbc", "fingerdiff", "extremebinning"} {
+		if err := run(a, 1024, 4, 8, false, "", true,
+			1, 2, 1<<20, 6, 8<<10, 1, true, "", ""); err != nil {
+			t.Errorf("%s: %v", a, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("mhd", 512, 4, 8, false, "", false,
+		0, 0, 0, 0, 0, 0, false, "", ""); err == nil {
+		t.Error("missing input source accepted")
+	}
+	if err := run("nope", 512, 4, 8, false, "", true,
+		1, 1, 1<<20, 1, 1024, 1, false, "", ""); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

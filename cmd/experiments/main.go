@@ -1,0 +1,108 @@
+// Command experiments regenerates every figure and table of the paper's
+// evaluation section (§V) on a synthetic workload, printing each as a text
+// table. The default "quick" scale finishes in about a minute; "standard"
+// is the full 14-machine × 14-day reproduction (several minutes).
+//
+// Examples:
+//
+//	experiments                        # all experiments, quick scale
+//	experiments -scale standard        # full reproduction
+//	experiments -only fig7,fig10      # a subset
+//	experiments -ecs 2048              # ECS used for the tables/summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mhdedup/internal/exp"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "quick", `workload scale: "quick" or "standard"`)
+		only      = flag.String("only", "all", "comma-separated subset: fig7,fig8,fig9,fig10,table1,table2,table3,table4,table5,ablation,recipes,summary")
+		ecs       = flag.Int("ecs", 2048, "ECS for table1/table2/ablation/summary")
+		csvPath   = flag.String("csv", "", "also export every computed run as CSV to this file")
+	)
+	flag.Parse()
+	if err := run(*scaleName, *only, *ecs, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName, only string, ecs int, csvPath string) error {
+	var scale exp.Scale
+	switch scaleName {
+	case "quick":
+		scale = exp.QuickScale()
+	case "standard":
+		scale = exp.StandardScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	suite, err := exp.NewSuite(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Paper experiment reproduction — scale=%s, input=%.1f MiB, SD=%d (stand-in for the paper's 1000)\n\n",
+		scale.Name, float64(suite.DS.TotalBytes())/(1<<20), scale.SD)
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	sel := func(name string) bool { return want["all"] || want[name] }
+
+	type experiment struct {
+		name string
+		fn   func() (string, error)
+	}
+	experiments := []experiment{
+		{"fig7", func() (string, error) { s, _, err := suite.Fig7(); return s, err }},
+		{"fig8", func() (string, error) { s, _, err := suite.Fig8(); return s, err }},
+		{"fig9", func() (string, error) { s, _, err := suite.Fig9(); return s, err }},
+		{"fig10", func() (string, error) { s, _, err := suite.Fig10(); return s, err }},
+		{"table1", func() (string, error) { return suite.Table1(ecs) }},
+		{"table2", func() (string, error) { return suite.Table2(ecs) }},
+		{"table3", suite.Table3},
+		{"table4", suite.Table4},
+		{"table5", suite.Table5},
+		{"ablation", func() (string, error) { return suite.Ablations(ecs) }},
+		{"recipes", func() (string, error) { return suite.RecipeCompression(ecs) }},
+		{"summary", func() (string, error) { return suite.Summary(ecs) }},
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !sel(e.name) {
+			continue
+		}
+		text, err := e.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Println(text)
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiment matched %q", only)
+	}
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		if err := exp.WriteCSV(f, suite.Records()); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("# %d run records exported to %s\n", len(suite.Records()), csvPath)
+	}
+	return nil
+}

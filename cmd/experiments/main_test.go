@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+// Only the cheap failure paths are tested here; the full experiment suite
+// is exercised by internal/exp's tests and the root benchmarks.
+func TestRunValidation(t *testing.T) {
+	if err := run("warp", "all", 2048, ""); err == nil {
+		t.Error("unknown scale accepted")
+	}
+	if err := run("quick", "not-an-experiment", 2048, ""); err == nil {
+		t.Error("unknown experiment selector accepted")
+	}
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestGenWorkloadWritesFiles(t *testing.T) {
+	out := t.TempDir()
+	if err := run(out, false, 2, 2, 1<<20, 0.6, 6, 8<<10, 0.5, 0, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"m00/d00", "m00/d01", "m01/d00", "m01/d01"} {
+		info, err := os.Stat(filepath.Join(out, filepath.FromSlash(name)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.Size() < 1<<19 {
+			t.Errorf("%s implausibly small: %d bytes", name, info.Size())
+		}
+	}
+}
+
+func TestGenWorkloadDryAndStats(t *testing.T) {
+	if err := run("", true, 1, 2, 1<<20, 0.6, 6, 8<<10, 0.5, 0, 1, 4096); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenWorkloadErrors(t *testing.T) {
+	if err := run("", false, 2, 2, 1<<20, 0.6, 6, 8<<10, 0.5, 0, 1, 0); err == nil {
+		t.Error("missing -out accepted")
+	}
+	if err := run("", true, 0, 2, 1<<20, 0.6, 6, 8<<10, 0.5, 0, 1, 0); err == nil {
+		t.Error("invalid machine count accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Command restore rebuilds files from a deduplicated store previously
+// saved with `dedup -save <dir>` (or dedup.SaveStore).
+//
+// Examples:
+//
+//	restore -store /tmp/store -list
+//	restore -store /tmp/store -file m00/d01 -out /tmp/m00-d01.img
+//	restore -store /tmp/store -all -out /tmp/restored/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mhdedup/dedup"
+)
+
+func main() {
+	var (
+		storeDir = flag.String("store", "", "directory written by dedup -save (required)")
+		list     = flag.Bool("list", false, "list restorable files")
+		file     = flag.String("file", "", "file to restore")
+		all      = flag.Bool("all", false, "restore every file")
+		out      = flag.String("out", "", "output file (-file) or directory (-all)")
+		check    = flag.Bool("check", false, "run a consistency check of the store (fsck)")
+		del      = flag.String("delete", "", "delete a file's recipe from the store")
+		gc       = flag.Bool("gc", false, "reclaim unreferenced containers after deletions")
+	)
+	flag.Parse()
+	if err := run2(*storeDir, *list, *file, *all, *out, *check, *del, *gc); err != nil {
+		fmt.Fprintln(os.Stderr, "restore:", err)
+		os.Exit(1)
+	}
+}
+
+func run2(storeDir string, list bool, file string, all bool, out string, check bool, del string, gc bool) error {
+	if del != "" || gc {
+		if storeDir == "" {
+			return fmt.Errorf("-store is required")
+		}
+		st, err := dedup.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		if del != "" {
+			if err := st.Delete(del); err != nil {
+				return err
+			}
+			fmt.Printf("deleted %s\n", del)
+		}
+		if gc {
+			stats, err := st.Sweep()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("gc: reclaimed %d containers (%d bytes), %d manifests, %d hooks\n",
+				stats.ContainersDeleted, stats.BytesReclaimed, stats.ManifestsDeleted, stats.HooksDeleted)
+		}
+		// Persist the post-GC store back to the directory.
+		if err := saveBack(st, storeDir); err != nil {
+			return err
+		}
+		return nil
+	}
+	if check {
+		if storeDir == "" {
+			return fmt.Errorf("-store is required")
+		}
+		st, err := dedup.OpenStore(storeDir)
+		if err != nil {
+			return err
+		}
+		problems := st.Check()
+		if len(problems) == 0 {
+			fmt.Println("store is consistent")
+			if list || file != "" || all {
+				return run(storeDir, list, file, all, out)
+			}
+			return nil
+		}
+		for _, p := range problems {
+			fmt.Println("PROBLEM:", p)
+		}
+		return fmt.Errorf("%d problems found", len(problems))
+	}
+	return run(storeDir, list, file, all, out)
+}
+
+func run(storeDir string, list bool, file string, all bool, out string) error {
+	if storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	st, err := dedup.OpenStore(storeDir)
+	if err != nil {
+		return err
+	}
+	switch {
+	case list:
+		for _, name := range st.Files() {
+			fmt.Println(name)
+		}
+		return nil
+	case all:
+		if out == "" {
+			return fmt.Errorf("-all requires -out directory")
+		}
+		for _, name := range st.Files() {
+			path := filepath.Join(out, filepath.FromSlash(strings.ReplaceAll(name, ":", "_")))
+			if err := restoreTo(st, name, path); err != nil {
+				return err
+			}
+			fmt.Printf("restored %s\n", name)
+		}
+		return nil
+	case file != "":
+		if out == "" {
+			return fmt.Errorf("-file requires -out path")
+		}
+		if err := restoreTo(st, file, out); err != nil {
+			return err
+		}
+		fmt.Printf("restored %s to %s\n", file, out)
+		return nil
+	default:
+		return fmt.Errorf("one of -list, -file or -all is required")
+	}
+}
+
+// saveBack rewrites the store directory to reflect deletions and sweeps.
+func saveBack(st *dedup.Store, dir string) error {
+	if err := os.RemoveAll(dir); err != nil {
+		return err
+	}
+	return st.Save(dir)
+}
+
+func restoreTo(st *dedup.Store, name, path string) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := st.Restore(name, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

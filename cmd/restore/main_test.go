@@ -1,0 +1,129 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mhdedup/dedup"
+)
+
+func buildStore(t *testing.T) (string, map[string][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	files := map[string][]byte{}
+	eng, err := dedup.New(dedup.MHD, dedup.Options{ECS: 512, SD: 4, BloomBytes: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"m0/a", "m0/b"} {
+		data := make([]byte, 120_000)
+		rng.Read(data)
+		files[name] = data
+		if err := eng.PutFile(name, bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := dedup.SaveStore(eng, dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, files
+}
+
+func TestRestoreSingleFile(t *testing.T) {
+	storeDir, files := buildStore(t)
+	out := filepath.Join(t.TempDir(), "a.out")
+	if err := run(storeDir, false, "m0/a", false, out); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, files["m0/a"]) {
+		t.Error("restored file differs")
+	}
+}
+
+func TestRestoreAll(t *testing.T) {
+	storeDir, files := buildStore(t)
+	outDir := t.TempDir()
+	if err := run(storeDir, false, "", true, outDir); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range files {
+		got, err := os.ReadFile(filepath.Join(outDir, filepath.FromSlash(name)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs", name)
+		}
+	}
+}
+
+func TestRestoreList(t *testing.T) {
+	storeDir, _ := buildStore(t)
+	if err := run(storeDir, true, "", false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	storeDir, _ := buildStore(t)
+	cases := []struct {
+		store, file string
+		list, all   bool
+		out         string
+	}{
+		{"", "", true, false, ""},                                          // no store
+		{storeDir, "", false, false, ""},                                   // no mode
+		{storeDir, "x", false, false, ""},                                  // -file without -out
+		{storeDir, "", false, true, ""},                                    // -all without -out
+		{storeDir, "ghost", false, false, filepath.Join(t.TempDir(), "g")}, // unknown file
+	}
+	for i, c := range cases {
+		if err := run(c.store, c.list, c.file, c.all, c.out); err == nil {
+			t.Errorf("case %d should have failed", i)
+		}
+	}
+}
+
+func TestDeleteAndGC(t *testing.T) {
+	storeDir, files := buildStore(t)
+	if err := run2(storeDir, false, "", false, "", false, "m0/a", true); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen: m0/a gone, m0/b intact and restorable.
+	st, err := dedup.OpenStore(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := st.Files()
+	if len(names) != 1 || names[0] != "m0/b" {
+		t.Fatalf("Files after delete = %v", names)
+	}
+	var got bytes.Buffer
+	if err := st.Restore("m0/b", &got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), files["m0/b"]) {
+		t.Error("survivor corrupted by GC")
+	}
+	if problems := st.Check(); len(problems) != 0 {
+		t.Errorf("store inconsistent after GC: %v", problems)
+	}
+}
+
+func TestCheckFlag(t *testing.T) {
+	storeDir, _ := buildStore(t)
+	if err := run2(storeDir, false, "", false, "", true, "", false); err != nil {
+		t.Fatal(err)
+	}
+}

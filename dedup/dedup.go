@@ -1,0 +1,300 @@
+// Package dedup is the public API of mhdedup: a deduplication library
+// reproducing "Hysteresis Re-chunking Based Metadata Harnessing
+// Deduplication of Disk Images" (Zhou & Wen, ICPP 2013).
+//
+// Nine engines are provided behind one interface: MHD (the paper's
+// contribution — sampling and hash merging, bi-directional match extension
+// and hysteresis re-chunking) and its SI-MHD variant; the paper's four
+// comparison baselines (plain CDC, Bimodal, SubChunk, SparseIndexing); and
+// the related-work schemes its survey discusses (FBC, Fingerdiff, Extreme
+// Binning). All write to a simulated disk that accounts inodes, metadata
+// bytes and disk accesses exactly as the paper's analysis does, so the
+// trade-offs the paper charts can be measured for any workload.
+//
+// Typical use:
+//
+//	eng, err := dedup.New(dedup.MHD, dedup.Options{ECS: 4096, SD: 64})
+//	...
+//	eng.PutFile("backup-2026-07-05.img", reader)
+//	eng.Finish()
+//	rep := eng.Report()
+//	fmt.Println(rep.RealDER(), rep.MetaDataRatio())
+//	eng.Restore("backup-2026-07-05.img", writer)
+package dedup
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mhdedup/internal/algo"
+	"mhdedup/internal/baseline"
+	"mhdedup/internal/core"
+	"mhdedup/internal/exp"
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/simdisk"
+	"mhdedup/internal/store"
+	"mhdedup/internal/trace"
+)
+
+// Algorithm selects a deduplication engine.
+type Algorithm string
+
+// The five engines.
+const (
+	// MHD is the paper's metadata harnessing deduplication (BF-MHD).
+	MHD Algorithm = exp.AlgoMHD
+	// CDC is plain LBFS-style content-defined-chunking deduplication with
+	// a full per-chunk index.
+	CDC Algorithm = exp.AlgoCDC
+	// Bimodal re-chunks non-duplicate big chunks at transition points
+	// (Kruus et al., FAST'10).
+	Bimodal Algorithm = exp.AlgoBimodal
+	// SubChunk re-chunks every non-duplicate big chunk and coalesces the
+	// survivors into containers (Romanski et al., SYSTOR'11).
+	SubChunk Algorithm = exp.AlgoSubChunk
+	// SparseIndexing deduplicates segments against champion manifests
+	// found through a sampled in-RAM index (Lillibridge et al., FAST'09).
+	SparseIndexing Algorithm = exp.AlgoSparse
+	// SIMHD is MHD with its hooks held in a sparse in-RAM index instead of
+	// on-disk hook objects — the SI-MHD variant §V of the paper mentions.
+	SIMHD Algorithm = exp.AlgoSIMHD
+	// FBC re-chunks big chunks that contain frequently recurring content,
+	// using a count-min frequency sketch (Lu et al., MASCOTS'10).
+	FBC Algorithm = exp.AlgoFBC
+	// Fingerdiff coalesces contiguous non-duplicate chunks on disk while a
+	// full in-RAM database indexes every chunk (Bobbarjung et al., 2006).
+	Fingerdiff Algorithm = exp.AlgoFingerdiff
+	// ExtremeBinning deduplicates each file against a single bin chosen by
+	// its representative (minimum-hash) chunk (Bhagwat et al., 2009).
+	ExtremeBinning Algorithm = exp.AlgoExtremeBinning
+)
+
+// Algorithms lists every available engine.
+func Algorithms() []Algorithm {
+	out := make([]Algorithm, len(exp.AllAlgorithms))
+	for i, a := range exp.AllAlgorithms {
+		out[i] = Algorithm(a)
+	}
+	return out
+}
+
+// Engine is a deduplication engine: feed input files in stream order, call
+// Finish once, then read the Report and Restore files at will. Engines are
+// not safe for concurrent use.
+type Engine = algo.Deduplicator
+
+// Report carries a run's statistics and derived metrics (DER,
+// MetaDataRatio, DAD, ThroughputRatio, per-category metadata breakdown).
+type Report = metrics.Report
+
+// CostModel converts simulated-disk access counts into time for the
+// ThroughputRatio metric.
+type CostModel = simdisk.CostModel
+
+// DefaultCostModel returns the 2013-era HDD + software SHA-1 calibration
+// used in the paper reproduction.
+func DefaultCostModel() CostModel { return simdisk.Default2013() }
+
+// Options configures an engine. Zero fields take paper-faithful defaults.
+type Options struct {
+	// ECS is the expected (small) chunk size in bytes; default 4096.
+	ECS int
+	// SD is MHD's sample distance, the big/small chunk ratio of Bimodal
+	// and SubChunk, and SparseIndexing's hook sampling rate; default 64.
+	// CDC ignores it.
+	SD int
+	// BloomBytes sizes the bloom filter; zero auto-sizes it from
+	// ExpectedInputBytes (or 1 MiB when that is unknown).
+	BloomBytes int
+	// ExpectedInputBytes, when known, drives bloom auto-sizing.
+	ExpectedInputBytes int64
+	// CacheManifests bounds the in-RAM manifest locality cache; default 64.
+	CacheManifests int
+	// DisableBloom turns the bloom filter off (every fresh hash then costs
+	// an on-disk hook query, as in Table II's no-bloom rows).
+	DisableBloom bool
+	// DisableByteCompare and DisableEdgeHash switch off the corresponding
+	// MHD mechanisms (ablations; other engines ignore them).
+	DisableByteCompare bool
+	DisableEdgeHash    bool
+	// SHMPerSlice selects MHD's alternative merging strategy: flush the
+	// hysteresis buffer at every duplicate-slice end so each non-duplicate
+	// slice owns at least one Hook.
+	SHMPerSlice bool
+	// TTTD selects the two-thresholds-two-divisors chunker for MHD.
+	TTTD bool
+	// FastCDC selects the gear-hash chunker for MHD (faster scanning,
+	// tighter size distribution; mutually exclusive with TTTD).
+	FastCDC bool
+}
+
+// New returns an engine for the given algorithm.
+func New(a Algorithm, opt Options) (Engine, error) {
+	if opt.ECS == 0 {
+		opt.ECS = 4096
+	}
+	if opt.SD == 0 {
+		opt.SD = 64
+	}
+	if opt.CacheManifests == 0 {
+		opt.CacheManifests = 64
+	}
+	p := exp.Params{
+		Algo:               string(a),
+		ECS:                opt.ECS,
+		SD:                 opt.SD,
+		BloomBytes:         opt.BloomBytes,
+		ExpectedInputBytes: opt.ExpectedInputBytes,
+		CacheManifests:     opt.CacheManifests,
+		UseBloom:           !opt.DisableBloom,
+		ByteCompare:        !opt.DisableByteCompare,
+		EdgeHash:           !opt.DisableEdgeHash,
+		SHMPerSlice:        opt.SHMPerSlice,
+		TTTD:               opt.TTTD,
+		FastCDC:            opt.FastCDC,
+	}
+	eng, err := exp.Build(p)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: %w", err)
+	}
+	return eng, nil
+}
+
+// Workload re-exports the synthetic disk-image backup generator so library
+// users can produce realistic test streams.
+type Workload = trace.Dataset
+
+// WorkloadConfig configures a synthetic workload.
+type WorkloadConfig = trace.Config
+
+// WorkloadFile describes one file of a workload.
+type WorkloadFile = trace.FileInfo
+
+// DefaultWorkloadConfig returns the 14-machine × 14-day configuration whose
+// duplication statistics match the paper's trace.
+func DefaultWorkloadConfig() WorkloadConfig { return trace.Default() }
+
+// NewWorkload builds a synthetic disk-image backup workload.
+func NewWorkload(cfg WorkloadConfig) (*Workload, error) { return trace.New(cfg) }
+
+// SaveStore materializes an engine's deduplicated store to a directory
+// (one file per chunk/hook/manifest object). A store saved after Finish
+// can be reopened later with OpenStore and restored from without the
+// original engine.
+func SaveStore(eng Engine, dir string) error {
+	return eng.Disk().SaveDir(dir)
+}
+
+// Store is a read-only handle to a saved deduplicated store: it can list
+// and restore the ingested files.
+type Store struct {
+	st *store.Store
+}
+
+// OpenStore opens a directory written by SaveStore.
+func OpenStore(dir string) (*Store, error) {
+	disk, err := simdisk.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Restore follows FileManifests and raw chunk ranges only; the
+	// manifest format is irrelevant on this path.
+	return &Store{st: store.New(disk, store.FormatBasic)}, nil
+}
+
+// Files lists the restorable file names, sorted.
+func (s *Store) Files() []string {
+	names := s.st.Disk().Names(simdisk.FileManifest)
+	sort.Strings(names)
+	return names
+}
+
+// Restore rebuilds one file into w.
+func (s *Store) Restore(name string, w io.Writer) error {
+	return s.st.RestoreFile(name, w)
+}
+
+// Check runs an offline consistency check of the store (the system's
+// fsck): every manifest must decode and tile real chunk data, every hook
+// must point at a real manifest, every file must be restorable. It returns
+// one line per problem found; nil means the store is consistent.
+func (s *Store) Check() []string {
+	format, ok := store.DetectFormat(s.st.Disk())
+	if !ok {
+		return []string{"store: cannot determine manifest format (corrupt manifests?)"}
+	}
+	return store.Check(s.st.Disk(), format).Problems
+}
+
+// Resume reopens a store directory written by SaveStore and returns an
+// engine that deduplicates new files against everything already stored.
+// The in-RAM detection state is rebuilt from the on-disk hooks, so Resume
+// is supported for the algorithms whose detection state lives on disk:
+// MHD, SIMHD and CDC. Statistics start fresh — the Report covers the new
+// session's ingest only; restore covers all files ever stored.
+func Resume(a Algorithm, opt Options, dir string) (Engine, error) {
+	disk, err := simdisk.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opt.ECS == 0 {
+		opt.ECS = 4096
+	}
+	if opt.SD == 0 {
+		opt.SD = 64
+	}
+	if opt.CacheManifests == 0 {
+		opt.CacheManifests = 64
+	}
+	bloomBytes := opt.BloomBytes
+	if bloomBytes == 0 {
+		bloomBytes = 1 << 20
+	}
+	switch a {
+	case MHD, SIMHD:
+		cfg := core.DefaultConfig()
+		cfg.ECS = opt.ECS
+		cfg.SD = opt.SD
+		cfg.BloomBytes = bloomBytes
+		cfg.CacheManifests = opt.CacheManifests
+		cfg.UseBloom = !opt.DisableBloom
+		cfg.ByteCompare = !opt.DisableByteCompare
+		cfg.EdgeHash = !opt.DisableEdgeHash
+		cfg.SHMPerSlice = opt.SHMPerSlice
+		cfg.TTTD = opt.TTTD
+		cfg.FastCDC = opt.FastCDC
+		cfg.SparseIndex = a == SIMHD
+		return core.Resume(cfg, disk)
+	case CDC:
+		cfg := baseline.DefaultCDCConfig()
+		cfg.ECS = opt.ECS
+		cfg.BloomBytes = bloomBytes
+		cfg.CacheManifests = opt.CacheManifests
+		cfg.UseBloom = !opt.DisableBloom
+		return baseline.ResumeCDC(cfg, disk)
+	default:
+		return nil, fmt.Errorf("dedup: resume is not supported for %q (its detection state is not reconstructible from disk)", a)
+	}
+}
+
+// GCStats reports what a Sweep reclaimed.
+type GCStats = store.GCStats
+
+// Delete removes a file's recipe from the store. Shared chunk data remains
+// until Sweep shows nothing references it.
+func (s *Store) Delete(name string) error {
+	return s.st.DeleteFile(name)
+}
+
+// Sweep reclaims every container no remaining file references, with its
+// manifests and dangling hooks — the store's garbage collector.
+func (s *Store) Sweep() (GCStats, error) {
+	return s.st.Sweep()
+}
+
+// Save materializes the store's current state (after deletions/sweeps) to
+// a directory, as SaveStore does for a live engine.
+func (s *Store) Save(dir string) error {
+	return s.st.Disk().SaveDir(dir)
+}

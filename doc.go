@@ -1,0 +1,8 @@
+// Package mhdedup is a from-scratch reproduction of "Hysteresis
+// Re-chunking Based Metadata Harnessing Deduplication of Disk Images"
+// (Zhou & Wen, ICPP 2013).
+//
+// The public API lives in the dedup subpackage; the per-figure benchmark
+// harness lives in bench_test.go at this root. See README.md for the tour
+// and EXPERIMENTS.md for the paper-vs-measured record.
+package mhdedup

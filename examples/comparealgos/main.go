@@ -1,0 +1,62 @@
+// Compare algorithms: run MHD and all four baselines over the same backup
+// workload and print the trade-off each one makes — the living version of
+// the paper's Fig 7/8 story.
+//
+//	go run ./examples/comparealgos
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"mhdedup/dedup"
+)
+
+func main() {
+	cfg := dedup.DefaultWorkloadConfig()
+	cfg.Machines = 4
+	cfg.Days = 5
+	cfg.SnapshotBytes = 2 << 20
+	cfg.EditsPerDay = 16
+	cfg.EditBytes = 16 << 10
+	w, err := dedup.NewWorkload(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %d backups, %.1f MiB\n\n", len(w.Files()), float64(w.TotalBytes())/(1<<20))
+
+	model := dedup.DefaultCostModel()
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "algorithm\tdata DER\treal DER\tmetadata%\tinodes\tdisk accesses\tthroughput")
+	for _, a := range dedup.Algorithms() {
+		eng, err := dedup.New(a, dedup.Options{
+			ECS:                1024,
+			SD:                 32,
+			ExpectedInputBytes: w.TotalBytes(),
+			CacheManifests:     8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := w.EachFile(func(info dedup.WorkloadFile, r io.Reader) error {
+			return eng.PutFile(info.Name, r)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := eng.Finish(); err != nil {
+			log.Fatal(err)
+		}
+		rep := eng.Report()
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.4f%%\t%d\t%d\t%.3f\n",
+			a, rep.DataOnlyDER(), rep.RealDER(), rep.MetaDataRatio()*100,
+			rep.InodeCount(), rep.Disk.Accesses(), rep.ThroughputRatio(model))
+	}
+	tw.Flush()
+	fmt.Println("\nReading the table: every algorithm trades duplicate detection against")
+	fmt.Println("metadata and I/O. MHD's hysteresis re-chunking spends metadata only where")
+	fmt.Println("duplication was actually found, which is why its real DER (the ratio that")
+	fmt.Println("counts metadata against the savings) comes out on top.")
+}

@@ -1,0 +1,3 @@
+module mhdedup
+
+go 1.22

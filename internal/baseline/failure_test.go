@@ -1,0 +1,74 @@
+package baseline
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"mhdedup/internal/algo"
+	"mhdedup/internal/simdisk"
+)
+
+// TestDiskFailuresPropagate injects failures per disk-operation class and
+// asserts every baseline surfaces the error from PutFile/Finish instead of
+// silently corrupting state. (Manifest rewrite failures are MHD-specific —
+// baseline manifests are immutable — and are covered in internal/core.)
+func TestDiskFailuresPropagate(t *testing.T) {
+	boom := errors.New("injected media error")
+	type builder struct {
+		name string
+		mk   func(*simdisk.Disk) (algo.Deduplicator, error)
+	}
+	builders := []builder{
+		{"cdc", func(d *simdisk.Disk) (algo.Deduplicator, error) {
+			cfg := DefaultCDCConfig()
+			cfg.ECS = 512
+			cfg.BloomBytes = 1 << 16
+			return NewCDCOnDisk(cfg, d)
+		}},
+		{"bimodal", func(d *simdisk.Disk) (algo.Deduplicator, error) {
+			cfg := DefaultBimodalConfig()
+			cfg.ECS = 512
+			cfg.SD = 4
+			cfg.BloomBytes = 1 << 16
+			return NewBimodalOnDisk(cfg, d)
+		}},
+		{"subchunk", func(d *simdisk.Disk) (algo.Deduplicator, error) {
+			cfg := DefaultSubChunkConfig()
+			cfg.ECS = 512
+			cfg.SD = 4
+			cfg.BloomBytes = 1 << 16
+			return NewSubChunkOnDisk(cfg, d)
+		}},
+		{"sparse", func(d *simdisk.Disk) (algo.Deduplicator, error) {
+			cfg := DefaultSparseConfig()
+			cfg.ECS = 512
+			cfg.SD = 4
+			return NewSparseOnDisk(cfg, d)
+		}},
+	}
+	cats := []simdisk.Category{simdisk.Data, simdisk.Manifest, simdisk.FileManifest, simdisk.Hook}
+	for _, b := range builders {
+		for _, failCat := range cats {
+			disk := simdisk.New()
+			eng, err := b.mk(disk)
+			if err != nil {
+				t.Fatalf("%s: %v", b.name, err)
+			}
+			disk.SetFailureHook(func(op simdisk.Op, cat simdisk.Category, _ string) error {
+				if op == simdisk.OpCreate && cat == failCat {
+					return boom
+				}
+				return nil
+			})
+			err = eng.PutFile("x", bytes.NewReader(randBytes(91, 120_000)))
+			if err == nil {
+				err = eng.Finish()
+			}
+			if !errors.Is(err, boom) {
+				t.Errorf("%s with create/%v failure: error = %v, want injected failure",
+					b.name, failCat, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package baseline
+
+import (
+	"fmt"
+	"io"
+
+	"mhdedup/internal/bloom"
+	"mhdedup/internal/chunker"
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/rabin"
+	"mhdedup/internal/simdisk"
+	"mhdedup/internal/store"
+)
+
+// SubChunkConfig parameterizes the SubChunk baseline.
+type SubChunkConfig struct {
+	ECS            int
+	SD             int
+	BloomBytes     int
+	BloomHashes    int
+	UseBloom       bool
+	CacheManifests int
+	Poly           rabin.Poly
+}
+
+// DefaultSubChunkConfig returns a usable default.
+func DefaultSubChunkConfig() SubChunkConfig {
+	return SubChunkConfig{
+		ECS:            4096,
+		SD:             64,
+		BloomBytes:     1 << 20,
+		BloomHashes:    5,
+		UseBloom:       true,
+		CacheManifests: 64,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c SubChunkConfig) Validate() error {
+	if c.ECS <= 0 || c.SD < 2 {
+		return fmt.Errorf("baseline: subchunk needs ECS > 0 and SD >= 2")
+	}
+	if c.UseBloom && (c.BloomBytes <= 0 || c.BloomHashes <= 0 || c.BloomHashes > 32) {
+		return fmt.Errorf("baseline: invalid bloom parameters")
+	}
+	if c.CacheManifests <= 0 {
+		return fmt.Errorf("baseline: CacheManifests must be positive")
+	}
+	return nil
+}
+
+// bigRecipe records how a previously seen big chunk deduplicated: the
+// manifest describing it and the refs reconstructing its bytes. It is the
+// in-RAM big-chunk index of this implementation (charged to RAMBytes); the
+// original anchor-driven system holds the equivalent state in its anchor
+// database. One entry per distinct big chunk.
+type bigRecipe struct {
+	manifest hashutil.Sum
+	refs     []store.FileRef
+}
+
+// SubChunk implements anchor-driven sub-chunk deduplication (Romanski et
+// al.): the stream is cut into big chunks; duplicate big chunks are
+// eliminated whole; every non-duplicate big chunk is re-chunked into small
+// chunks that deduplicate individually against recently loaded manifests,
+// with the surviving small chunks coalesced into one container DiskChunk
+// per big chunk. Small-chunk duplicates are only found through manifest
+// locality — when no mapping is hit, duplicates inside big chunks are
+// missed, which is the recall gap the paper contrasts with MHD's match
+// extension.
+type SubChunk struct {
+	cfg    SubChunkConfig
+	disk   *simdisk.Disk
+	st     *store.Store
+	filter *bloom.Filter
+	mc     *manifestCache
+	bigIdx map[hashutil.Sum]bigRecipe
+	stats  metrics.Stats
+	dt     dupTracker
+	peak   int64
+}
+
+// NewSubChunk returns a SubChunk deduplicator over a fresh simulated disk.
+func NewSubChunk(cfg SubChunkConfig) (*SubChunk, error) {
+	return NewSubChunkOnDisk(cfg, simdisk.New())
+}
+
+// NewSubChunkOnDisk returns a SubChunk deduplicator over the given disk.
+func NewSubChunkOnDisk(cfg SubChunkConfig, disk *simdisk.Disk) (*SubChunk, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &SubChunk{
+		cfg:    cfg,
+		disk:   disk,
+		st:     store.New(disk, store.FormatMultiContainer),
+		bigIdx: make(map[hashutil.Sum]bigRecipe),
+	}
+	if cfg.UseBloom {
+		f, err := bloom.New(cfg.BloomBytes, cfg.BloomHashes)
+		if err != nil {
+			return nil, err
+		}
+		d.filter = f
+	}
+	mc, err := newManifestCache(d.st, cfg.CacheManifests)
+	if err != nil {
+		return nil, err
+	}
+	d.mc = mc
+	return d, nil
+}
+
+// Disk exposes the simulated disk.
+func (d *SubChunk) Disk() *simdisk.Disk { return d.disk }
+
+// PutFile deduplicates one input file.
+func (d *SubChunk) PutFile(name string, r io.Reader) error {
+	big, err := chunker.NewRabin(r, chunker.Params{ECS: d.cfg.ECS * d.cfg.SD, Poly: d.cfg.Poly})
+	if err != nil {
+		return err
+	}
+	d.stats.FilesTotal++
+	d.dt.reset()
+
+	manifestName := d.st.NextName()
+	manifest := store.NewManifest(manifestName, store.FormatMultiContainer)
+	fm := &store.FileManifest{File: name}
+	var fileHook hashutil.Sum
+	stored := false
+
+	for {
+		c, err := big.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		d.stats.InputBytes += c.Size()
+		d.stats.ChunkedBytes += c.Size()
+		d.stats.HashedBytes += c.Size()
+		bh := hashutil.SumBytes(c.Data)
+		if fileHook.IsZero() {
+			fileHook = bh
+		}
+
+		// Big-chunk duplicate query. The bloom filter gates the on-disk
+		// hook probe (one hook per file: only first-big-chunk hashes hit);
+		// the recipe index answers for all previously seen big chunks.
+		d.stats.BigChunkQueries++
+		probed := false
+		if d.filter == nil || d.filter.Test(bh) {
+			probed = d.st.HookExists(bh) // charged disk query
+		}
+		if rec, ok := d.bigIdx[bh]; ok {
+			if probed {
+				// Worst-case manifest load per duplicate slice (§IV): pull
+				// the manifest the recipe points to for locality.
+				if _, err := d.mc.load(rec.manifest); err != nil {
+					return err
+				}
+			}
+			for _, ref := range rec.refs {
+				fm.Append(ref)
+			}
+			d.stats.ChunksIn++
+			d.stats.DupChunks++
+			d.stats.DupBytes += c.Size()
+			if d.dt.note(true) {
+				d.stats.DupSlices++
+			}
+			continue
+		}
+
+		// Non-duplicate big chunk: re-chunk into small chunks, deduplicate
+		// each against manifest locality only, coalesce survivors into one
+		// container DiskChunk.
+		smalls, err := chunker.Split(c.Data, chunker.Params{ECS: d.cfg.ECS, Poly: d.cfg.Poly})
+		if err != nil {
+			return err
+		}
+		container := d.st.NextName()
+		var data []byte
+		var recipe []store.FileRef
+		appendRef := func(ref store.FileRef) {
+			fm.Append(ref)
+			recipe = append(recipe, ref)
+		}
+		for _, sc := range smalls {
+			d.stats.ChunksIn++
+			d.stats.HashedBytes += sc.Size()
+			sh := hashutil.SumBytes(sc.Data)
+			if m, idx, ok := d.mc.lookup(sh); ok {
+				e := m.Entries[idx]
+				appendRef(store.FileRef{Container: m.ContainerOf(e), Start: e.Start, Size: e.Size})
+				d.stats.DupChunks++
+				d.stats.DupBytes += sc.Size()
+				if d.dt.note(true) {
+					d.stats.DupSlices++
+				}
+				continue
+			}
+			start := int64(len(data))
+			data = append(data, sc.Data...)
+			manifest.Append(store.Entry{
+				Hash:      sh,
+				Container: container,
+				Start:     start,
+				Size:      sc.Size(),
+				Kind:      store.KindPlain,
+			})
+			appendRef(store.FileRef{Container: container, Start: start, Size: sc.Size()})
+			d.stats.NonDupChunks++
+			d.dt.note(false)
+		}
+		if len(data) > 0 {
+			if err := d.st.WriteDiskChunk(container, data); err != nil {
+				return err
+			}
+			d.stats.StoredDataBytes += int64(len(data))
+			stored = true
+		}
+		d.bigIdx[bh] = bigRecipe{manifest: manifestName, refs: recipe}
+		if d.filter != nil {
+			d.filter.Add(bh)
+		}
+	}
+
+	if stored {
+		if err := d.st.CreateManifest(manifest); err != nil {
+			return err
+		}
+		// One hook per manifest (Table I: hooks = F), keyed by the file's
+		// first big-chunk hash.
+		if !fileHook.IsZero() && !d.st.HookKnown(fileHook) {
+			if err := d.st.CreateHook(fileHook, manifestName); err != nil {
+				return err
+			}
+		}
+		d.stats.Files++
+		// Manifests enter the cache only via load-on-hit, mirroring each
+		// original system's locality path (no free self-insertion).
+		d.trackRAM()
+	}
+	return d.st.WriteFileManifest(fm)
+}
+
+func (d *SubChunk) trackRAM() {
+	cur := d.mc.bytesResident()
+	if d.filter != nil {
+		cur += d.filter.SizeBytes()
+	}
+	// Recipe index: hash key + manifest name + refs.
+	for _, rec := range d.bigIdx {
+		cur += 2*hashutil.Size + int64(len(rec.refs))*store.FileRefBytes + 16
+	}
+	if cur > d.peak {
+		d.peak = cur
+	}
+}
+
+// Finish flushes the manifest cache.
+func (d *SubChunk) Finish() error {
+	d.trackRAM()
+	d.stats.RAMBytes = d.peak
+	return d.mc.flush()
+}
+
+// Report returns statistics plus disk accounting.
+func (d *SubChunk) Report() metrics.Report {
+	s := d.stats
+	s.ManifestLoads = d.mc.loads
+	if s.RAMBytes == 0 {
+		s.RAMBytes = d.peak
+	}
+	return metrics.BuildReport(s, d.disk)
+}
+
+// Restore rebuilds an ingested file.
+func (d *SubChunk) Restore(name string, w io.Writer) error {
+	return d.st.RestoreFile(name, w)
+}

@@ -1,0 +1,149 @@
+// Package bloom implements the Bloom filter (Broder & Mitzenmacher, 2002)
+// used by Data Domain and by the paper's BF-MHD, Bimodal and SubChunk
+// configurations to avoid disk lookups for hashes that are certainly new.
+//
+// The filter uses double hashing: the k probe positions for a 20-byte
+// content hash are derived from two 64-bit words of the hash itself
+// (g_i = h1 + i·h2), which is as good as k independent hash functions for
+// Bloom filters and costs nothing on top of the SHA-1 the deduplicator has
+// already computed.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"mhdedup/internal/hashutil"
+)
+
+// Filter is a Bloom filter over hashutil.Sum keys. The zero value is not
+// usable; construct with New or NewWithEstimate.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	k      int
+	adds   uint64
+	tested uint64
+	hits   uint64
+}
+
+// New returns a filter with the given size in bytes and number of probe
+// functions. The paper's experiments use a 100 MB filter with the usual
+// k ≈ 5.
+func New(sizeBytes int, k int) (*Filter, error) {
+	if sizeBytes <= 0 {
+		return nil, fmt.Errorf("bloom: size must be positive, got %d", sizeBytes)
+	}
+	if k <= 0 || k > 32 {
+		return nil, fmt.Errorf("bloom: k must be in [1,32], got %d", k)
+	}
+	nbits := uint64(sizeBytes) * 8
+	return &Filter{
+		bits:  make([]uint64, (nbits+63)/64),
+		nbits: nbits,
+		k:     k,
+	}, nil
+}
+
+// NewWithEstimate returns a filter sized for the expected number of elements
+// n at the target false-positive rate fp, using the standard optimal
+// m = −n·ln(fp)/ln(2)² and k = m/n·ln(2).
+func NewWithEstimate(n uint64, fp float64) (*Filter, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("bloom: expected element count must be positive")
+	}
+	if fp <= 0 || fp >= 1 {
+		return nil, fmt.Errorf("bloom: false-positive rate must be in (0,1), got %g", fp)
+	}
+	ln2 := math.Ln2
+	mBits := math.Ceil(-float64(n) * math.Log(fp) / (ln2 * ln2))
+	k := int(math.Round(mBits / float64(n) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	return New(int(mBits/8)+1, k)
+}
+
+// probes derives the two double-hashing words from a Sum.
+func probes(h hashutil.Sum) (uint64, uint64) {
+	h1 := binary.LittleEndian.Uint64(h[0:8])
+	h2 := binary.LittleEndian.Uint64(h[8:16])
+	if h2 == 0 {
+		h2 = 0x9E3779B97F4A7C15 // avoid a degenerate stride
+	}
+	return h1, h2
+}
+
+// Add inserts h into the filter.
+func (f *Filter) Add(h hashutil.Sum) {
+	h1, h2 := probes(h)
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		f.bits[pos/64] |= 1 << (pos % 64)
+	}
+	f.adds++
+}
+
+// Test reports whether h might be in the filter. False means certainly not
+// present; true means present with probability 1 − FP rate.
+func (f *Filter) Test(h hashutil.Sum) bool {
+	h1, h2 := probes(h)
+	f.tested++
+	for i := 0; i < f.k; i++ {
+		pos := (h1 + uint64(i)*h2) % f.nbits
+		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	f.hits++
+	return true
+}
+
+// SizeBytes returns the filter's bit-array size in bytes (the RAM the paper
+// charges to the bloom filter).
+func (f *Filter) SizeBytes() int64 {
+	return int64(len(f.bits) * 8)
+}
+
+// Count returns the number of Add calls.
+func (f *Filter) Count() uint64 { return f.adds }
+
+// Stats returns the number of Test calls and how many returned true.
+func (f *Filter) Stats() (tested, hits uint64) { return f.tested, f.hits }
+
+// EstimatedFPRate returns the expected false-positive probability given the
+// current load: (1 − e^(−k·n/m))^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	if f.adds == 0 {
+		return 0
+	}
+	exp := -float64(f.k) * float64(f.adds) / float64(f.nbits)
+	return math.Pow(1-math.Exp(exp), float64(f.k))
+}
+
+// FillRatio returns the fraction of set bits, a direct measure of load.
+func (f *Filter) FillRatio() float64 {
+	var set int
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.nbits)
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Reset clears the filter.
+func (f *Filter) Reset() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.adds, f.tested, f.hits = 0, 0, 0
+}

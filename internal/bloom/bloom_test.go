@@ -1,0 +1,167 @@
+package bloom
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mhdedup/internal/hashutil"
+)
+
+func sumOf(i uint64) hashutil.Sum {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], i)
+	return hashutil.SumBytes(b[:])
+}
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := New(1<<16, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 10_000; i++ {
+		f.Add(sumOf(i))
+	}
+	for i := uint64(0); i < 10_000; i++ {
+		if !f.Test(sumOf(i)) {
+			t.Fatalf("false negative for element %d", i)
+		}
+	}
+}
+
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f, err := New(1<<12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(data []byte) bool {
+		h := hashutil.SumBytes(data)
+		f.Add(h)
+		return f.Test(h)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFalsePositiveRateNearPrediction(t *testing.T) {
+	const n = 20_000
+	f, err := NewWithEstimate(n, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < n; i++ {
+		f.Add(sumOf(i))
+	}
+	fp := 0
+	const trials = 50_000
+	for i := uint64(n); i < n+trials; i++ {
+		if f.Test(sumOf(i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / trials
+	if rate > 0.03 {
+		t.Errorf("measured FP rate %.4f, want near 0.01", rate)
+	}
+	if est := f.EstimatedFPRate(); math.Abs(est-0.01) > 0.01 {
+		t.Errorf("estimated FP rate %.4f, want near 0.01", est)
+	}
+}
+
+func TestEmptyFilterRejectsEverything(t *testing.T) {
+	f, _ := New(1024, 5)
+	for i := uint64(0); i < 1000; i++ {
+		if f.Test(sumOf(i)) {
+			t.Fatalf("empty filter claims membership for %d", i)
+		}
+	}
+	if f.EstimatedFPRate() != 0 {
+		t.Error("empty filter should estimate FP rate 0")
+	}
+}
+
+func TestStatsAndCount(t *testing.T) {
+	f, _ := New(1<<14, 5)
+	for i := uint64(0); i < 100; i++ {
+		f.Add(sumOf(i))
+	}
+	if f.Count() != 100 {
+		t.Errorf("Count = %d, want 100", f.Count())
+	}
+	for i := uint64(0); i < 200; i++ {
+		f.Test(sumOf(i))
+	}
+	tested, hits := f.Stats()
+	if tested != 200 {
+		t.Errorf("tested = %d, want 200", tested)
+	}
+	if hits < 100 {
+		t.Errorf("hits = %d, want >= 100 (no false negatives)", hits)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f, _ := New(4096, 3)
+	f.Add(sumOf(1))
+	f.Reset()
+	if f.Test(sumOf(1)) {
+		t.Error("Reset did not clear the filter")
+	}
+	if f.FillRatio() != 0 {
+		t.Error("Reset left set bits")
+	}
+}
+
+func TestFillRatioGrowsWithLoad(t *testing.T) {
+	f, _ := New(4096, 5)
+	prev := f.FillRatio()
+	for i := uint64(0); i < 2000; i += 500 {
+		for j := i; j < i+500; j++ {
+			f.Add(sumOf(j))
+		}
+		cur := f.FillRatio()
+		if cur <= prev {
+			t.Fatalf("fill ratio did not grow: %.4f -> %.4f", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := New(0, 5); err == nil {
+		t.Error("zero size accepted")
+	}
+	if _, err := New(1024, 0); err == nil {
+		t.Error("zero k accepted")
+	}
+	if _, err := New(1024, 33); err == nil {
+		t.Error("k > 32 accepted")
+	}
+	if _, err := NewWithEstimate(0, 0.01); err == nil {
+		t.Error("n = 0 accepted")
+	}
+	if _, err := NewWithEstimate(100, 0); err == nil {
+		t.Error("fp = 0 accepted")
+	}
+	if _, err := NewWithEstimate(100, 1); err == nil {
+		t.Error("fp = 1 accepted")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	f, _ := New(100<<10, 5)
+	if f.SizeBytes() < 100<<10 {
+		t.Errorf("SizeBytes = %d, want >= %d", f.SizeBytes(), 100<<10)
+	}
+}
+
+func BenchmarkAddTest(b *testing.B) {
+	f, _ := New(1<<20, 5)
+	for i := 0; i < b.N; i++ {
+		h := sumOf(uint64(i))
+		f.Add(h)
+		f.Test(h)
+	}
+}

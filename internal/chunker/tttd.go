@@ -1,0 +1,102 @@
+package chunker
+
+import (
+	"io"
+
+	"mhdedup/internal/rabin"
+)
+
+// TTTD is the "two thresholds, two divisors" chunker. In addition to the
+// main divisor (the Rabin chunker's mask), a more permissive backup divisor
+// — one bit shorter, so twice as likely to match — records candidate cut
+// points. When a chunk reaches the maximum size without a main-divisor
+// match, it is cut at the most recent backup candidate instead of at the
+// arbitrary max boundary, keeping even forced cuts content-defined.
+type TTTD struct {
+	p        Params
+	mainMask rabin.Poly
+	backMask rabin.Poly
+	win      *rabin.Window
+	src      *readFiller
+	off      int64
+	done     bool
+
+	// carry holds bytes that were read past a backup cut point and belong to
+	// the next chunk.
+	carry []byte
+}
+
+// NewTTTD returns a TTTD chunker over r.
+func NewTTTD(r io.Reader, p Params) (*TTTD, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	win, err := rabin.NewWindow(p.Poly, p.WindowSize)
+	if err != nil {
+		return nil, err
+	}
+	main := p.Mask()
+	return &TTTD{
+		p:        p,
+		mainMask: main,
+		backMask: main >> 1,
+		win:      win,
+		src:      newReadFiller(r),
+	}, nil
+}
+
+// Next returns the next chunk, or io.EOF after the last one.
+func (c *TTTD) Next() (Chunk, error) {
+	if c.done && len(c.carry) == 0 {
+		return Chunk{}, c.src.finalErr()
+	}
+	c.win.Reset()
+	cur := make([]byte, 0, c.p.Max)
+	// Replay carried-over bytes through the window first so their
+	// fingerprints are identical to a fresh read.
+	carry := c.carry
+	c.carry = nil
+	backupAt := -1 // index in cur after which a backup cut would fall
+	emit := func(n int) Chunk {
+		chunk := Chunk{Data: cur[:n:n], Off: c.off}
+		c.off += chunk.Size()
+		if n < len(cur) {
+			c.carry = append([]byte(nil), cur[n:]...)
+		}
+		return chunk
+	}
+	for {
+		var b byte
+		if len(carry) > 0 {
+			b, carry = carry[0], carry[1:]
+		} else {
+			var ok bool
+			b, ok = c.src.next()
+			if !ok {
+				c.done = true
+				if len(cur) > 0 {
+					return emit(len(cur)), nil
+				}
+				return Chunk{}, c.src.finalErr()
+			}
+		}
+		cur = append(cur, b)
+		fp := c.win.Roll(b)
+		if len(cur) < c.p.Min {
+			continue
+		}
+		if fp&c.mainMask == c.mainMask {
+			return emit(len(cur)), nil
+		}
+		if fp&c.backMask == c.backMask {
+			backupAt = len(cur)
+		}
+		if len(cur) >= c.p.Max {
+			if backupAt > 0 {
+				return emit(backupAt), nil
+			}
+			return emit(len(cur)), nil
+		}
+	}
+}

@@ -1,0 +1,533 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"mhdedup/internal/bloom"
+	"mhdedup/internal/chunker"
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/lru"
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/simdisk"
+	"mhdedup/internal/store"
+)
+
+// Dedup is an MHD deduplicator. Feed input files in stream order with
+// PutFile, then call Finish to write back cached state; Stats/Report expose
+// the paper's metrics and Restore rebuilds any ingested file. Not safe for
+// concurrent use: deduplication is an ordered single-stream process.
+type Dedup struct {
+	cfg    Config
+	disk   *simdisk.Disk
+	st     *store.Store
+	filter *bloom.Filter
+	cache  *lru.Cache[hashutil.Sum, *store.Manifest]
+	// cacheIdx maps every entry hash of every cached manifest to the
+	// manifest holding it — the "cache of Manifests, each organized as a
+	// hash table" of Fig 4, flattened for O(1) lookup.
+	cacheIdx map[hashutil.Sum]hashutil.Sum
+	// sparseIdx is SI-MHD's in-RAM hook index (hook hash → manifest name);
+	// nil in BF-MHD mode.
+	sparseIdx map[hashutil.Sum]hashutil.Sum
+
+	stats       metrics.Stats
+	peakRAM     int64
+	evictionErr error
+}
+
+// New returns a Dedup over a fresh simulated disk.
+func New(cfg Config) (*Dedup, error) {
+	return NewOnDisk(cfg, simdisk.New())
+}
+
+// NewOnDisk returns a Dedup writing to the given disk (shared-disk setups
+// and failure-injection tests).
+func NewOnDisk(cfg Config, disk *simdisk.Disk) (*Dedup, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Dedup{
+		cfg:      cfg,
+		disk:     disk,
+		st:       store.New(disk, store.FormatMHD),
+		cacheIdx: make(map[hashutil.Sum]hashutil.Sum),
+	}
+	if cfg.SparseIndex {
+		d.sparseIdx = make(map[hashutil.Sum]hashutil.Sum)
+	} else if cfg.UseBloom {
+		f, err := bloom.New(cfg.BloomBytes, cfg.BloomHashes)
+		if err != nil {
+			return nil, err
+		}
+		d.filter = f
+	}
+	cache, err := lru.New[hashutil.Sum, *store.Manifest](cfg.CacheManifests, d.onEvict)
+	if err != nil {
+		return nil, err
+	}
+	d.cache = cache
+	return d, nil
+}
+
+// Disk exposes the simulated disk for metrics collection.
+func (d *Dedup) Disk() *simdisk.Disk { return d.disk }
+
+// Config returns the configuration.
+func (d *Dedup) Config() Config { return d.cfg }
+
+// onEvict writes a dirty manifest back to disk and drops its hashes from
+// the flat cache index. Write errors are deferred to Finish (the LRU
+// callback cannot fail).
+func (d *Dedup) onEvict(name hashutil.Sum, m *store.Manifest) {
+	if err := d.st.WriteBackManifest(m); err != nil && d.evictionErr == nil {
+		d.evictionErr = err
+	}
+	for _, e := range m.Entries {
+		if d.cacheIdx[e.Hash] == name {
+			delete(d.cacheIdx, e.Hash)
+		}
+	}
+}
+
+// cacheInsert registers a manifest in the LRU cache and the flat index.
+func (d *Dedup) cacheInsert(m *store.Manifest) {
+	d.cache.Put(m.Name, m)
+	for _, e := range m.Entries {
+		d.cacheIdx[e.Hash] = m.Name
+	}
+	d.trackRAM()
+}
+
+// indexEntries refreshes the flat index after a splice added entries to m.
+func (d *Dedup) indexEntries(m *store.Manifest, entries []store.Entry) {
+	for _, e := range entries {
+		d.cacheIdx[e.Hash] = m.Name
+	}
+}
+
+// trackRAM updates the peak resident-memory estimate: bloom filter plus
+// cached manifests plus the flat index.
+func (d *Dedup) trackRAM() {
+	var cur int64
+	if d.filter != nil {
+		cur = d.filter.SizeBytes()
+	}
+	d.cache.Each(func(_ hashutil.Sum, m *store.Manifest) {
+		cur += int64(m.ByteSize())
+	})
+	cur += int64(len(d.cacheIdx)) * (hashutil.Size + hashutil.Size + 8)
+	cur += int64(len(d.sparseIdx)) * (hashutil.Size + hashutil.Size + 16)
+	if cur > d.peakRAM {
+		d.peakRAM = cur
+	}
+}
+
+// lookupCached consults the flat cache index, revalidating against the
+// manifest (HHR splices can retire hashes).
+func (d *Dedup) lookupCached(h hashutil.Sum) (*store.Manifest, int, bool) {
+	name, ok := d.cacheIdx[h]
+	if !ok {
+		return nil, 0, false
+	}
+	m, ok := d.cache.Get(name)
+	if !ok {
+		delete(d.cacheIdx, h)
+		return nil, 0, false
+	}
+	idx, ok := m.Lookup(h)
+	if !ok {
+		delete(d.cacheIdx, h)
+		return nil, 0, false
+	}
+	return m, idx, true
+}
+
+// loadManifest brings a manifest into the cache from disk (one disk
+// access), unless it is already cached.
+func (d *Dedup) loadManifest(name hashutil.Sum) (*store.Manifest, error) {
+	if m, ok := d.cache.Get(name); ok {
+		return m, nil
+	}
+	m, err := d.st.ReadManifest(name)
+	if err != nil {
+		return nil, err
+	}
+	d.stats.ManifestLoads++
+	d.cacheInsert(m)
+	return m, nil
+}
+
+// pchunk is a chunk in flight: its bytes, hash and the recipe slot it will
+// resolve.
+type pchunk struct {
+	data []byte
+	hash hashutil.Sum
+	slot int
+}
+
+// slotState records the eventual fate of one input chunk, in stream order,
+// so the FileManifest can be emitted in order even though classification
+// happens out of order (BME resolves buffer tails before earlier chunks
+// flush).
+type slotState struct {
+	resolved bool
+	dup      bool
+	size     int64
+	ref      store.FileRef
+}
+
+// fileState is the per-input-file processing context: one DiskChunk, one
+// Manifest, the pending (hysteresis) buffer and the recipe slots.
+type fileState struct {
+	name      string
+	chunkName hashutil.Sum
+	manifest  *store.Manifest
+	data      []byte   // bytes destined for this file's DiskChunk
+	pending   []pchunk // non-duplicate chunks awaiting SHM flush (≤ 2·SD)
+	replay    []pchunk // chunks prefetched by FME but not consumed
+	slots     []slotState
+	hooks     []hashutil.Sum // hook hashes to publish at file end
+	pipe      *chunkPipeline // non-nil when the parallel pipeline is on
+}
+
+// PutFile deduplicates one input file. Files must be fed in backup-stream
+// order; the name must be unique and is the key for Restore.
+func (d *Dedup) PutFile(name string, r io.Reader) error {
+	var ch chunker.Chunker
+	var err error
+	switch {
+	case d.cfg.TTTD:
+		ch, err = chunker.NewTTTD(r, d.cfg.chunkerParams())
+	case d.cfg.FastCDC:
+		ch, err = chunker.NewFastCDC(r, d.cfg.chunkerParams())
+	default:
+		ch, err = chunker.NewRabin(r, d.cfg.chunkerParams())
+	}
+	if err != nil {
+		return err
+	}
+	f := &fileState{name: name, chunkName: d.st.NextName()}
+	f.manifest = store.NewManifest(f.chunkName, store.FormatMHD)
+	if d.cfg.HashWorkers > 0 {
+		f.pipe = newChunkPipeline(ch, d.cfg.HashWorkers)
+		defer f.pipe.stop()
+	}
+	d.stats.FilesTotal++
+	for {
+		pc, ok, err := d.nextChunk(f, ch)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := d.process(f, ch, pc); err != nil {
+			return err
+		}
+	}
+	return d.finishFile(f)
+}
+
+// nextChunk yields the next chunk in stream order: FME leftovers first,
+// then fresh chunks from the chunker.
+func (d *Dedup) nextChunk(f *fileState, ch chunker.Chunker) (pchunk, bool, error) {
+	if len(f.replay) > 0 {
+		pc := f.replay[0]
+		f.replay = f.replay[1:]
+		return pc, true, nil
+	}
+	return d.pull(f, ch)
+}
+
+// pull reads one fresh chunk, hashes it and allocates its recipe slot. With
+// the parallel pipeline on, the chunk arrives pre-hashed.
+func (d *Dedup) pull(f *fileState, ch chunker.Chunker) (pchunk, bool, error) {
+	var data []byte
+	var h hashutil.Sum
+	if f.pipe != nil {
+		item := f.pipe.next()
+		if item.err == io.EOF || item.err == errPipelineClosed {
+			return pchunk{}, false, nil
+		}
+		if item.err != nil {
+			return pchunk{}, false, item.err
+		}
+		data, h = item.data, item.hash
+	} else {
+		c, err := ch.Next()
+		if err == io.EOF {
+			return pchunk{}, false, nil
+		}
+		if err != nil {
+			return pchunk{}, false, err
+		}
+		data, h = c.Data, hashutil.SumBytes(c.Data)
+	}
+	d.stats.ChunksIn++
+	d.stats.InputBytes += int64(len(data))
+	d.stats.ChunkedBytes += int64(len(data))
+	d.stats.HashedBytes += int64(len(data))
+	slot := len(f.slots)
+	f.slots = append(f.slots, slotState{size: int64(len(data))})
+	return pchunk{data: data, hash: h, slot: slot}, true, nil
+}
+
+// process runs one chunk through Fig 4's flow: cached-manifest hit → match
+// extension; bloom + on-disk hook hit → load manifest, match extension;
+// otherwise buffer as non-duplicate, flushing half the buffer via SHM when
+// it fills.
+func (d *Dedup) process(f *fileState, ch chunker.Chunker, pc pchunk) error {
+	if m, idx, ok := d.lookupCached(pc.hash); ok {
+		return d.extendMatch(f, ch, m, idx, pc)
+	}
+	if d.sparseIdx != nil {
+		// SI-MHD: the in-RAM index answers the hook query with no disk
+		// access; only the manifest load touches the disk.
+		if target, ok := d.sparseIdx[pc.hash]; ok {
+			m, err := d.loadManifest(target)
+			if err != nil {
+				return err
+			}
+			if idx, ok := m.Lookup(pc.hash); ok {
+				return d.extendMatch(f, ch, m, idx, pc)
+			}
+		}
+	} else {
+		mightExist := true
+		if d.filter != nil {
+			mightExist = d.filter.Test(pc.hash)
+		}
+		if mightExist && d.st.HookExists(pc.hash) {
+			targets, err := d.st.ReadHook(pc.hash)
+			if err != nil {
+				return err
+			}
+			m, err := d.loadManifest(targets[0])
+			if err != nil {
+				return err
+			}
+			if idx, ok := m.Lookup(pc.hash); ok {
+				return d.extendMatch(f, ch, m, idx, pc)
+			}
+		}
+	}
+	f.pending = append(f.pending, pc)
+	if len(f.pending) >= 2*d.cfg.SD {
+		return d.flushPending(f, d.cfg.SD)
+	}
+	return nil
+}
+
+// resolveDup records a chunk as duplicate data found at the given location.
+func (d *Dedup) resolveDup(f *fileState, pc pchunk, container hashutil.Sum, start int64) {
+	f.slots[pc.slot] = slotState{
+		resolved: true,
+		dup:      true,
+		size:     int64(len(pc.data)),
+		ref:      store.FileRef{Container: container, Start: start, Size: int64(len(pc.data))},
+	}
+}
+
+// resolveOwn records a chunk as stored in this file's DiskChunk at start.
+func (d *Dedup) resolveOwn(f *fileState, pc pchunk, start int64) {
+	f.slots[pc.slot] = slotState{
+		resolved: true,
+		size:     int64(len(pc.data)),
+		ref:      store.FileRef{Container: f.chunkName, Start: start, Size: int64(len(pc.data))},
+	}
+}
+
+// flushPending flushes the first n pending chunks to the file's DiskChunk
+// buffer, performing SHM per group of SD chunks: the group leader's hash is
+// kept verbatim as a Hook entry, the up-to-SD−1 followers merge into one
+// hash over their concatenated bytes.
+func (d *Dedup) flushPending(f *fileState, n int) error {
+	if n > len(f.pending) {
+		n = len(f.pending)
+	}
+	for start := 0; start < n; start += d.cfg.SD {
+		end := start + d.cfg.SD
+		if end > n {
+			end = n
+		}
+		d.flushGroup(f, f.pending[start:end])
+	}
+	f.pending = append(f.pending[:0], f.pending[n:]...)
+	return nil
+}
+
+// flushGroup appends one SHM group to the file's DiskChunk buffer and
+// manifest.
+func (d *Dedup) flushGroup(f *fileState, group []pchunk) {
+	lead := group[0]
+	start := int64(len(f.data))
+	f.data = append(f.data, lead.data...)
+	f.manifest.Append(store.Entry{
+		Hash:  lead.hash,
+		Start: start,
+		Size:  int64(len(lead.data)),
+		Kind:  store.KindHook,
+	})
+	f.hooks = append(f.hooks, lead.hash)
+	d.resolveOwn(f, lead, start)
+	if len(group) == 1 {
+		return
+	}
+	mergedStart := int64(len(f.data))
+	h := hashutil.NewHasher()
+	for _, pc := range group[1:] {
+		d.resolveOwn(f, pc, int64(len(f.data)))
+		f.data = append(f.data, pc.data...)
+		h.Write(pc.data)
+	}
+	mergedSize := int64(len(f.data)) - mergedStart
+	d.stats.HashedBytes += mergedSize
+	f.manifest.Append(store.Entry{
+		Hash:  h.Sum(),
+		Start: mergedStart,
+		Size:  mergedSize,
+		Kind:  store.KindMerged,
+	})
+}
+
+// finishFile flushes the hysteresis buffer, writes the DiskChunk, Manifest
+// and Hooks (files that turned out to be complete duplicates write none of
+// those), emits the FileManifest from the recipe slots, and folds the
+// file's slot classification into the global duplicate statistics.
+func (d *Dedup) finishFile(f *fileState) error {
+	if len(f.replay) > 0 {
+		return fmt.Errorf("core: %d replay chunks left at end of %q", len(f.replay), f.name)
+	}
+	if err := d.flushPending(f, len(f.pending)); err != nil {
+		return err
+	}
+	if len(f.data) > 0 {
+		if err := d.st.WriteDiskChunk(f.chunkName, f.data); err != nil {
+			return err
+		}
+		if err := d.st.CreateManifest(f.manifest); err != nil {
+			return err
+		}
+		for _, h := range f.hooks {
+			if d.sparseIdx != nil {
+				if _, dup := d.sparseIdx[h]; !dup {
+					d.sparseIdx[h] = f.chunkName
+				}
+				continue
+			}
+			if d.st.HookKnown(h) {
+				continue // an identical chunk was hooked by an earlier file
+			}
+			if err := d.st.CreateHook(h, f.chunkName); err != nil {
+				return err
+			}
+			if d.filter != nil {
+				d.filter.Add(h)
+			}
+		}
+		d.stats.Files++
+		d.stats.StoredDataBytes += int64(len(f.data))
+		// The new manifest is NOT inserted into the cache: per Fig 4,
+		// manifests enter RAM only through hook-hit loading. Cross-file
+		// locality therefore costs one manifest load per duplicate slice,
+		// exactly as Table II charges.
+	}
+
+	fm := &store.FileManifest{File: f.name}
+	prevDup := false
+	for i, s := range f.slots {
+		if !s.resolved {
+			return fmt.Errorf("core: unresolved chunk %d in %q", i, f.name)
+		}
+		fm.Append(s.ref)
+		if s.dup {
+			d.stats.DupChunks++
+			d.stats.DupBytes += s.size
+			if !prevDup {
+				d.stats.DupSlices++
+			}
+		} else {
+			d.stats.NonDupChunks++
+		}
+		prevDup = s.dup
+	}
+	return d.st.WriteFileManifest(fm)
+}
+
+// Finish writes back all cached dirty manifests and finalizes RAM
+// accounting. The Dedup remains usable for Restore afterwards.
+func (d *Dedup) Finish() error {
+	d.trackRAM()
+	d.cache.Flush()
+	d.stats.RAMBytes = d.peakRAM
+	if err := d.evictionErr; err != nil {
+		d.evictionErr = nil
+		return err
+	}
+	return nil
+}
+
+// Stats returns the collected raw statistics.
+func (d *Dedup) Stats() metrics.Stats { return d.stats }
+
+// Report snapshots statistics plus disk-side accounting.
+func (d *Dedup) Report() metrics.Report {
+	s := d.stats
+	if s.RAMBytes == 0 {
+		s.RAMBytes = d.peakRAM
+	}
+	return metrics.BuildReport(s, d.disk)
+}
+
+// Restore rebuilds a previously ingested file into w.
+func (d *Dedup) Restore(name string, w io.Writer) error {
+	return d.st.RestoreFile(name, w)
+}
+
+// Resume returns a Dedup over an existing deduplicated disk (e.g. one
+// reloaded with simdisk.LoadDir): new files deduplicate against everything
+// already stored. The in-RAM duplicate-detection state is rebuilt from the
+// on-disk hooks — the bloom filter from the hook names (a mount-time
+// directory scan), or, for SI-MHD, the sparse index from the hook payloads
+// (counted disk reads, the real cost of warming that index). Statistics
+// start fresh: the Report covers this session's ingest only.
+func Resume(cfg Config, disk *simdisk.Disk) (*Dedup, error) {
+	d, err := NewOnDisk(cfg, disk)
+	if err != nil {
+		return nil, err
+	}
+	if d.sparseIdx != nil {
+		// SI-MHD keeps no hook objects on disk; its index is rebuilt by
+		// scanning the manifests' hook-flagged entries (F counted reads —
+		// the honest cost of warming the index at mount).
+		for _, name := range disk.Names(simdisk.Manifest) {
+			mName, err := hashutil.ParseHex(name)
+			if err != nil {
+				return nil, fmt.Errorf("core: resume: malformed manifest name %q: %w", name, err)
+			}
+			m, err := d.st.ReadManifest(mName)
+			if err != nil {
+				return nil, fmt.Errorf("core: resume: %w", err)
+			}
+			for _, e := range m.Entries {
+				if e.Kind == store.KindHook {
+					if _, dup := d.sparseIdx[e.Hash]; !dup {
+						d.sparseIdx[e.Hash] = mName
+					}
+				}
+			}
+		}
+		return d, nil
+	}
+	for _, name := range disk.Names(simdisk.Hook) {
+		h, err := hashutil.ParseHex(name)
+		if err != nil {
+			return nil, fmt.Errorf("core: resume: malformed hook name %q: %w", name, err)
+		}
+		if d.filter != nil {
+			d.filter.Add(h)
+		}
+	}
+	return d, nil
+}

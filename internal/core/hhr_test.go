@@ -1,0 +1,272 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/store"
+)
+
+// hhrFixture builds a Dedup whose disk holds one DiskChunk of given bytes
+// with a single-entry manifest covering it as one merged region — the
+// minimal stage on which to exercise the HHR split paths directly.
+func hhrFixture(t *testing.T, cfg Config, content []byte) (*Dedup, *store.Manifest) {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := d.st.NextName()
+	if err := d.st.WriteDiskChunk(name, content); err != nil {
+		t.Fatal(err)
+	}
+	m := store.NewManifest(name, store.FormatMHD)
+	m.Append(store.Entry{
+		Hash:  hashutil.SumBytes(content),
+		Start: 0,
+		Size:  int64(len(content)),
+		Kind:  store.KindMerged,
+	})
+	if err := d.st.CreateManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	return d, m
+}
+
+func mkPending(data []byte, chunkSize int) []pchunk {
+	var out []pchunk
+	for off := 0; off < len(data); off += chunkSize {
+		end := off + chunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		out = append(out, pchunk{data: data[off:end], hash: hashutil.SumBytes(data[off:end])})
+	}
+	return out
+}
+
+func TestHHRBackwardSplitsAtByteBoundary(t *testing.T) {
+	cfg := testConfig()
+	old := randBytes(901, 4096) // one merged 4 KiB region
+	d, m := hhrFixture(t, cfg, old)
+
+	// Pending buffer: 2 mismatching chunks followed by 2 chunks matching
+	// old's suffix (the Fig 6 shape: N3 then duplicate 4,5).
+	suffix := old[2048:]
+	pending := append(mkPending(randBytes(902, 2048), 1024), mkPending(suffix, 1024)...)
+	f := &fileState{name: "f", chunkName: d.st.NextName(), pending: pending}
+	f.manifest = store.NewManifest(f.chunkName, store.FormatMHD)
+	for _, pc := range pending {
+		f.slots = append(f.slots, slotState{size: int64(len(pc.data))})
+	}
+	for i := range f.pending {
+		f.pending[i].slot = i
+	}
+
+	shift, err := d.hhrBackward(f, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shift != 2 { // [remainder merged][edge plain][shared plain] = 3 entries, +2
+		t.Errorf("shift = %d, want 2", shift)
+	}
+	if len(m.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(m.Entries))
+	}
+	r, b, s := m.Entries[0], m.Entries[1], m.Entries[2]
+	if r.Kind != store.KindMerged || b.Kind != store.KindPlain || s.Kind != store.KindPlain {
+		t.Errorf("kinds = %v/%v/%v, want merged/plain/plain", r.Kind, b.Kind, s.Kind)
+	}
+	if s.Size != 2048 {
+		t.Errorf("shared region size = %d, want 2048", s.Size)
+	}
+	if b.Size != 1024 { // sized like the first mismatching pending chunk
+		t.Errorf("edge size = %d, want 1024", b.Size)
+	}
+	if r.Start != 0 || b.Start != r.Size || s.Start != r.Size+b.Size {
+		t.Error("split pieces do not tile the original region")
+	}
+	if s.Hash != hashutil.SumBytes(old[2048:]) {
+		t.Error("shared-region hash mismatch")
+	}
+	// The two matching pending chunks were consumed as duplicates.
+	if len(f.pending) != 2 {
+		t.Errorf("pending = %d chunks, want 2", len(f.pending))
+	}
+	if !f.slots[2].resolved || !f.slots[2].dup || !f.slots[3].dup {
+		t.Error("matched chunks not resolved as duplicates")
+	}
+	if f.slots[2].ref.Start != 2048 {
+		t.Errorf("dup ref start = %d, want 2048", f.slots[2].ref.Start)
+	}
+	if !m.Dirty() {
+		t.Error("HHR must dirty the manifest")
+	}
+	if d.stats.HHROps != 1 {
+		t.Errorf("HHROps = %d, want 1", d.stats.HHROps)
+	}
+}
+
+func TestHHRForwardSplitsPrefix(t *testing.T) {
+	cfg := testConfig()
+	old := randBytes(903, 4096)
+	d, m := hhrFixture(t, cfg, old)
+
+	// Prefetched chunks: 2 matching old's prefix, then a mismatch.
+	pre := append(mkPending(old[:2048], 1024), mkPending(randBytes(904, 1024), 1024)...)
+	f := &fileState{name: "f", chunkName: d.st.NextName()}
+	f.manifest = store.NewManifest(f.chunkName, store.FormatMHD)
+	for i := range pre {
+		pre[i].slot = i
+		f.slots = append(f.slots, slotState{size: int64(len(pre[i].data))})
+	}
+
+	consumed, err := d.hhrForward(f, m, 0, pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consumed != 2 {
+		t.Errorf("consumed = %d, want 2", consumed)
+	}
+	if len(m.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(m.Entries))
+	}
+	s, b, r := m.Entries[0], m.Entries[1], m.Entries[2]
+	if s.Kind != store.KindPlain || s.Size != 2048 || s.Start != 0 {
+		t.Errorf("shared prefix entry wrong: %+v", s)
+	}
+	if b.Kind != store.KindPlain || b.Size != 1024 {
+		t.Errorf("edge entry wrong: %+v", b)
+	}
+	if r.Kind != store.KindMerged || r.Size != 1024 {
+		t.Errorf("remainder entry wrong: %+v", r)
+	}
+	if !f.slots[0].dup || !f.slots[1].dup || f.slots[2].resolved {
+		t.Error("slot resolution wrong after forward HHR")
+	}
+}
+
+func TestHHRRefusesNonMergedEntries(t *testing.T) {
+	cfg := testConfig()
+	old := randBytes(905, 2048)
+	d, m := hhrFixture(t, cfg, old)
+	m.Entries[0].Kind = store.KindHook // hooks must never be re-chunked
+	f := &fileState{name: "f", pending: mkPending(old[1024:], 1024)}
+	before := d.stats.HHRDiskAccesses
+	shift, err := d.hhrBackward(f, m, 0)
+	if err != nil || shift != 0 {
+		t.Errorf("hook entry was processed: shift=%d err=%v", shift, err)
+	}
+	if d.stats.HHRDiskAccesses != before {
+		t.Error("hook entry caused a chunk reload")
+	}
+	if len(m.Entries) != 1 || m.Dirty() {
+		t.Error("hook entry was modified")
+	}
+}
+
+func TestHHRNoMatchNoEdgeLeavesEntryIntact(t *testing.T) {
+	cfg := testConfig()
+	cfg.EdgeHash = false
+	old := randBytes(906, 2048)
+	d, m := hhrFixture(t, cfg, old)
+	// Pending shares nothing with old.
+	f := &fileState{name: "f", pending: mkPending(randBytes(907, 2048), 1024)}
+	shift, err := d.hhrBackward(f, m, 0)
+	if err != nil || shift != 0 {
+		t.Fatalf("shift=%d err=%v", shift, err)
+	}
+	if len(m.Entries) != 1 || m.Dirty() {
+		t.Error("no-match case must leave the manifest untouched (EdgeHash off)")
+	}
+	// The reload itself is still charged — that is the repeat cost the
+	// EdgeHash exists to stop.
+	if d.stats.HHRDiskAccesses == 0 {
+		t.Error("byte comparison requires a reload even when nothing matches")
+	}
+}
+
+func TestHHRNoMatchWithEdgePlantsGuard(t *testing.T) {
+	cfg := testConfig()
+	old := randBytes(908, 2048)
+	d, m := hhrFixture(t, cfg, old)
+	f := &fileState{name: "f", pending: mkPending(randBytes(909, 2048), 1024)}
+	shift, err := d.hhrBackward(f, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shift != 1 || len(m.Entries) != 2 {
+		t.Fatalf("expected [remainder][edge] split, got %d entries", len(m.Entries))
+	}
+	edge := m.Entries[1]
+	if edge.Kind != store.KindPlain || edge.Size != 1024 {
+		t.Errorf("edge guard wrong: %+v", edge)
+	}
+	// A second identical attempt stops at the plain edge without reload.
+	before := d.stats.HHRDiskAccesses
+	if _, err := d.hhrBackward(f, m, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.stats.HHRDiskAccesses != before {
+		t.Error("edge guard did not prevent the repeat reload")
+	}
+}
+
+func TestHHRWholeEntryMatchedViaBytes(t *testing.T) {
+	// Pending chunk boundaries that don't sum to the entry size force the
+	// byte path even when the whole entry is duplicate.
+	cfg := testConfig()
+	old := randBytes(910, 3000)
+	d, m := hhrFixture(t, cfg, old)
+	// Chunks of 1000 bytes: 3 chunks exactly covering old.
+	pending := mkPending(old, 1000)
+	f := &fileState{name: "f", chunkName: d.st.NextName(), pending: pending}
+	for i := range f.pending {
+		f.pending[i].slot = i
+		f.slots = append(f.slots, slotState{size: 1000})
+	}
+	if _, err := d.hhrBackward(f, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.pending) != 0 {
+		t.Errorf("whole-match left %d pending chunks", len(f.pending))
+	}
+	if len(m.Entries) != 1 || m.Entries[0].Kind != store.KindPlain {
+		t.Errorf("whole-match should yield one plain entry, got %+v", m.Entries)
+	}
+	if m.Entries[0].Size != 3000 {
+		t.Errorf("entry size = %d", m.Entries[0].Size)
+	}
+}
+
+func TestHHRSplitPiecesRestoreConcatenation(t *testing.T) {
+	// Whatever the split, the pieces must tile the region so restores that
+	// reference them reproduce the original bytes.
+	cfg := testConfig()
+	old := randBytes(911, 8192)
+	d, m := hhrFixture(t, cfg, old)
+	pending := mkPending(old[5000:], 700) // unaligned suffix match
+	f := &fileState{name: "f", chunkName: d.st.NextName(), pending: pending}
+	for i := range f.pending {
+		f.pending[i].slot = i
+		f.slots = append(f.slots, slotState{size: int64(len(f.pending[i].data))})
+	}
+	if _, err := d.hhrBackward(f, m, 0); err != nil {
+		t.Fatal(err)
+	}
+	var rebuilt []byte
+	for _, e := range m.Entries {
+		part, err := d.st.ReadDiskChunkRange(m.ContainerOf(e), e.Start, e.Size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hashutil.SumBytes(part) != e.Hash {
+			t.Error("entry hash does not match its bytes")
+		}
+		rebuilt = append(rebuilt, part...)
+	}
+	if !bytes.Equal(rebuilt, old) {
+		t.Error("split pieces do not reconstruct the original region")
+	}
+}

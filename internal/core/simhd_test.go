@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"mhdedup/internal/simdisk"
+)
+
+// siConfig returns the SI-MHD (sparse-index) variant of the test config.
+func siConfig() Config {
+	cfg := testConfig()
+	cfg.SparseIndex = true
+	return cfg
+}
+
+func TestSIMHDRoundTripAndDedup(t *testing.T) {
+	base := randBytes(81, 300_000)
+	files := map[string][]byte{
+		"a": base,
+		"b": append([]byte(nil), base...),
+	}
+	d := ingest(t, siConfig(), files, []string{"a", "b"})
+	checkRestore(t, d, files)
+	checkInvariants(t, d)
+	if d.Stats().DupBytes != int64(len(base)) {
+		t.Errorf("SI-MHD dup bytes = %d, want %d", d.Stats().DupBytes, len(base))
+	}
+}
+
+func TestSIMHDNoHookObjectsNoHookQueries(t *testing.T) {
+	base := randBytes(83, 300_000)
+	edited := append([]byte(nil), base...)
+	copy(edited[120_000:], randBytes(84, 8_000))
+	files := map[string][]byte{"a": base, "b": edited}
+
+	si := ingest(t, siConfig(), files, []string{"a", "b"})
+	bf := ingest(t, testConfig(), files, []string{"a", "b"})
+
+	// SI-MHD keeps hooks in RAM: no hook inodes, no hook disk queries.
+	if got := si.Report().InodesHook; got != 0 {
+		t.Errorf("SI-MHD created %d hook objects, want 0", got)
+	}
+	if q := si.Disk().Counters().ExistsQueries.Get(simdisk.Hook); q != 0 {
+		t.Errorf("SI-MHD made %d hook disk queries, want 0", q)
+	}
+	if bf.Report().InodesHook == 0 {
+		t.Error("BF-MHD should create hook objects")
+	}
+	// The RAM trade: SI-MHD charges the index to RAM.
+	if si.Stats().RAMBytes == 0 {
+		t.Error("SI-MHD RAM accounting missing")
+	}
+	// Same dedup power: hooks are the same sampled hashes either way.
+	if si.Stats().DupBytes != bf.Stats().DupBytes {
+		t.Errorf("SI-MHD found %d dup bytes, BF-MHD %d — detection should match",
+			si.Stats().DupBytes, bf.Stats().DupBytes)
+	}
+	// Fewer total disk accesses for SI-MHD (no hook reads/writes).
+	if si.Report().Disk.Accesses() >= bf.Report().Disk.Accesses() {
+		t.Errorf("SI-MHD accesses %d not below BF-MHD's %d",
+			si.Report().Disk.Accesses(), bf.Report().Disk.Accesses())
+	}
+}
+
+func TestSIMHDManyFiles(t *testing.T) {
+	cfg := siConfig()
+	cfg.CacheManifests = 2
+	base := randBytes(85, 200_000)
+	files := map[string][]byte{}
+	var order []string
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("f%d", i)
+		c := append([]byte(nil), base...)
+		copy(c[i*20_000:], randBytes(int64(600+i), 3_000))
+		files[name] = c
+		order = append(order, name)
+	}
+	d := ingest(t, cfg, files, order)
+	checkRestore(t, d, files)
+	checkInvariants(t, d)
+	if d.Stats().StoredDataBytes > d.Stats().InputBytes/2 {
+		t.Error("SI-MHD failed to deduplicate across files")
+	}
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Records returns every run the suite has computed so far, ordered by
+// algorithm, then SD, then ECS — ready for plotting.
+func (s *Suite) Records() []Record {
+	out := make([]Record, 0, len(s.cache))
+	for _, r := range s.cache {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Algo != b.Algo {
+			return a.Algo < b.Algo
+		}
+		if a.SD != b.SD {
+			return a.SD < b.SD
+		}
+		return a.ECS < b.ECS
+	})
+	return out
+}
+
+// csvHeader lists the exported columns.
+var csvHeader = []string{
+	"algo", "ecs", "sd",
+	"input_bytes", "stored_bytes", "metadata_bytes",
+	"hook_bytes", "manifest_bytes", "filemanifest_bytes", "inodes",
+	"data_only_der", "real_der", "metadata_ratio", "throughput_ratio",
+	"dup_bytes", "dup_slices", "dad_bytes",
+	"chunks", "dup_chunks", "nondup_chunks", "files",
+	"disk_accesses", "manifest_loads", "hhr_ops", "hhr_accesses", "ram_bytes",
+}
+
+// WriteCSV exports records as CSV for external plotting — the data behind
+// every figure the harness prints.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		rep := r.Report
+		row := []string{
+			r.Algo,
+			fmt.Sprintf("%d", r.ECS),
+			fmt.Sprintf("%d", r.SD),
+			fmt.Sprintf("%d", rep.InputBytes),
+			fmt.Sprintf("%d", rep.StoredDataBytes),
+			fmt.Sprintf("%d", rep.MetadataBytes),
+			fmt.Sprintf("%d", rep.HookBytes),
+			fmt.Sprintf("%d", rep.ManifestBytes),
+			fmt.Sprintf("%d", rep.FileManifestBytes),
+			fmt.Sprintf("%d", rep.InodeCount()),
+			fmt.Sprintf("%.6f", rep.DataOnlyDER()),
+			fmt.Sprintf("%.6f", rep.RealDER()),
+			fmt.Sprintf("%.8f", rep.MetaDataRatio()),
+			fmt.Sprintf("%.6f", r.ThroughputRatio()),
+			fmt.Sprintf("%d", rep.DupBytes),
+			fmt.Sprintf("%d", rep.DupSlices),
+			fmt.Sprintf("%.1f", rep.DAD()),
+			fmt.Sprintf("%d", rep.ChunksIn),
+			fmt.Sprintf("%d", rep.DupChunks),
+			fmt.Sprintf("%d", rep.NonDupChunks),
+			fmt.Sprintf("%d", rep.Files),
+			fmt.Sprintf("%d", rep.Disk.Accesses()),
+			fmt.Sprintf("%d", rep.ManifestLoads),
+			fmt.Sprintf("%d", rep.HHROps),
+			fmt.Sprintf("%d", rep.HHRDiskAccesses),
+			fmt.Sprintf("%d", rep.RAMBytes),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

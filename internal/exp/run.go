@@ -1,0 +1,264 @@
+// Package exp is the experiment harness: it builds any of the five
+// deduplicators from a uniform parameter set, runs them over synthetic
+// disk-image workloads, and regenerates every figure and table of the
+// paper's evaluation section (§V).
+package exp
+
+import (
+	"fmt"
+	"io"
+
+	"mhdedup/internal/algo"
+	"mhdedup/internal/baseline"
+	"mhdedup/internal/core"
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/simdisk"
+	"mhdedup/internal/trace"
+)
+
+// Algorithm names accepted by Build.
+const (
+	AlgoMHD            = "mhd"
+	AlgoSIMHD          = "si-mhd"
+	AlgoCDC            = "cdc"
+	AlgoBimodal        = "bimodal"
+	AlgoSubChunk       = "subchunk"
+	AlgoSparse         = "sparse"
+	AlgoFBC            = "fbc"
+	AlgoFingerdiff     = "fingerdiff"
+	AlgoExtremeBinning = "extremebinning"
+)
+
+// Algorithms lists the comparison set of the paper's figures (plain CDC is
+// analyzed in Tables I/II but not plotted).
+var Algorithms = []string{AlgoMHD, AlgoBimodal, AlgoSubChunk, AlgoSparse}
+
+// AllAlgorithms additionally includes plain CDC and the two extensions the
+// paper mentions but does not plot: SI-MHD (MHD over a sparse in-RAM hook
+// index) and FBC (frequency-based chunking).
+var AllAlgorithms = []string{
+	AlgoMHD, AlgoSIMHD, AlgoCDC, AlgoBimodal, AlgoSubChunk, AlgoSparse,
+	AlgoFBC, AlgoFingerdiff, AlgoExtremeBinning,
+}
+
+// Params selects and configures one deduplicator run.
+type Params struct {
+	Algo string
+	ECS  int
+	SD   int
+	// BloomBytes of zero auto-sizes the filter from ExpectedInputBytes.
+	BloomBytes int
+	// ExpectedInputBytes drives bloom auto-sizing (≈1.2 bytes per expected
+	// chunk, the standard 1%-FP sizing).
+	ExpectedInputBytes int64
+	CacheManifests     int
+	UseBloom           bool
+	// MHD ablation switches.
+	ByteCompare bool
+	EdgeHash    bool
+	SHMPerSlice bool
+	TTTD        bool
+	FastCDC     bool
+}
+
+// DefaultParams returns paper-faithful settings for one algorithm.
+func DefaultParams(algoName string, ecs, sd int, expectedInput int64) Params {
+	return Params{
+		Algo:               algoName,
+		ECS:                ecs,
+		SD:                 sd,
+		ExpectedInputBytes: expectedInput,
+		CacheManifests:     64,
+		UseBloom:           true,
+		ByteCompare:        true,
+		EdgeHash:           true,
+	}
+}
+
+// bloomBytes auto-sizes the filter: ~9.6 bits per expected chunk (1% FP).
+func (p Params) bloomBytes() int {
+	if p.BloomBytes > 0 {
+		return p.BloomBytes
+	}
+	if p.ExpectedInputBytes <= 0 || p.ECS <= 0 {
+		return 1 << 20
+	}
+	n := p.ExpectedInputBytes / int64(p.ECS)
+	b := int(n*12/8) + 1024
+	if b < 1<<16 {
+		b = 1 << 16
+	}
+	return b
+}
+
+// Build constructs the deduplicator p describes.
+func Build(p Params) (algo.Deduplicator, error) {
+	switch p.Algo {
+	case AlgoMHD, AlgoSIMHD:
+		cfg := core.DefaultConfig()
+		cfg.ECS = p.ECS
+		cfg.SD = p.SD
+		cfg.BloomBytes = p.bloomBytes()
+		cfg.CacheManifests = p.CacheManifests
+		cfg.UseBloom = p.UseBloom
+		cfg.ByteCompare = p.ByteCompare
+		cfg.EdgeHash = p.EdgeHash
+		cfg.SHMPerSlice = p.SHMPerSlice
+		cfg.TTTD = p.TTTD
+		cfg.FastCDC = p.FastCDC
+		cfg.SparseIndex = p.Algo == AlgoSIMHD
+		return core.New(cfg)
+	case AlgoCDC:
+		cfg := baseline.DefaultCDCConfig()
+		cfg.ECS = p.ECS
+		cfg.BloomBytes = p.bloomBytes()
+		cfg.CacheManifests = p.CacheManifests
+		cfg.UseBloom = p.UseBloom
+		return baseline.NewCDC(cfg)
+	case AlgoBimodal:
+		cfg := baseline.DefaultBimodalConfig()
+		cfg.ECS = p.ECS
+		cfg.SD = p.SD
+		cfg.BloomBytes = p.bloomBytes()
+		cfg.CacheManifests = p.CacheManifests
+		cfg.UseBloom = p.UseBloom
+		return baseline.NewBimodal(cfg)
+	case AlgoSubChunk:
+		cfg := baseline.DefaultSubChunkConfig()
+		cfg.ECS = p.ECS
+		cfg.SD = p.SD
+		cfg.BloomBytes = p.bloomBytes()
+		cfg.CacheManifests = p.CacheManifests
+		cfg.UseBloom = p.UseBloom
+		return baseline.NewSubChunk(cfg)
+	case AlgoSparse:
+		cfg := baseline.DefaultSparseConfig()
+		cfg.ECS = p.ECS
+		cfg.SD = p.SD
+		cfg.CacheManifests = p.CacheManifests
+		return baseline.NewSparse(cfg)
+	case AlgoFBC:
+		cfg := baseline.DefaultFBCConfig()
+		cfg.ECS = p.ECS
+		cfg.SD = p.SD
+		cfg.BloomBytes = p.bloomBytes()
+		cfg.CacheManifests = p.CacheManifests
+		cfg.UseBloom = p.UseBloom
+		return baseline.NewFBC(cfg)
+	case AlgoFingerdiff:
+		cfg := baseline.DefaultFingerdiffConfig()
+		cfg.ECS = p.ECS
+		cfg.MaxCoalesce = p.SD
+		return baseline.NewFingerdiff(cfg)
+	case AlgoExtremeBinning:
+		cfg := baseline.DefaultExtremeBinningConfig()
+		cfg.ECS = p.ECS
+		return baseline.NewExtremeBinning(cfg)
+	default:
+		return nil, fmt.Errorf("exp: unknown algorithm %q", p.Algo)
+	}
+}
+
+// Record is one completed run.
+type Record struct {
+	Algo   string
+	ECS    int
+	SD     int
+	Report metrics.Report
+}
+
+// CostModel is the throughput model all experiments share.
+var CostModel = simdisk.Default2013()
+
+// ThroughputRatio evaluates the record under the shared cost model.
+func (r Record) ThroughputRatio() float64 {
+	return r.Report.ThroughputRatio(CostModel)
+}
+
+// Run ingests the whole dataset through a deduplicator built from p.
+func Run(ds *trace.Dataset, p Params) (Record, error) {
+	if p.ExpectedInputBytes == 0 {
+		p.ExpectedInputBytes = ds.TotalBytes()
+	}
+	d, err := Build(p)
+	if err != nil {
+		return Record{}, err
+	}
+	if err := ds.EachFile(func(info trace.FileInfo, r io.Reader) error {
+		return d.PutFile(info.Name, r)
+	}); err != nil {
+		return Record{}, err
+	}
+	if err := d.Finish(); err != nil {
+		return Record{}, err
+	}
+	return Record{Algo: p.Algo, ECS: p.ECS, SD: p.SD, Report: d.Report()}, nil
+}
+
+// Sweep runs every algorithm × ECS combination at a fixed SD.
+func Sweep(ds *trace.Dataset, algos []string, ecsList []int, sd int) ([]Record, error) {
+	var out []Record
+	for _, ecs := range ecsList {
+		for _, a := range algos {
+			rec, err := Run(ds, DefaultParams(a, ecs, sd, ds.TotalBytes()))
+			if err != nil {
+				return nil, fmt.Errorf("exp: %s ECS=%d SD=%d: %w", a, ecs, sd, err)
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+// Scale selects the workload and parameter scale of an experiment run. The
+// paper's 1 TB / SD=1000 setup is scaled so that ECS·SD stays well below
+// the snapshot size; EXPERIMENTS.md records the mapping.
+type Scale struct {
+	Name    string
+	Dataset trace.Config
+	// SD is the scaled stand-in for the paper's SD=1000; SDSweep for the
+	// paper's {1000, 500, 250} of Fig 9.
+	SD      int
+	SDSweep []int
+	// ECSList is the paper's ECS sweep (Figs 7–9); ECSListDAD adds 768 as
+	// in Fig 10.
+	ECSList    []int
+	ECSListDAD []int
+	// CacheManifests bounds the locality cache. It is deliberately scarce
+	// relative to the number of manifests, as the paper's 1 TB trace was
+	// relative to RAM — locality-dependent algorithms must feel misses.
+	CacheManifests int
+}
+
+// QuickScale is a seconds-long configuration for tests and default benches.
+func QuickScale() Scale {
+	cfg := trace.Default()
+	cfg.Machines = 4
+	cfg.Days = 5
+	cfg.SnapshotBytes = 2 << 20
+	cfg.EditsPerDay = 16
+	cfg.EditBytes = 16 << 10
+	return Scale{
+		Name:           "quick",
+		Dataset:        cfg,
+		SD:             32,
+		SDSweep:        []int{32, 16, 8},
+		ECSList:        []int{512, 1024, 2048, 4096, 8192},
+		ECSListDAD:     []int{512, 768, 1024, 2048, 4096, 8192},
+		CacheManifests: 4,
+	}
+}
+
+// StandardScale is the full laptop-scale reproduction: 14 machines × 14
+// days as in the paper, ~1.5 GiB of logical input.
+func StandardScale() Scale {
+	return Scale{
+		Name:           "standard",
+		Dataset:        trace.Default(),
+		SD:             100,
+		SDSweep:        []int{100, 50, 25},
+		ECSList:        []int{512, 1024, 2048, 4096, 8192},
+		ECSListDAD:     []int{512, 768, 1024, 2048, 4096, 8192},
+		CacheManifests: 16,
+	}
+}

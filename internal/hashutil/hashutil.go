@@ -1,0 +1,121 @@
+// Package hashutil provides the content hash type used throughout the
+// deduplication system.
+//
+// The paper (and virtually every 2013-era deduplication system) identifies
+// chunks by their SHA-1 digest; a Sum is therefore a 20-byte value. The
+// package wraps crypto/sha1 with a comparable array type so Sums can be used
+// directly as map keys, and provides the helpers the rest of the system
+// relies on: one-shot hashing, incremental hashing across several byte
+// regions, and stable textual forms.
+package hashutil
+
+import (
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+)
+
+// Size is the byte length of a Sum (SHA-1 digest size).
+const Size = sha1.Size
+
+// Sum is a 20-byte SHA-1 content hash. The zero value is the hash of no
+// particular content and is never produced by SumBytes; it can be used as a
+// sentinel.
+type Sum [Size]byte
+
+// SumBytes returns the SHA-1 digest of b.
+func SumBytes(b []byte) Sum {
+	return Sum(sha1.Sum(b))
+}
+
+// SumString returns the SHA-1 digest of s without copying it to a []byte
+// first beyond what the hash requires.
+func SumString(s string) Sum {
+	h := sha1.New()
+	h.Write([]byte(s))
+	var out Sum
+	h.Sum(out[:0])
+	return out
+}
+
+// SumRegions returns the SHA-1 digest of the concatenation of the given byte
+// slices, without materializing the concatenation. It is used by SHM and by
+// match extension, both of which hash runs of buffered chunks.
+func SumRegions(regions ...[]byte) Sum {
+	h := sha1.New()
+	for _, r := range regions {
+		h.Write(r)
+	}
+	var out Sum
+	h.Sum(out[:0])
+	return out
+}
+
+// Hex returns the lowercase hexadecimal form of s (40 characters).
+func (s Sum) Hex() string {
+	return hex.EncodeToString(s[:])
+}
+
+// Short returns the first 8 hex characters of s, for logs and test output.
+func (s Sum) Short() string {
+	return hex.EncodeToString(s[:4])
+}
+
+// String implements fmt.Stringer; it is the same as Short so that large
+// structures containing Sums print compactly.
+func (s Sum) String() string {
+	return s.Short()
+}
+
+// IsZero reports whether s is the zero Sum.
+func (s Sum) IsZero() bool {
+	return s == Sum{}
+}
+
+// ParseHex parses a 40-character hexadecimal string into a Sum.
+func ParseHex(text string) (Sum, error) {
+	var s Sum
+	if len(text) != Size*2 {
+		return s, fmt.Errorf("hashutil: hex sum must be %d characters, got %d", Size*2, len(text))
+	}
+	b, err := hex.DecodeString(text)
+	if err != nil {
+		return s, fmt.Errorf("hashutil: invalid hex sum: %w", err)
+	}
+	copy(s[:], b)
+	return s, nil
+}
+
+// Hasher accumulates bytes and produces a Sum. It exists so callers can hash
+// streaming data (e.g. whole restored files in round-trip tests) without
+// buffering.
+type Hasher struct {
+	inner interface {
+		Write(p []byte) (int, error)
+		Sum(b []byte) []byte
+		Reset()
+	}
+}
+
+// NewHasher returns a ready-to-use Hasher.
+func NewHasher() *Hasher {
+	return &Hasher{inner: sha1.New()}
+}
+
+// Write adds p to the running hash. It never fails.
+func (h *Hasher) Write(p []byte) (int, error) {
+	return h.inner.Write(p)
+}
+
+// Sum returns the digest of everything written so far. The Hasher may keep
+// being written to afterwards; Sum does not reset it.
+func (h *Hasher) Sum() Sum {
+	var out Sum
+	h.inner.Sum(out[:0])
+	return out
+}
+
+// Reset returns the Hasher to its initial state.
+func (h *Hasher) Reset() {
+	h.inner.Reset()
+}

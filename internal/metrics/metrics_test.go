@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"mhdedup/internal/simdisk"
+)
+
+func sampleReport() Report {
+	d := simdisk.New()
+	d.Create(simdisk.Data, "c1", make([]byte, 25<<20))
+	d.Create(simdisk.Hook, "h1", make([]byte, 20))
+	d.Create(simdisk.Manifest, "m1", make([]byte, 74))
+	d.Create(simdisk.FileManifest, "f1", make([]byte, 28))
+	s := Stats{
+		InputBytes:      100 << 20,
+		FilesTotal:      10,
+		Files:           8,
+		ChunksIn:        100_000,
+		DupChunks:       75_000,
+		NonDupChunks:    25_000,
+		DupBytes:        75 << 20,
+		DupSlices:       300,
+		StoredDataBytes: 25 << 20,
+		ChunkedBytes:    100 << 20,
+		HashedBytes:     110 << 20,
+	}
+	return BuildReport(s, d)
+}
+
+func TestDERAndRatios(t *testing.T) {
+	r := sampleReport()
+	if got := r.DataOnlyDER(); got != 4.0 {
+		t.Errorf("DataOnlyDER = %v, want 4", got)
+	}
+	real := r.RealDER()
+	if real <= 0 || real >= 4.0 {
+		t.Errorf("RealDER = %v, want in (0,4)", real)
+	}
+	meta := r.MetaDataRatio()
+	wantMeta := float64(20+74+28+4*simdisk.InodeBytes) / float64(100<<20)
+	if meta != wantMeta {
+		t.Errorf("MetaDataRatio = %v, want %v", meta, wantMeta)
+	}
+	if r.ManifestMetaRatio() != float64(74+20)/float64(100<<20) {
+		t.Errorf("ManifestMetaRatio = %v", r.ManifestMetaRatio())
+	}
+	if r.FileManifestMetaRatio() != float64(28)/float64(100<<20) {
+		t.Errorf("FileManifestMetaRatio = %v", r.FileManifestMetaRatio())
+	}
+}
+
+func TestDAD(t *testing.T) {
+	r := sampleReport()
+	want := float64(75<<20) / 300
+	if r.DAD() != want {
+		t.Errorf("DAD = %v, want %v", r.DAD(), want)
+	}
+	r.DupSlices = 0
+	if r.DAD() != 0 {
+		t.Error("DAD with zero slices should be 0")
+	}
+}
+
+func TestInodeAccounting(t *testing.T) {
+	r := sampleReport()
+	if r.InodeCount() != 4 {
+		t.Errorf("InodeCount = %d, want 4", r.InodeCount())
+	}
+	if got := r.InodesPerMB(); got != 4.0/100.0 {
+		t.Errorf("InodesPerMB = %v, want 0.04", got)
+	}
+}
+
+func TestZeroValueSafety(t *testing.T) {
+	var r Report
+	if r.DataOnlyDER() != 0 || r.RealDER() != 0 || r.MetaDataRatio() != 0 ||
+		r.DAD() != 0 || r.InodesPerMB() != 0 || r.ManifestMetaRatio() != 0 ||
+		r.FileManifestMetaRatio() != 0 {
+		t.Error("zero Report must not divide by zero")
+	}
+}
+
+func TestThroughputRatioBand(t *testing.T) {
+	r := sampleReport()
+	ratio := r.ThroughputRatio(simdisk.Default2013())
+	if ratio <= 0 || ratio >= 1.5 {
+		t.Errorf("ThroughputRatio = %v, want a positive sub-copy value", ratio)
+	}
+	// More metadata I/O must not increase the ratio.
+	slow := r
+	slow.Disk.Reads[simdisk.Manifest] += 100_000
+	if slow.ThroughputRatio(simdisk.Default2013()) >= ratio {
+		t.Error("extra manifest loads should reduce throughput ratio")
+	}
+}
+
+func TestStringIncludesHeadlines(t *testing.T) {
+	s := sampleReport().String()
+	for _, want := range []string{"dataDER=4.000", "realDER=", "L=300", "F=8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFmtBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512B",
+		2048:    "2.0KiB",
+		3 << 20: "3.0MiB",
+		5 << 30: "5.0GiB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Errorf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

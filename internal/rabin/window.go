@@ -1,0 +1,146 @@
+package rabin
+
+import "fmt"
+
+// DefaultWindowSize is the sliding-window width in bytes used by the
+// chunkers. 48 bytes is the LBFS value; the fingerprint then depends on the
+// last 48 bytes seen, which is what makes cut points content-defined and
+// immune to boundary shifting.
+const DefaultWindowSize = 48
+
+// Window is a sliding-window Rabin fingerprinter. Feed bytes with Roll; the
+// current fingerprint of the most recent WindowSize bytes is Fingerprint().
+// The zero value is not usable; construct with NewWindow.
+type Window struct {
+	poly    Poly
+	size    int
+	shift   uint // deg(poly) − 8: position of the top byte of the digest
+	modTab  [256]Poly
+	outTab  [256]Poly
+	window  []byte
+	pos     int
+	digest  Poly
+	written int
+}
+
+// NewWindow returns a Window over the given irreducible polynomial with the
+// given window size in bytes. Size must be positive; poly must have degree
+// of at least 9 so the byte-at-a-time table reduction is valid.
+func NewWindow(poly Poly, size int) (*Window, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("rabin: window size must be positive, got %d", size)
+	}
+	deg := poly.Deg()
+	if deg < 9 {
+		return nil, fmt.Errorf("rabin: polynomial degree must be >= 9, got %d", deg)
+	}
+	w := &Window{
+		poly:   poly,
+		size:   size,
+		shift:  uint(deg - 8),
+		window: make([]byte, size),
+	}
+	// modTab[b] reduces a digest whose top byte is b: it is (b · x^deg) mod
+	// poly, with the b·x^deg term itself included so the caller can XOR the
+	// whole top byte away in one operation.
+	for b := 0; b < 256; b++ {
+		v := Poly(b) << uint(deg)
+		w.modTab[b] = v.modSlow(poly) | v
+	}
+	// outTab[b] is the contribution of byte b once it has been shifted
+	// through the entire window: (b · x^(8·size)) mod poly. XORing it out
+	// removes the oldest byte from the digest.
+	for b := 0; b < 256; b++ {
+		h := Poly(0)
+		h = w.appendByteSlow(h, byte(b))
+		for i := 0; i < size-1; i++ {
+			h = w.appendByteSlow(h, 0)
+		}
+		w.outTab[b] = h
+	}
+	w.Reset()
+	return w, nil
+}
+
+// MustWindow is NewWindow that panics on error; for use with constant,
+// known-good parameters.
+func MustWindow(poly Poly, size int) *Window {
+	w, err := NewWindow(poly, size)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// modSlow is bitwise polynomial reduction, used only during table
+// construction (the fast path uses the tables).
+func (p Poly) modSlow(m Poly) Poly {
+	return p.Mod(m)
+}
+
+// appendByteSlow extends digest by one byte using bitwise reduction; table
+// construction only.
+func (w *Window) appendByteSlow(digest Poly, b byte) Poly {
+	digest <<= 8
+	digest |= Poly(b)
+	return digest.Mod(w.poly)
+}
+
+// Reset clears the window to all zero bytes and the digest to zero.
+func (w *Window) Reset() {
+	for i := range w.window {
+		w.window[i] = 0
+	}
+	w.pos = 0
+	w.digest = 0
+	w.written = 0
+}
+
+// Roll slides the window forward by one byte and returns the new
+// fingerprint.
+func (w *Window) Roll(b byte) Poly {
+	out := w.window[w.pos]
+	w.window[w.pos] = b
+	w.pos++
+	if w.pos == w.size {
+		w.pos = 0
+	}
+	w.digest ^= w.outTab[out]
+	// Append b: shift the digest up a byte; the former top byte now sits at
+	// x^deg..x^(deg+7) and modTab (which includes that term) cancels it and
+	// adds its residue, keeping deg(digest) < deg(poly).
+	top := byte(w.digest >> w.shift)
+	w.digest = (w.digest << 8) | Poly(b)
+	w.digest ^= w.modTab[top]
+	w.written++
+	return w.digest
+}
+
+// Fingerprint returns the fingerprint of the bytes currently in the window
+// (the last Size() bytes rolled, zero-padded if fewer have been seen).
+func (w *Window) Fingerprint() Poly {
+	return w.digest
+}
+
+// Size returns the window width in bytes.
+func (w *Window) Size() int {
+	return w.size
+}
+
+// Poly returns the modulus polynomial.
+func (w *Window) Poly() Poly {
+	return w.poly
+}
+
+// FingerprintOf computes, without any rolling state, the fingerprint of the
+// given bytes modulo poly. It is the reference the rolling implementation is
+// tested against.
+func FingerprintOf(poly Poly, data []byte) Poly {
+	var d Poly
+	for _, b := range data {
+		d <<= 8
+		d |= Poly(b)
+		d = d.Mod(poly)
+	}
+	return d
+}

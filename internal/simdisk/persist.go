@@ -1,0 +1,122 @@
+package simdisk
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Persistence: a simulated disk can be materialized to (and reloaded from)
+// a real directory, one file per object under a per-category subdirectory.
+// This is the paper's actual deployment shape — "algorithms read data from
+// and write the outputs to local directories" (§V) — and it lets the CLI
+// deduplicate in one invocation and restore in another. Access counters
+// are session state and are not persisted.
+
+// categoryDirs maps categories to directory names (stable on disk).
+var categoryDirs = map[Category]string{
+	Data:         "chunks",
+	Hook:         "hooks",
+	Manifest:     "manifests",
+	FileManifest: "files",
+}
+
+// SaveDir writes every stored object under dir, creating it if needed.
+// Object names are encoded so they are safe as file names.
+func (d *Disk) SaveDir(dir string) error {
+	for cat, sub := range categoryDirs {
+		catDir := filepath.Join(dir, sub)
+		if err := os.MkdirAll(catDir, 0o755); err != nil {
+			return fmt.Errorf("simdisk: save: %w", err)
+		}
+		for name, data := range d.objects[cat] {
+			path := filepath.Join(catDir, encodeName(name))
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				return fmt.Errorf("simdisk: save %v %q: %w", cat, name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// LoadDir returns a disk populated from a directory written by SaveDir.
+// Counters start at zero: loading models mounting existing storage, not
+// re-performing the writes.
+func LoadDir(dir string) (*Disk, error) {
+	d := New()
+	for cat, sub := range categoryDirs {
+		catDir := filepath.Join(dir, sub)
+		entries, err := os.ReadDir(catDir)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // category may be empty
+			}
+			return nil, fmt.Errorf("simdisk: load: %w", err)
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			name, err := decodeName(e.Name())
+			if err != nil {
+				return nil, fmt.Errorf("simdisk: load %v %q: %w", cat, e.Name(), err)
+			}
+			data, err := os.ReadFile(filepath.Join(catDir, e.Name()))
+			if err != nil {
+				return nil, fmt.Errorf("simdisk: load %v %q: %w", cat, name, err)
+			}
+			d.objects[cat][name] = data
+		}
+	}
+	return d, nil
+}
+
+// walkSize returns the on-disk footprint of a saved store (for CLI
+// reporting).
+func DirSize(dir string) (int64, error) {
+	var total int64
+	err := filepath.WalkDir(dir, func(_ string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() {
+			return err
+		}
+		info, err := e.Info()
+		if err != nil {
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	return total, err
+}
+
+// encodeName makes an object name safe as a file name. Hash-addressable
+// names are already hex; FileManifest keys are arbitrary user paths, so
+// '/' and other separators are escaped.
+func encodeName(name string) string {
+	r := strings.NewReplacer("%", "%25", "/", "%2F", "\\", "%5C", ":", "%3A")
+	return r.Replace(name)
+}
+
+// decodeName inverts encodeName.
+func decodeName(file string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(file); i++ {
+		c := file[i]
+		if c != '%' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+2 >= len(file) {
+			return "", fmt.Errorf("truncated escape in %q", file)
+		}
+		var v byte
+		if _, err := fmt.Sscanf(file[i+1:i+3], "%02X", &v); err != nil {
+			return "", fmt.Errorf("bad escape in %q: %w", file, err)
+		}
+		b.WriteByte(v)
+		i += 2
+	}
+	return b.String(), nil
+}

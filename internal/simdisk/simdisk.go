@@ -1,0 +1,309 @@
+// Package simdisk is the simulated storage substrate the deduplicators
+// write to.
+//
+// The paper's prototypes ran in user space on Ext3 and measured metadata
+// overhead in inodes, bytes and disk-access counts (Tables I and II), and
+// throughput as a ratio derived from those I/Os. simdisk replaces the file
+// system with an in-memory, hash-addressable object store that makes
+// exactly those quantities first-class: every Create/Read/Write/Exists is
+// one "disk access" (the unit Table II counts), every stored object costs
+// one inode of 256 bytes (the paper's assumption in §IV), and byte counters
+// are kept per metadata category so Fig 7's breakdown can be produced
+// directly. A CostModel converts the counters into time for the
+// ThroughputRatio metric.
+package simdisk
+
+import (
+	"fmt"
+)
+
+// Category classifies stored objects the way the paper's analysis does.
+type Category int
+
+const (
+	// Data holds DiskChunk payloads (the deduplicated data itself).
+	Data Category = iota
+	// Hook holds hook files: 20-byte pointers from a sampled hash to its
+	// manifest.
+	Hook
+	// Manifest holds DiskChunkManifests.
+	Manifest
+	// FileManifest holds per-input-file reconstruction recipes.
+	FileManifest
+
+	numCategories
+)
+
+var categoryNames = [...]string{"data", "hook", "manifest", "filemanifest"}
+
+// String returns the category name.
+func (c Category) String() string {
+	if c < 0 || int(c) >= len(categoryNames) {
+		return fmt.Sprintf("category(%d)", int(c))
+	}
+	return categoryNames[c]
+}
+
+// InodeBytes is the storage-management cost charged per stored object,
+// per the paper's assumption of 256 bytes per inode.
+const InodeBytes = 256
+
+// Op identifies a disk operation for counters and failure injection.
+type Op int
+
+const (
+	OpCreate Op = iota
+	OpRead
+	OpWrite
+	OpExists
+	OpDelete
+)
+
+var opNames = [...]string{"create", "read", "write", "exists", "delete"}
+
+// String returns the operation name.
+func (o Op) String() string {
+	if o < 0 || int(o) >= len(opNames) {
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+	return opNames[o]
+}
+
+// PerCategory holds one int64 counter per object category.
+type PerCategory [numCategories]int64
+
+// Get returns the counter for c.
+func (p PerCategory) Get(c Category) int64 { return p[c] }
+
+// Total returns the sum over categories.
+func (p PerCategory) Total() int64 {
+	var t int64
+	for _, v := range p {
+		t += v
+	}
+	return t
+}
+
+// Counters aggregates every disk access made through a Disk. The fields map
+// one-to-one onto the rows of the paper's Table II: Creates[Data] is "Chunk
+// Output Times", Reads[Data] is "Chunk Input Times" (HHR byte reloads),
+// Creates[Hook]/Reads[Hook] are hook output/input, Creates+Writes[Manifest]
+// are manifest output and Reads[Manifest] manifest input, and MissedLookups
+// counts existence queries that found nothing (the queries a bloom filter
+// eliminates).
+type Counters struct {
+	Creates       PerCategory
+	Reads         PerCategory
+	Writes        PerCategory
+	ExistsQueries PerCategory
+	Deletes       PerCategory
+	MissedLookups PerCategory
+	BytesRead     PerCategory
+	BytesWritten  PerCategory
+}
+
+// Accesses returns the total number of disk accesses — the unit of the
+// paper's Table II ("disk accessing times").
+func (c Counters) Accesses() int64 {
+	return c.Creates.Total() + c.Reads.Total() + c.Writes.Total() +
+		c.ExistsQueries.Total() + c.Deletes.Total()
+}
+
+// Disk is the simulated disk. The zero value is not usable; construct with
+// New. Disk is not safe for concurrent use: the deduplication pipeline is a
+// single ordered stream, as in the paper.
+type Disk struct {
+	objects  [numCategories]map[string][]byte
+	counters Counters
+
+	// failHook, when non-nil, is consulted before every operation; a
+	// non-nil return aborts the operation with that error. Used for
+	// failure-injection tests.
+	failHook func(Op, Category, string) error
+}
+
+// New returns an empty simulated disk.
+func New() *Disk {
+	d := &Disk{}
+	for i := range d.objects {
+		d.objects[i] = make(map[string][]byte)
+	}
+	return d
+}
+
+// SetFailureHook installs fn as a fault injector: it is called before every
+// operation and may return an error to abort it. Pass nil to clear.
+func (d *Disk) SetFailureHook(fn func(op Op, cat Category, name string) error) {
+	d.failHook = fn
+}
+
+func (d *Disk) check(op Op, cat Category, name string) error {
+	if cat < 0 || cat >= numCategories {
+		return fmt.Errorf("simdisk: invalid category %d", int(cat))
+	}
+	if d.failHook != nil {
+		if err := d.failHook(op, cat, name); err != nil {
+			return fmt.Errorf("simdisk: injected failure on %v %v %q: %w", op, cat, name, err)
+		}
+	}
+	return nil
+}
+
+// Create stores a new object. It is an error if the object already exists:
+// DiskChunks and Hooks are immutable once written (per §III, "the DiskChunk
+// and the Hook files that have been written to disk will not be further
+// modified").
+func (d *Disk) Create(cat Category, name string, data []byte) error {
+	if err := d.check(OpCreate, cat, name); err != nil {
+		return err
+	}
+	if _, exists := d.objects[cat][name]; exists {
+		return fmt.Errorf("simdisk: %v object %q already exists", cat, name)
+	}
+	d.objects[cat][name] = append([]byte(nil), data...)
+	d.counters.Creates[cat]++
+	d.counters.BytesWritten[cat] += int64(len(data))
+	return nil
+}
+
+// Write replaces the content of an existing object (only Manifests are
+// updated in place during deduplication).
+func (d *Disk) Write(cat Category, name string, data []byte) error {
+	if err := d.check(OpWrite, cat, name); err != nil {
+		return err
+	}
+	if _, exists := d.objects[cat][name]; !exists {
+		return fmt.Errorf("simdisk: %v object %q does not exist", cat, name)
+	}
+	d.objects[cat][name] = append([]byte(nil), data...)
+	d.counters.Writes[cat]++
+	d.counters.BytesWritten[cat] += int64(len(data))
+	return nil
+}
+
+// Delete removes an object (one disk access). Deleting a missing object is
+// an error.
+func (d *Disk) Delete(cat Category, name string) error {
+	if err := d.check(OpDelete, cat, name); err != nil {
+		return err
+	}
+	if _, exists := d.objects[cat][name]; !exists {
+		return fmt.Errorf("simdisk: %v object %q does not exist", cat, name)
+	}
+	delete(d.objects[cat], name)
+	d.counters.Deletes[cat]++
+	return nil
+}
+
+// Read returns a copy of the object's content.
+func (d *Disk) Read(cat Category, name string) ([]byte, error) {
+	if err := d.check(OpRead, cat, name); err != nil {
+		return nil, err
+	}
+	data, exists := d.objects[cat][name]
+	if !exists {
+		d.counters.MissedLookups[cat]++
+		return nil, fmt.Errorf("simdisk: %v object %q does not exist", cat, name)
+	}
+	d.counters.Reads[cat]++
+	d.counters.BytesRead[cat] += int64(len(data))
+	return append([]byte(nil), data...), nil
+}
+
+// ReadRange returns length bytes of the object starting at off. It is the
+// primitive HHR uses to reload part of an old DiskChunk, and counts as one
+// disk access like Read.
+func (d *Disk) ReadRange(cat Category, name string, off, length int64) ([]byte, error) {
+	if err := d.check(OpRead, cat, name); err != nil {
+		return nil, err
+	}
+	data, exists := d.objects[cat][name]
+	if !exists {
+		d.counters.MissedLookups[cat]++
+		return nil, fmt.Errorf("simdisk: %v object %q does not exist", cat, name)
+	}
+	if off < 0 || length < 0 || off+length > int64(len(data)) {
+		return nil, fmt.Errorf("simdisk: range [%d,%d) outside %v object %q of %d bytes",
+			off, off+length, cat, name, len(data))
+	}
+	d.counters.Reads[cat]++
+	d.counters.BytesRead[cat] += length
+	return append([]byte(nil), data[off:off+length]...), nil
+}
+
+// Exists reports whether the object is present. It counts as one disk
+// access: it models the on-disk lookup the bloom filter exists to avoid.
+func (d *Disk) Exists(cat Category, name string) bool {
+	if err := d.check(OpExists, cat, name); err != nil {
+		return false
+	}
+	d.counters.ExistsQueries[cat]++
+	_, ok := d.objects[cat][name]
+	if !ok {
+		d.counters.MissedLookups[cat]++
+	}
+	return ok
+}
+
+// Size returns the stored size of an object without counting an access
+// (metadata the in-RAM structures already know).
+func (d *Disk) Size(cat Category, name string) (int64, bool) {
+	data, ok := d.objects[cat][name]
+	return int64(len(data)), ok
+}
+
+// Names returns the names of all stored objects in cat, in unspecified
+// order, without counting a disk access. It exists for inspection by tests
+// and experiment tooling, not for the deduplication data path.
+func (d *Disk) Names(cat Category) []string {
+	if cat < 0 || cat >= numCategories {
+		return nil
+	}
+	out := make([]string, 0, len(d.objects[cat]))
+	for name := range d.objects[cat] {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Counters returns a snapshot of the access counters.
+func (d *Disk) Counters() Counters { return d.counters }
+
+// ObjectCount returns the number of stored objects in cat — the inode count
+// for that category.
+func (d *Disk) ObjectCount(cat Category) int64 {
+	return int64(len(d.objects[cat]))
+}
+
+// TotalObjects returns the total number of stored objects (total inodes).
+func (d *Disk) TotalObjects() int64 {
+	var t int64
+	for i := range d.objects {
+		t += int64(len(d.objects[i]))
+	}
+	return t
+}
+
+// BytesStored returns the byte size of all objects in cat.
+func (d *Disk) BytesStored(cat Category) int64 {
+	var t int64
+	for _, data := range d.objects[cat] {
+		t += int64(len(data))
+	}
+	return t
+}
+
+// InodeOverheadBytes returns the storage-management metadata cost: 256
+// bytes per stored object.
+func (d *Disk) InodeOverheadBytes() int64 {
+	return d.TotalObjects() * InodeBytes
+}
+
+// MetadataBytes returns the full metadata footprint as the paper defines it
+// for the MetaDataRatio: everything except the deduplicated data payload —
+// hooks, manifests, file manifests, plus inode overhead for all objects
+// (data objects included, since each DiskChunk costs an inode too).
+func (d *Disk) MetadataBytes() int64 {
+	return d.BytesStored(Hook) + d.BytesStored(Manifest) + d.BytesStored(FileManifest) +
+		d.InodeOverheadBytes()
+}

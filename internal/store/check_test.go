@@ -1,0 +1,145 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/simdisk"
+)
+
+// buildConsistentStore assembles a small valid store by hand.
+func buildConsistentStore(t *testing.T) (*simdisk.Disk, *Store) {
+	t.Helper()
+	disk := simdisk.New()
+	s := New(disk, FormatMHD)
+	name := s.NextName()
+	payload := make([]byte, 4096)
+	if err := s.WriteDiskChunk(name, payload); err != nil {
+		t.Fatal(err)
+	}
+	m := NewManifest(name, FormatMHD)
+	m.Append(Entry{Hash: hashutil.SumString("h1"), Start: 0, Size: 1024, Kind: KindHook})
+	m.Append(Entry{Hash: hashutil.SumString("h2"), Start: 1024, Size: 3072, Kind: KindMerged})
+	if err := s.CreateManifest(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CreateHook(hashutil.SumString("h1"), name); err != nil {
+		t.Fatal(err)
+	}
+	fm := &FileManifest{File: "f"}
+	fm.Append(FileRef{Container: name, Start: 0, Size: 4096})
+	if err := s.WriteFileManifest(fm); err != nil {
+		t.Fatal(err)
+	}
+	return disk, s
+}
+
+func TestCheckCleanStore(t *testing.T) {
+	disk, _ := buildConsistentStore(t)
+	rep := Check(disk, FormatMHD)
+	if !rep.OK() {
+		t.Fatalf("clean store reported problems: %v", rep.Problems)
+	}
+	if rep.DiskChunks != 1 || rep.Manifests != 1 || rep.Hooks != 1 || rep.FileManifests != 1 {
+		t.Errorf("counts wrong: %+v", rep)
+	}
+}
+
+func expectProblem(t *testing.T, rep CheckReport, substr string) {
+	t.Helper()
+	for _, p := range rep.Problems {
+		if strings.Contains(p, substr) {
+			return
+		}
+	}
+	t.Errorf("expected a problem containing %q, got %v", substr, rep.Problems)
+}
+
+func TestCheckDetectsCorruptManifest(t *testing.T) {
+	disk, _ := buildConsistentStore(t)
+	name := disk.Names(simdisk.Manifest)[0]
+	disk.Write(simdisk.Manifest, name, []byte("garbage!"))
+	rep := Check(disk, FormatMHD)
+	if rep.OK() {
+		t.Fatal("corrupt manifest not detected")
+	}
+}
+
+func TestCheckDetectsDanglingHook(t *testing.T) {
+	disk, s := buildConsistentStore(t)
+	ghost := hashutil.SumString("no-such-manifest")
+	if err := s.CreateHook(hashutil.SumString("h9"), ghost); err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(disk, FormatMHD)
+	expectProblem(t, rep, "target manifest")
+}
+
+func TestCheckDetectsOutOfBoundsFileRef(t *testing.T) {
+	disk, s := buildConsistentStore(t)
+	container := hashutil.SumString("missing-container")
+	fm := &FileManifest{File: "broken"}
+	fm.Append(FileRef{Container: container, Start: 0, Size: 10})
+	if err := s.WriteFileManifest(fm); err != nil {
+		t.Fatal(err)
+	}
+	rep := Check(disk, FormatMHD)
+	expectProblem(t, rep, "container")
+}
+
+func TestCheckDetectsManifestGap(t *testing.T) {
+	disk := simdisk.New()
+	s := New(disk, FormatMHD)
+	name := s.NextName()
+	s.WriteDiskChunk(name, make([]byte, 2048))
+	m := NewManifest(name, FormatMHD)
+	m.Append(Entry{Hash: hashutil.SumString("a"), Start: 0, Size: 1000, Kind: KindHook})
+	m.Append(Entry{Hash: hashutil.SumString("b"), Start: 1100, Size: 948, Kind: KindPlain}) // gap at 1000
+	s.CreateManifest(m)
+	rep := Check(disk, FormatMHD)
+	expectProblem(t, rep, "gap or overlap")
+}
+
+func TestCheckDetectsShortCoverage(t *testing.T) {
+	disk := simdisk.New()
+	s := New(disk, FormatMHD)
+	name := s.NextName()
+	s.WriteDiskChunk(name, make([]byte, 2048))
+	m := NewManifest(name, FormatMHD)
+	m.Append(Entry{Hash: hashutil.SumString("a"), Start: 0, Size: 1024, Kind: KindHook})
+	s.CreateManifest(m) // covers half the chunk
+	rep := Check(disk, FormatMHD)
+	expectProblem(t, rep, "entries cover")
+}
+
+func TestDetectFormat(t *testing.T) {
+	disk, _ := buildConsistentStore(t)
+	f, ok := DetectFormat(disk)
+	if !ok || f != FormatMHD {
+		t.Errorf("DetectFormat = %v,%v, want MHD", f, ok)
+	}
+	// Empty store defaults cleanly.
+	if f, ok := DetectFormat(simdisk.New()); !ok || f != FormatBasic {
+		t.Errorf("empty store: %v,%v", f, ok)
+	}
+	// Basic-format store detects as basic (or as another format that also
+	// validates — 36-byte records are not valid 37-byte MHD records, so it
+	// is unambiguous).
+	d2 := simdisk.New()
+	s2 := New(d2, FormatBasic)
+	name := s2.NextName()
+	s2.WriteDiskChunk(name, make([]byte, 100))
+	m := NewManifest(name, FormatBasic)
+	m.Append(Entry{Hash: hashutil.SumString("x"), Start: 0, Size: 100})
+	s2.CreateManifest(m)
+	if f, ok := DetectFormat(d2); !ok || f == FormatMHD {
+		t.Errorf("basic store detected as %v,%v", f, ok)
+	}
+	// Garbage store fails detection.
+	d3 := simdisk.New()
+	d3.Create(simdisk.Manifest, hashutil.SumString("g").Hex(), []byte("not a manifest!"))
+	if _, ok := DetectFormat(d3); ok {
+		t.Error("garbage store passed detection")
+	}
+}

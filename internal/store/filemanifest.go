@@ -1,0 +1,91 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mhdedup/internal/hashutil"
+)
+
+// FileRefBytes is the serialized size of one FileManifest entry: a 20-byte
+// DiskChunk name plus 32-bit start and size.
+const FileRefBytes = 28
+
+// FileRef is one run of an input file's bytes: Size bytes found at Start
+// within DiskChunk Container.
+type FileRef struct {
+	Container hashutil.Sum
+	Start     int64
+	Size      int64
+}
+
+// FileManifest is the recipe for reconstructing one input file, as in Fig 3.
+// Per §III, MHD writes a new entry only at the terminating point of
+// neighboring duplicate or non-duplicate data slices — i.e. contiguous runs
+// within the same DiskChunk coalesce into a single entry. Append implements
+// that coalescing for every algorithm, so the comparison in Fig 7(c) is
+// about how contiguous each algorithm's references are, not about the
+// format.
+type FileManifest struct {
+	File string
+	Refs []FileRef
+}
+
+// Append adds a run, merging it into the previous ref when it continues the
+// same DiskChunk contiguously.
+func (fm *FileManifest) Append(ref FileRef) {
+	if n := len(fm.Refs); n > 0 {
+		last := &fm.Refs[n-1]
+		if last.Container == ref.Container && last.Start+last.Size == ref.Start {
+			last.Size += ref.Size
+			return
+		}
+	}
+	fm.Refs = append(fm.Refs, ref)
+}
+
+// TotalBytes returns the reconstructed file's size.
+func (fm *FileManifest) TotalBytes() int64 {
+	var t int64
+	for _, r := range fm.Refs {
+		t += r.Size
+	}
+	return t
+}
+
+// ByteSize returns the serialized size: FileRefBytes per entry.
+func (fm *FileManifest) ByteSize() int {
+	return len(fm.Refs) * FileRefBytes
+}
+
+// Encode serializes the manifest; output length equals ByteSize().
+func (fm *FileManifest) Encode() ([]byte, error) {
+	out := make([]byte, 0, fm.ByteSize())
+	for _, r := range fm.Refs {
+		if r.Start < 0 || r.Size <= 0 || r.Start > 0xFFFFFFFF || r.Size > 0xFFFFFFFF {
+			return nil, fmt.Errorf("store: file ref start %d size %d outside 32-bit format", r.Start, r.Size)
+		}
+		out = append(out, r.Container[:]...)
+		out = binary.BigEndian.AppendUint32(out, uint32(r.Start))
+		out = binary.BigEndian.AppendUint32(out, uint32(r.Size))
+	}
+	return out, nil
+}
+
+// DecodeFileManifest parses data written by Encode.
+func DecodeFileManifest(file string, data []byte) (*FileManifest, error) {
+	if len(data)%FileRefBytes != 0 {
+		return nil, fmt.Errorf("store: file manifest payload %d bytes not a multiple of %d", len(data), FileRefBytes)
+	}
+	fm := &FileManifest{File: file}
+	for off := 0; off < len(data); off += FileRefBytes {
+		var r FileRef
+		copy(r.Container[:], data[off:off+20])
+		r.Start = int64(binary.BigEndian.Uint32(data[off+20 : off+24]))
+		r.Size = int64(binary.BigEndian.Uint32(data[off+24 : off+28]))
+		// Decoded refs are appended verbatim (not coalesced): encoding must
+		// round-trip exactly.
+		fm.Refs = append(fm.Refs, r)
+	}
+	return fm, nil
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"fmt"
+
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/simdisk"
+)
+
+// Garbage collection. Deleting a backup removes its FileManifest; the
+// chunk data it referenced stays until a sweep shows no other file needs
+// it. The sweep is conservative and container-granular: a DiskChunk is
+// reclaimed only when no FileManifest references any byte of it (partially
+// referenced containers are kept whole — the standard first-order GC of
+// deduplicating stores, which never needs to rewrite manifests or refs).
+// Manifests of reclaimed containers and hooks left pointing at no live
+// manifest are removed with them.
+
+// DeleteFile removes a file's recipe from the store. Its data becomes
+// garbage only if no other file shares it; run Sweep to reclaim.
+func (s *Store) DeleteFile(name string) error {
+	return s.disk.Delete(simdisk.FileManifest, name)
+}
+
+// GCStats reports what a sweep reclaimed.
+type GCStats struct {
+	ContainersScanned  int
+	ContainersDeleted  int
+	BytesReclaimed     int64
+	ManifestsDeleted   int
+	HooksDeleted       int
+	ManifestBytesFreed int64
+}
+
+// Sweep reclaims every DiskChunk no FileManifest references, together with
+// its manifests and dangling hooks. It is an offline maintenance pass; the
+// deduplicator's in-RAM state (bloom filter, caches) may afterwards hold
+// stale hashes, which at worst costs a wasted disk probe per stale hash —
+// detection correctness is unaffected because manifests are revalidated on
+// load.
+func (s *Store) Sweep() (GCStats, error) {
+	var st GCStats
+
+	// Mark: every container referenced by any file recipe is live.
+	live := make(map[string]bool)
+	for _, fname := range s.disk.Names(simdisk.FileManifest) {
+		raw, err := s.disk.Read(simdisk.FileManifest, fname)
+		if err != nil {
+			return st, fmt.Errorf("store: sweep: %w", err)
+		}
+		fm, err := DecodeFileManifest(fname, raw)
+		if err != nil {
+			return st, fmt.Errorf("store: sweep: %w", err)
+		}
+		for _, ref := range fm.Refs {
+			live[ref.Container.Hex()] = true
+		}
+	}
+
+	// Sweep containers and their same-named manifests.
+	deadManifests := make(map[hashutil.Sum]bool)
+	for _, cname := range s.disk.Names(simdisk.Data) {
+		st.ContainersScanned++
+		if live[cname] {
+			continue
+		}
+		size, _ := s.disk.Size(simdisk.Data, cname)
+		if err := s.disk.Delete(simdisk.Data, cname); err != nil {
+			return st, err
+		}
+		st.ContainersDeleted++
+		st.BytesReclaimed += size
+		if msize, ok := s.disk.Size(simdisk.Manifest, cname); ok {
+			if err := s.disk.Delete(simdisk.Manifest, cname); err != nil {
+				return st, err
+			}
+			st.ManifestsDeleted++
+			st.ManifestBytesFreed += msize
+			if sum, err := hashutil.ParseHex(cname); err == nil {
+				deadManifests[sum] = true
+			}
+		}
+	}
+
+	// Remaining manifests may still reference reclaimed containers
+	// (multi-container formats describe several). Prune dead entries so no
+	// manifest dangles; a manifest left empty dies.
+	for _, mname := range s.disk.Names(simdisk.Manifest) {
+		sum, err := hashutil.ParseHex(mname)
+		if err != nil {
+			continue
+		}
+		raw, err := s.disk.Read(simdisk.Manifest, mname)
+		if err != nil {
+			return st, err
+		}
+		m, err := DecodeManifest(sum, s.format, raw)
+		if err != nil {
+			continue // foreign format; leave to fsck
+		}
+		liveEntries := m.Entries[:0]
+		for _, e := range m.Entries {
+			if _, ok := s.disk.Size(simdisk.Data, m.ContainerOf(e).Hex()); ok {
+				liveEntries = append(liveEntries, e)
+			}
+		}
+		switch {
+		case len(liveEntries) == 0:
+			msize, _ := s.disk.Size(simdisk.Manifest, mname)
+			if err := s.disk.Delete(simdisk.Manifest, mname); err != nil {
+				return st, err
+			}
+			st.ManifestsDeleted++
+			st.ManifestBytesFreed += msize
+			deadManifests[sum] = true
+		case len(liveEntries) < len(m.Entries):
+			// Prune entries whose containers were reclaimed so the
+			// manifest never dangles (and fsck stays clean).
+			pruned := NewManifest(m.Name, m.Format)
+			for _, e := range liveEntries {
+				pruned.Append(e)
+			}
+			before, _ := s.disk.Size(simdisk.Manifest, mname)
+			if err := s.disk.Write(simdisk.Manifest, mname, pruned.Encode()); err != nil {
+				return st, err
+			}
+			st.ManifestBytesFreed += before - int64(pruned.ByteSize())
+		}
+	}
+
+	// Hooks whose every target manifest died are dangling.
+	for _, hname := range s.disk.Names(simdisk.Hook) {
+		raw, err := s.disk.Read(simdisk.Hook, hname)
+		if err != nil {
+			return st, err
+		}
+		liveTarget := false
+		for i := 0; i+hashutil.Size <= len(raw); i += hashutil.Size {
+			var target hashutil.Sum
+			copy(target[:], raw[i:])
+			if _, ok := s.disk.Size(simdisk.Manifest, target.Hex()); ok {
+				liveTarget = true
+				break
+			}
+		}
+		if liveTarget {
+			continue
+		}
+		if err := s.disk.Delete(simdisk.Hook, hname); err != nil {
+			return st, err
+		}
+		st.HooksDeleted++
+	}
+	return st, nil
+}

@@ -1,0 +1,98 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mhdedup/internal/hashutil"
+)
+
+// Post-process compression of file recipes, after Meister et al. (FAST'13),
+// which the paper's §II cites as the complementary approach to metadata
+// reduction ("file recipes is only one of many types of metadata generated
+// during deduplication"). The fixed 28-byte FileRef records are highly
+// redundant: consecutive refs usually continue the same DiskChunk, and
+// offsets are small and often contiguous. The compressed form is
+//
+//	varint(container count) · container table (20 B each)
+//	per ref: varint(container index) · varint(zigzag delta start) · varint(size)
+//
+// where delta start is relative to the previous ref's end when the
+// container repeats (zero for perfectly sequential reads — one byte).
+// Compression is lossless; DecompressRecipe(CompressRecipe(fm)) reproduces
+// the refs exactly.
+
+// CompressRecipe encodes a file manifest in the compact recipe format.
+func CompressRecipe(fm *FileManifest) []byte {
+	var containers []hashutil.Sum
+	idx := make(map[hashutil.Sum]int)
+	for _, r := range fm.Refs {
+		if _, ok := idx[r.Container]; !ok {
+			idx[r.Container] = len(containers)
+			containers = append(containers, r.Container)
+		}
+	}
+	out := binary.AppendUvarint(nil, uint64(len(containers)))
+	for _, c := range containers {
+		out = append(out, c[:]...)
+	}
+	prevEnd := make(map[int]int64, len(containers))
+	for _, r := range fm.Refs {
+		ci := idx[r.Container]
+		out = binary.AppendUvarint(out, uint64(ci))
+		delta := r.Start - prevEnd[ci]
+		out = binary.AppendVarint(out, delta)
+		out = binary.AppendUvarint(out, uint64(r.Size))
+		prevEnd[ci] = r.Start + r.Size
+	}
+	return out
+}
+
+// DecompressRecipe decodes the compact recipe format.
+func DecompressRecipe(file string, data []byte) (*FileManifest, error) {
+	nc, n := binary.Uvarint(data)
+	if n <= 0 {
+		return nil, fmt.Errorf("store: recipe: bad container count")
+	}
+	data = data[n:]
+	if uint64(len(data)) < nc*hashutil.Size {
+		return nil, fmt.Errorf("store: recipe: truncated container table")
+	}
+	containers := make([]hashutil.Sum, nc)
+	for i := range containers {
+		copy(containers[i][:], data[:hashutil.Size])
+		data = data[hashutil.Size:]
+	}
+	fm := &FileManifest{File: file}
+	prevEnd := make(map[int]int64, nc)
+	for len(data) > 0 {
+		ci, n := binary.Uvarint(data)
+		if n <= 0 || ci >= nc {
+			return nil, fmt.Errorf("store: recipe: bad container index")
+		}
+		data = data[n:]
+		delta, n := binary.Varint(data)
+		if n <= 0 {
+			return nil, fmt.Errorf("store: recipe: bad start delta")
+		}
+		data = data[n:]
+		size, n := binary.Uvarint(data)
+		if n <= 0 || size == 0 {
+			return nil, fmt.Errorf("store: recipe: bad size")
+		}
+		data = data[n:]
+		start := prevEnd[int(ci)] + delta
+		if start < 0 {
+			return nil, fmt.Errorf("store: recipe: negative start")
+		}
+		// Append verbatim (no coalescing): decompression must reproduce
+		// the ref sequence exactly.
+		fm.Refs = append(fm.Refs, FileRef{
+			Container: containers[ci],
+			Start:     start,
+			Size:      int64(size),
+		})
+		prevEnd[int(ci)] = start + int64(size)
+	}
+	return fm, nil
+}

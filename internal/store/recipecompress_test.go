@@ -1,0 +1,127 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mhdedup/internal/hashutil"
+)
+
+func TestRecipeCompressionRoundTrip(t *testing.T) {
+	c1, c2 := hashutil.SumString("c1"), hashutil.SumString("c2")
+	fm := &FileManifest{File: "f", Refs: []FileRef{
+		{Container: c1, Start: 0, Size: 4096},
+		{Container: c1, Start: 4096, Size: 1024}, // sequential: 3-byte record
+		{Container: c2, Start: 100, Size: 50},
+		{Container: c1, Start: 0, Size: 10}, // backwards delta
+	}}
+	blob := CompressRecipe(fm)
+	back, err := DecompressRecipe("f", blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fm.Refs, back.Refs) {
+		t.Fatalf("round-trip mismatch:\n%+v\n%+v", fm.Refs, back.Refs)
+	}
+}
+
+func TestRecipeCompressionRatioOnSequentialRecipes(t *testing.T) {
+	// The common case: long sequential runs in one container with
+	// occasional jumps. Compressed recipes should be several times smaller
+	// than the fixed 28-byte records.
+	rng := rand.New(rand.NewSource(1))
+	c1, c2 := hashutil.SumString("a"), hashutil.SumString("b")
+	fm := &FileManifest{File: "f"}
+	var off int64
+	for i := 0; i < 500; i++ {
+		c := c1
+		if rng.Intn(10) == 0 {
+			c = c2
+		}
+		size := int64(rng.Intn(8192) + 512)
+		fm.Refs = append(fm.Refs, FileRef{Container: c, Start: off, Size: size})
+		off += size
+	}
+	plain, err := fm.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := CompressRecipe(fm)
+	ratio := float64(len(plain)) / float64(len(blob))
+	if ratio < 3 {
+		t.Errorf("compression ratio %.2f, want >= 3 on sequential recipes (plain %d, compressed %d)",
+			ratio, len(plain), len(blob))
+	}
+	t.Logf("recipe compression: %d -> %d bytes (%.1fx)", len(plain), len(blob), ratio)
+}
+
+func TestRecipeCompressionProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		containers := []hashutil.Sum{
+			hashutil.SumString("x"), hashutil.SumString("y"), hashutil.SumString("z"),
+		}
+		fm := &FileManifest{File: "p"}
+		for i := 0; i < int(n%60); i++ {
+			fm.Refs = append(fm.Refs, FileRef{
+				Container: containers[rng.Intn(3)],
+				Start:     rng.Int63n(1 << 40),
+				Size:      rng.Int63n(1<<20) + 1,
+			})
+		}
+		back, err := DecompressRecipe("p", CompressRecipe(fm))
+		if err != nil {
+			return false
+		}
+		if len(fm.Refs) == 0 {
+			return len(back.Refs) == 0
+		}
+		return reflect.DeepEqual(fm.Refs, back.Refs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecompressRejectsGarbage(t *testing.T) {
+	for _, bad := range [][]byte{
+		{0x01},             // container table truncated
+		{0xFF, 0xFF, 0xFF}, // absurd container count, truncated
+	} {
+		if _, err := DecompressRecipe("f", bad); err == nil {
+			t.Errorf("garbage %v accepted", bad)
+		}
+	}
+	// Valid table, bad ref (container index out of range).
+	c := hashutil.SumString("c")
+	blob := append([]byte{0x01}, c[:]...)
+	blob = append(blob, 0x05) // container index 5 of 1
+	if _, err := DecompressRecipe("f", blob); err == nil {
+		t.Error("out-of-range container index accepted")
+	}
+}
+
+func FuzzDecompressRecipe(f *testing.F) {
+	fm := &FileManifest{File: "s", Refs: []FileRef{
+		{Container: hashutil.SumString("c"), Start: 0, Size: 100},
+	}}
+	f.Add(CompressRecipe(fm))
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fm, err := DecompressRecipe("f", data)
+		if err != nil {
+			return
+		}
+		// Anything that decodes must survive compress→decompress.
+		back, err := DecompressRecipe("f", CompressRecipe(fm))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(back.Refs) != len(fm.Refs) {
+			t.Fatal("ref count unstable")
+		}
+	})
+}

@@ -1,0 +1,80 @@
+// Package trace generates synthetic disk-image backup workloads.
+//
+// The paper evaluates on 1.0 TB of disk-image backups of 14 PCs (Windows,
+// Linux and Mac) taken over two weeks. That trace is not available, so this
+// package synthesizes streams with the same *duplication structure*, which
+// is the only property the deduplication algorithms can observe:
+//
+//   - machines running the same OS share large, identical OS/application
+//     regions (cross-machine duplication);
+//   - consecutive daily snapshots of one machine are near-identical, with a
+//     bounded number of localized edits per day (temporal duplication —
+//     this is what sets the Duplication Aggregation Degree, Fig 10(a));
+//   - edits include insertions and deletions, which shift all following
+//     bytes and exercise the content-defined chunkers' boundary resilience;
+//   - unique per-machine data never repeats.
+//
+// Content is produced from deterministic "pools": unbounded pseudo-random
+// byte spaces addressed by (pool ID, offset). A snapshot is a list of
+// extents referencing pool ranges, so identical logical data is
+// byte-identical wherever it appears, generation is streaming (no snapshot
+// is ever materialized whole), and the whole dataset is reproducible from
+// one seed.
+package trace
+
+import "encoding/binary"
+
+// poolBlockSize is the granularity of pool content generation. Extent
+// reads materialize only the blocks they overlap.
+const poolBlockSize = 1 << 16
+
+// pool is an unbounded deterministic byte space. Byte i of the pool depends
+// only on (id, i).
+type pool struct {
+	id uint64
+}
+
+// fill writes pool bytes [off, off+len(dst)) into dst.
+func (p pool) fill(off int64, dst []byte) {
+	for len(dst) > 0 {
+		blockIdx := off / poolBlockSize
+		inBlock := off % poolBlockSize
+		n := int64(poolBlockSize - inBlock)
+		if n > int64(len(dst)) {
+			n = int64(len(dst))
+		}
+		p.fillBlockRange(blockIdx, inBlock, dst[:n])
+		dst = dst[n:]
+		off += n
+	}
+}
+
+// fillBlockRange writes bytes [inBlock, inBlock+len(dst)) of the given
+// block. The block's content is a splitmix64 stream seeded by (id, block);
+// word w of the block is mix64(base + w·gamma), so any offset is reachable
+// in O(1).
+func (p pool) fillBlockRange(block, inBlock int64, dst []byte) {
+	const gamma = 0x9E3779B97F4A7C15
+	base := mix64(p.id ^ mix64(uint64(block)+gamma))
+	var word [8]byte
+	w := uint64(inBlock / 8)
+	pos := 0
+	// Partial first word.
+	if rem := inBlock % 8; rem != 0 {
+		binary.LittleEndian.PutUint64(word[:], mix64(base+(w+1)*gamma))
+		pos += copy(dst, word[rem:])
+		w++
+	}
+	for pos < len(dst) {
+		binary.LittleEndian.PutUint64(word[:], mix64(base+(w+1)*gamma))
+		pos += copy(dst[pos:], word[:])
+		w++
+	}
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,390 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mhdedup/internal/chunker"
+	"mhdedup/internal/hashutil"
+)
+
+func smallConfig() Config {
+	cfg := Default()
+	cfg.Machines = 4
+	cfg.Days = 4
+	cfg.SnapshotBytes = 1 << 20
+	cfg.EditsPerDay = 10
+	cfg.EditBytes = 8 << 10
+	return cfg
+}
+
+func readAll(t *testing.T, d *Dataset, name string) []byte {
+	t.Helper()
+	r, err := d.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestPoolFillConsistency(t *testing.T) {
+	p := pool{id: 42}
+	whole := make([]byte, 200_000)
+	p.fill(0, whole)
+	f := func(off uint32, n uint16) bool {
+		o := int64(off) % 150_000
+		ln := int64(n) % 50_000
+		part := make([]byte, ln)
+		p.fill(o, part)
+		return bytes.Equal(part, whole[o:o+ln])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolsDiffer(t *testing.T) {
+	a := make([]byte, 4096)
+	b := make([]byte, 4096)
+	pool{id: 1}.fill(0, a)
+	pool{id: 2}.fill(0, b)
+	if bytes.Equal(a, b) {
+		t.Error("distinct pools produced identical content")
+	}
+	pool{id: 1}.fill(4096, b)
+	if bytes.Equal(a, b) {
+		t.Error("distinct offsets produced identical content")
+	}
+}
+
+func TestDatasetDeterminism(t *testing.T) {
+	d1, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, f2 := d1.Files(), d2.Files()
+	if len(f1) != len(f2) {
+		t.Fatalf("file counts differ: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i].Name != f2[i].Name || f1[i].Size != f2[i].Size {
+			t.Fatalf("file %d differs: %+v vs %+v", i, f1[i], f2[i])
+		}
+	}
+	// Byte-identical content for a few files.
+	for _, name := range []string{f1[0].Name, f1[len(f1)/2].Name, f1[len(f1)-1].Name} {
+		if !bytes.Equal(readAll(t, d1, name), readAll(t, d2, name)) {
+			t.Fatalf("file %s differs between identically-configured datasets", name)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := smallConfig()
+	d1, _ := New(cfg)
+	cfg.Seed = 999
+	d2, _ := New(cfg)
+	n1, n2 := d1.Files()[0].Name, d2.Files()[0].Name
+	if bytes.Equal(readAll(t, d1, n1), readAll(t, d2, n2)) {
+		t.Error("different seeds produced identical content")
+	}
+}
+
+func TestFileSizesMatchStreams(t *testing.T) {
+	d, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	err = d.EachFile(func(info FileInfo, r io.Reader) error {
+		n, err := io.Copy(io.Discard, r)
+		if err != nil {
+			return err
+		}
+		if n != info.Size {
+			t.Errorf("%s: streamed %d bytes, Size says %d", info.Name, n, info.Size)
+		}
+		total += n
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != d.TotalBytes() {
+		t.Errorf("TotalBytes = %d, streamed %d", d.TotalBytes(), total)
+	}
+}
+
+func TestOpenMatchesEachFile(t *testing.T) {
+	d, _ := New(smallConfig())
+	want := map[string]hashutil.Sum{}
+	d.EachFile(func(info FileInfo, r io.Reader) error {
+		data, _ := io.ReadAll(r)
+		want[info.Name] = hashutil.SumBytes(data)
+		return nil
+	})
+	for name, sum := range want {
+		if hashutil.SumBytes(readAll(t, d, name)) != sum {
+			t.Errorf("Open(%s) differs from EachFile content", name)
+		}
+	}
+	if _, err := d.Open("nope"); err == nil {
+		t.Error("Open of unknown file succeeded")
+	}
+}
+
+// chunkSet returns the set of CDC chunk hashes of data.
+func chunkSet(t *testing.T, data []byte) map[hashutil.Sum]bool {
+	t.Helper()
+	chunks, err := chunker.Split(data, chunker.Params{ECS: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make(map[hashutil.Sum]bool, len(chunks))
+	for _, c := range chunks {
+		set[hashutil.SumBytes(c.Data)] = true
+	}
+	return set
+}
+
+func sharedFraction(a, b map[hashutil.Sum]bool) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	n := 0
+	for h := range a {
+		if b[h] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a))
+}
+
+func TestTemporalDuplication(t *testing.T) {
+	// Consecutive days of one machine must be mostly identical but not
+	// entirely.
+	d, _ := New(smallConfig())
+	day0 := chunkSet(t, readAll(t, d, "m00/d00"))
+	day1 := chunkSet(t, readAll(t, d, "m00/d01"))
+	frac := sharedFraction(day0, day1)
+	if frac < 0.5 {
+		t.Errorf("day0→day1 shared chunk fraction %.2f, want >= 0.5 (backup-like)", frac)
+	}
+	if frac > 0.999 {
+		t.Error("day1 identical to day0: mutations did not apply")
+	}
+}
+
+func TestCrossMachineDuplication(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Machines = 8 // machines 0..3 windows, 4..5 linux, 6 linux, 7 mac per 4:2:1
+	d, _ := New(cfg)
+	// Two Windows machines share OS content.
+	m0 := chunkSet(t, readAll(t, d, "m00/d00"))
+	m1 := chunkSet(t, readAll(t, d, "m01/d00"))
+	if frac := sharedFraction(m0, m1); frac < 0.3 {
+		t.Errorf("same-OS machines share %.2f of chunks, want >= 0.3", frac)
+	}
+	// A Windows and the Mac machine share almost nothing.
+	m7 := chunkSet(t, readAll(t, d, "m07/d00"))
+	if frac := sharedFraction(m0, m7); frac > 0.05 {
+		t.Errorf("cross-OS machines share %.2f of chunks, want near 0", frac)
+	}
+}
+
+func TestMachineOSDistribution(t *testing.T) {
+	counts := map[OSKind]int{}
+	for m := 0; m < 14; m++ {
+		counts[machineOS(m, 14)]++
+	}
+	if counts[Windows] == 0 || counts[Linux] == 0 || counts[Mac] == 0 {
+		t.Errorf("OS mix missing a kind: %v", counts)
+	}
+	if counts[Windows] <= counts[Linux] || counts[Linux] <= counts[Mac] {
+		t.Errorf("OS mix should be windows > linux > mac: %v", counts)
+	}
+	if Windows.String() != "windows" || OSKind(9).String() == "" {
+		t.Error("OSKind names wrong")
+	}
+}
+
+func TestSnapshotSplitting(t *testing.T) {
+	cfg := smallConfig()
+	whole, _ := New(cfg)
+	cfg.MaxFileBytes = 256 << 10
+	split, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every part obeys the limit.
+	var m0d0 []string
+	for _, f := range split.Files() {
+		if f.Size > cfg.MaxFileBytes {
+			t.Errorf("%s: %d bytes exceeds limit %d", f.Name, f.Size, cfg.MaxFileBytes)
+		}
+		if strings.HasPrefix(f.Name, "m00/d00/") {
+			m0d0 = append(m0d0, f.Name)
+		}
+	}
+	if len(m0d0) < 2 {
+		t.Fatalf("snapshot not split: parts = %v", m0d0)
+	}
+	// Concatenated parts equal the unsplit snapshot.
+	var concat bytes.Buffer
+	for _, name := range m0d0 {
+		concat.Write(readAll(t, split, name))
+	}
+	if !bytes.Equal(concat.Bytes(), readAll(t, whole, "m00/d00")) {
+		t.Error("split parts do not concatenate to the whole snapshot")
+	}
+}
+
+func TestSnapshotSizesDriftWithEdits(t *testing.T) {
+	// Inserts and deletes change the size; sizes across days must not all
+	// be equal (that would mean only in-place overwrites, never shifts).
+	d, _ := New(smallConfig())
+	sizes := map[int64]bool{}
+	for _, f := range d.Files() {
+		if f.Machine == 0 {
+			sizes[f.Size] = true
+		}
+	}
+	if len(sizes) < 2 {
+		t.Error("snapshot sizes never change: no inserts/deletes applied")
+	}
+}
+
+func TestProcessingOrder(t *testing.T) {
+	d, _ := New(smallConfig())
+	files := d.Files()
+	for i := 1; i < len(files); i++ {
+		prev, cur := files[i-1], files[i]
+		if cur.Machine < prev.Machine ||
+			(cur.Machine == prev.Machine && cur.Day < prev.Day) {
+			t.Fatalf("files out of order: %s before %s", prev.Name, cur.Name)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Machines = 0 },
+		func(c *Config) { c.Days = -1 },
+		func(c *Config) { c.SnapshotBytes = 1024 },
+		func(c *Config) { c.SharedFraction = 1.5 },
+		func(c *Config) { c.SharedFraction = -0.1 },
+		func(c *Config) { c.EditsPerDay = -1 },
+		func(c *Config) { c.EditBytes = 0 },
+		func(c *Config) { c.MaxFileBytes = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := Default()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestDefaultConfigBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default dataset is ~1.5 GiB of logical content")
+	}
+	d, err := New(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(d.Files()); n != 14*14 {
+		t.Errorf("files = %d, want 196", n)
+	}
+	if d.TotalBytes() < 14*14*4<<20 {
+		t.Errorf("TotalBytes = %d, implausibly small", d.TotalBytes())
+	}
+}
+
+func TestDuplicationLevelSupportsPaperDER(t *testing.T) {
+	// The dataset must contain roughly 4× duplication (paper's data-only
+	// DER ≈ 4.15). Estimate with a simple exact-chunk-hash dedup.
+	d, _ := New(smallConfig())
+	seen := map[hashutil.Sum]bool{}
+	var input, unique int64
+	err := d.EachFile(func(info FileInfo, r io.Reader) error {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return err
+		}
+		chunks, err := chunker.Split(data, chunker.Params{ECS: 4096})
+		if err != nil {
+			return err
+		}
+		for _, c := range chunks {
+			input += c.Size()
+			h := hashutil.SumBytes(c.Data)
+			if !seen[h] {
+				seen[h] = true
+				unique += c.Size()
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	der := float64(input) / float64(unique)
+	if der < 2 || der > 12 {
+		t.Errorf("dataset DER = %.2f, want within [2,12] (paper ≈ 4)", der)
+	}
+	t.Logf("small-config data-only DER ≈ %.2f", der)
+}
+
+func TestCharacterize(t *testing.T) {
+	d, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := d.Characterize(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TotalBytes != d.TotalBytes() {
+		t.Errorf("characterized %d bytes, dataset has %d", c.TotalBytes, d.TotalBytes())
+	}
+	if c.UniqueBytes+c.DupBytes != c.TotalBytes {
+		t.Error("unique + dup != total")
+	}
+	if der := c.DataOnlyDER(); der < 2 || der > 12 {
+		t.Errorf("DER estimate %.2f out of plausible range", der)
+	}
+	if c.DupSlices == 0 || c.DAD() <= 0 {
+		t.Error("no duplication structure detected")
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+	// Smaller ECS finds at least as many duplicate bytes.
+	c2, err := d.Characterize(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.DupBytes < c.DupBytes {
+		t.Errorf("ECS 1024 found %d dup bytes < ECS 4096's %d", c2.DupBytes, c.DupBytes)
+	}
+}
+
+func TestCharacterizeEmptyDataset(t *testing.T) {
+	var c Characteristics
+	if c.DataOnlyDER() != 0 || c.DAD() != 0 {
+		t.Error("zero Characteristics should not divide by zero")
+	}
+}
