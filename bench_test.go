@@ -8,9 +8,11 @@ package mhdedup
 // `go run ./cmd/experiments -scale standard` for the full-scale tables.
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
+	"mhdedup/internal/core"
 	"mhdedup/internal/exp"
 	"mhdedup/internal/trace"
 )
@@ -193,6 +195,74 @@ func benchIngest(b *testing.B, algoName string) {
 		}
 	}
 }
+
+// benchParallelIngest measures multi-stream ingest throughput at a given
+// worker count: an 8-machine workload, one ordered stream per machine, fed
+// through IngestStreams on a shared MHD engine. workers=1 is the serial
+// baseline (bit-identical to a PutFile loop); higher counts scale with the
+// machine's spare cores — on a single-CPU host the lines coincide and the
+// benchmark degenerates into a scheduler-overhead measurement.
+func benchParallelIngest(b *testing.B, workers int) {
+	cfg := trace.Default()
+	cfg.Machines = 8
+	cfg.Days = 2
+	cfg.SnapshotBytes = 1 << 20
+	cfg.EditsPerDay = 8
+	cfg.EditBytes = 8 << 10
+	ds, err := trace.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One ordered stream per machine.
+	streamsOf := func() []core.Stream {
+		byMachine := map[int]int{}
+		var streams []core.Stream
+		for _, f := range ds.Files() {
+			name := f.Name
+			idx, ok := byMachine[f.Machine]
+			if !ok {
+				idx = len(streams)
+				byMachine[f.Machine] = idx
+				streams = append(streams, core.Stream{Name: fmt.Sprintf("m%d", f.Machine)})
+			}
+			streams[idx].Items = append(streams[idx].Items, core.Item{
+				Name: name,
+				Open: func() (io.ReadCloser, error) {
+					r, err := ds.Open(name)
+					if err != nil {
+						return nil, err
+					}
+					return io.NopCloser(r), nil
+				},
+			})
+		}
+		return streams
+	}
+	b.SetBytes(ds.TotalBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ccfg := core.DefaultConfig()
+		ccfg.ECS = 4096
+		ccfg.SD = 16
+		ccfg.BloomBytes = 1 << 18
+		ccfg.IngestWorkers = workers
+		d, err := core.New(ccfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := d.IngestStreams(workers, streamsOf()); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParallelIngest1(b *testing.B) { benchParallelIngest(b, 1) }
+func BenchmarkParallelIngest2(b *testing.B) { benchParallelIngest(b, 2) }
+func BenchmarkParallelIngest4(b *testing.B) { benchParallelIngest(b, 4) }
+func BenchmarkParallelIngest8(b *testing.B) { benchParallelIngest(b, 8) }
 
 func BenchmarkIngestMHD(b *testing.B)      { benchIngest(b, exp.AlgoMHD) }
 func BenchmarkIngestCDC(b *testing.B)      { benchIngest(b, exp.AlgoCDC) }

@@ -7,6 +7,12 @@
 //	dedup -algo mhd -ecs 4096 -sd 64 -dir /path/to/files
 //	dedup -algo subchunk -workload -machines 4 -days 5 -snapshot 4194304
 //	dedup -algo mhd -workload -verify
+//	dedup -algo mhd -workload -machines 8 -parallel 4
+//
+// -parallel N (MHD and SI-MHD only) ingests up to N backup streams
+// concurrently: in workload mode each machine's day-ordered snapshots form
+// one stream, in directory mode each file is its own stream. -parallel 1
+// (the default) is fully sequential and bit-identical to the serial engine.
 package main
 
 import (
@@ -22,121 +28,89 @@ import (
 )
 
 func main() {
-	var (
-		algoName = flag.String("algo", "mhd", "algorithm: mhd, cdc, bimodal, subchunk, sparse")
-		ecs      = flag.Int("ecs", 4096, "expected chunk size in bytes")
-		sd       = flag.Int("sd", 64, "sample distance (hashes)")
-		cache    = flag.Int("cache", 64, "manifest cache capacity")
-		noBloom  = flag.Bool("no-bloom", false, "disable the bloom filter")
-		dir      = flag.String("dir", "", "deduplicate the files under this directory")
-		workload = flag.Bool("workload", false, "deduplicate a synthetic backup workload instead of -dir")
-		machines = flag.Int("machines", 4, "workload: number of machines")
-		days     = flag.Int("days", 5, "workload: days of backups")
-		snapshot = flag.Int64("snapshot", 4<<20, "workload: snapshot size in bytes")
-		edits    = flag.Int("edits", 20, "workload: edits per day")
-		editSize = flag.Int64("edit-bytes", 24<<10, "workload: mean edit size")
-		seed     = flag.Int64("seed", 1, "workload: RNG seed")
-		verify   = flag.Bool("verify", false, "restore every file and verify it matches the input")
-		save     = flag.String("save", "", "persist the deduplicated store to this directory after Finish")
-		resume   = flag.String("resume", "", "resume from a store directory previously written with -save")
-	)
+	var o runOptions
+	flag.StringVar(&o.algo, "algo", "mhd", "algorithm: mhd, si-mhd, cdc, bimodal, subchunk, sparse, fbc, fingerdiff, extremebinning")
+	flag.IntVar(&o.ecs, "ecs", 4096, "expected chunk size in bytes")
+	flag.IntVar(&o.sd, "sd", 64, "sample distance (hashes)")
+	flag.IntVar(&o.cache, "cache", 64, "manifest cache capacity")
+	flag.BoolVar(&o.noBloom, "no-bloom", false, "disable the bloom filter")
+	flag.IntVar(&o.parallel, "parallel", 1, "ingest up to N backup streams concurrently (mhd/si-mhd only; 1 = serial)")
+	flag.StringVar(&o.dir, "dir", "", "deduplicate the files under this directory")
+	flag.BoolVar(&o.workload, "workload", false, "deduplicate a synthetic backup workload instead of -dir")
+	flag.IntVar(&o.machines, "machines", 4, "workload: number of machines")
+	flag.IntVar(&o.days, "days", 5, "workload: days of backups")
+	flag.Int64Var(&o.snapshot, "snapshot", 4<<20, "workload: snapshot size in bytes")
+	flag.IntVar(&o.edits, "edits", 20, "workload: edits per day")
+	flag.Int64Var(&o.editSize, "edit-bytes", 24<<10, "workload: mean edit size")
+	flag.Int64Var(&o.seed, "seed", 1, "workload: RNG seed")
+	flag.BoolVar(&o.verify, "verify", false, "restore every file and verify it matches the input")
+	flag.StringVar(&o.save, "save", "", "persist the deduplicated store to this directory after Finish")
+	flag.StringVar(&o.resume, "resume", "", "resume from a store directory previously written with -save")
 	flag.Parse()
-	if err := run(*algoName, *ecs, *sd, *cache, *noBloom, *dir, *workload,
-		*machines, *days, *snapshot, *edits, *editSize, *seed, *verify, *save, *resume); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dedup:", err)
 		os.Exit(1)
 	}
 }
 
-func run(algoName string, ecs, sd, cache int, noBloom bool, dir string, workload bool,
-	machines, days int, snapshot int64, edits int, editSize, seed int64, verify bool, save, resume string) error {
+// runOptions carries every flag; one struct so tests can name the fields
+// they care about instead of threading fifteen positional arguments.
+type runOptions struct {
+	algo     string
+	ecs      int
+	sd       int
+	cache    int
+	noBloom  bool
+	parallel int
+	dir      string
+	workload bool
+	machines int
+	days     int
+	snapshot int64
+	edits    int
+	editSize int64
+	seed     int64
+	verify   bool
+	save     string
+	resume   string
+}
+
+func run(o runOptions) error {
+	if o.parallel < 1 {
+		return fmt.Errorf("-parallel must be at least 1, got %d", o.parallel)
+	}
 	opts := dedup.Options{
-		ECS:            ecs,
-		SD:             sd,
-		CacheManifests: cache,
-		DisableBloom:   noBloom,
+		ECS:            o.ecs,
+		SD:             o.sd,
+		CacheManifests: o.cache,
+		DisableBloom:   o.noBloom,
+		IngestWorkers:  o.parallel,
 	}
 	var eng dedup.Engine
 	var err error
-	if resume != "" {
-		eng, err = dedup.Resume(dedup.Algorithm(algoName), opts, resume)
+	if o.resume != "" {
+		eng, err = dedup.Resume(dedup.Algorithm(o.algo), opts, o.resume)
 	} else {
-		eng, err = dedup.New(dedup.Algorithm(algoName), opts)
+		eng, err = dedup.New(dedup.Algorithm(o.algo), opts)
 	}
 	if err != nil {
 		return err
 	}
 
-	type input struct {
-		name string
-		open func() (io.Reader, error)
-	}
-	var inputs []input
-	var verifySource func(name string) (io.Reader, error)
-
-	switch {
-	case workload:
-		cfg := dedup.DefaultWorkloadConfig()
-		cfg.Machines = machines
-		cfg.Days = days
-		cfg.SnapshotBytes = snapshot
-		cfg.EditsPerDay = edits
-		cfg.EditBytes = editSize
-		cfg.Seed = seed
-		w, err := dedup.NewWorkload(cfg)
-		if err != nil {
-			return err
-		}
-		for _, f := range w.Files() {
-			name := f.Name
-			inputs = append(inputs, input{name: name, open: func() (io.Reader, error) { return w.Open(name) }})
-		}
-		verifySource = w.Open
-	case dir != "":
-		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil || d.IsDir() {
-				return err
-			}
-			rel, err := filepath.Rel(dir, path)
-			if err != nil {
-				return err
-			}
-			inputs = append(inputs, input{name: rel, open: func() (io.Reader, error) {
-				f, err := os.Open(path)
-				return f, err
-			}})
-			return nil
-		})
-		if err != nil {
-			return err
-		}
-		sort.Slice(inputs, func(i, j int) bool { return inputs[i].name < inputs[j].name })
-		verifySource = func(name string) (io.Reader, error) {
-			return os.Open(filepath.Join(dir, name))
-		}
-	default:
-		return fmt.Errorf("either -dir or -workload is required")
+	streams, verifySource, err := buildStreams(o)
+	if err != nil {
+		return err
 	}
 
-	for _, in := range inputs {
-		r, err := in.open()
-		if err != nil {
-			return err
-		}
-		err = eng.PutFile(in.name, r)
-		if c, ok := r.(io.Closer); ok {
-			c.Close()
-		}
-		if err != nil {
-			return fmt.Errorf("ingest %s: %w", in.name, err)
-		}
+	if err := dedup.IngestParallel(eng, o.parallel, streams); err != nil {
+		return err
 	}
 	if err := eng.Finish(); err != nil {
 		return err
 	}
 
 	rep := eng.Report()
-	fmt.Printf("algorithm      %s (ECS=%d SD=%d)\n", algoName, ecs, sd)
+	fmt.Printf("algorithm      %s (ECS=%d SD=%d parallel=%d)\n", o.algo, o.ecs, o.sd, o.parallel)
 	fmt.Printf("files          %d (%d stored)\n", rep.FilesTotal, rep.Files)
 	fmt.Printf("input          %d bytes\n", rep.InputBytes)
 	fmt.Printf("stored data    %d bytes\n", rep.StoredDataBytes)
@@ -152,37 +126,118 @@ func run(algoName string, ecs, sd, cache int, noBloom bool, dir string, workload
 		rep.ThroughputRatio(dedup.DefaultCostModel()))
 	fmt.Printf("peak RAM       %d bytes\n", rep.RAMBytes)
 
-	if verify {
-		for _, in := range inputs {
-			src, err := verifySource(in.name)
-			if err != nil {
-				return err
-			}
-			want, err := io.ReadAll(src)
-			if c, ok := src.(io.Closer); ok {
-				c.Close()
-			}
-			if err != nil {
-				return err
-			}
-			var got countingVerifier
-			got.want = want
-			if err := eng.Restore(in.name, &got); err != nil {
-				return fmt.Errorf("restore %s: %w", in.name, err)
-			}
-			if got.failed || got.n != len(want) {
-				return fmt.Errorf("verify %s: restored bytes differ from input", in.name)
+	if o.verify {
+		var n int
+		for _, st := range streams {
+			for _, it := range st.Items {
+				src, err := verifySource(it.Name)
+				if err != nil {
+					return err
+				}
+				want, err := io.ReadAll(src)
+				if c, ok := src.(io.Closer); ok {
+					c.Close()
+				}
+				if err != nil {
+					return err
+				}
+				var got countingVerifier
+				got.want = want
+				if err := eng.Restore(it.Name, &got); err != nil {
+					return fmt.Errorf("restore %s: %w", it.Name, err)
+				}
+				if got.failed || got.n != len(want) {
+					return fmt.Errorf("verify %s: restored bytes differ from input", it.Name)
+				}
+				n++
 			}
 		}
-		fmt.Printf("verify         OK (%d files restored byte-identically)\n", len(inputs))
+		fmt.Printf("verify         OK (%d files restored byte-identically)\n", n)
 	}
-	if save != "" {
-		if err := dedup.SaveStore(eng, save); err != nil {
+	if o.save != "" {
+		if err := dedup.SaveStore(eng, o.save); err != nil {
 			return err
 		}
-		fmt.Printf("store          saved to %s\n", save)
+		fmt.Printf("store          saved to %s\n", o.save)
 	}
 	return nil
+}
+
+// buildStreams maps the input source onto ingest streams. Workload mode
+// groups each machine's day-ordered snapshots into one stream (the natural
+// backup-stream boundary: order matters within a machine's history, not
+// across machines). Directory mode makes each file its own stream, sorted
+// by name — independent files have no cross-file ordering requirement.
+func buildStreams(o runOptions) ([]dedup.IngestStream, func(string) (io.Reader, error), error) {
+	switch {
+	case o.workload:
+		cfg := dedup.DefaultWorkloadConfig()
+		cfg.Machines = o.machines
+		cfg.Days = o.days
+		cfg.SnapshotBytes = o.snapshot
+		cfg.EditsPerDay = o.edits
+		cfg.EditBytes = o.editSize
+		cfg.Seed = o.seed
+		w, err := dedup.NewWorkload(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		byMachine := make(map[int]*dedup.IngestStream)
+		var order []int
+		for _, f := range w.Files() {
+			name := f.Name
+			st, ok := byMachine[f.Machine]
+			if !ok {
+				st = &dedup.IngestStream{Name: fmt.Sprintf("machine-%d", f.Machine)}
+				byMachine[f.Machine] = st
+				order = append(order, f.Machine)
+			}
+			st.Items = append(st.Items, dedup.IngestItem{
+				Name: name,
+				Open: func() (io.ReadCloser, error) {
+					r, err := w.Open(name)
+					if err != nil {
+						return nil, err
+					}
+					return io.NopCloser(r), nil
+				},
+			})
+		}
+		streams := make([]dedup.IngestStream, 0, len(order))
+		for _, m := range order {
+			streams = append(streams, *byMachine[m])
+		}
+		return streams, w.Open, nil
+	case o.dir != "":
+		var streams []dedup.IngestStream
+		err := filepath.WalkDir(o.dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return err
+			}
+			rel, err := filepath.Rel(o.dir, path)
+			if err != nil {
+				return err
+			}
+			streams = append(streams, dedup.IngestStream{
+				Name: rel,
+				Items: []dedup.IngestItem{{
+					Name: rel,
+					Open: func() (io.ReadCloser, error) { return os.Open(path) },
+				}},
+			})
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		sort.Slice(streams, func(i, j int) bool { return streams[i].Name < streams[j].Name })
+		verifySource := func(name string) (io.Reader, error) {
+			return os.Open(filepath.Join(o.dir, name))
+		}
+		return streams, verifySource, nil
+	default:
+		return nil, nil, fmt.Errorf("either -dir or -workload is required")
+	}
 }
 
 // countingVerifier compares written bytes against want without buffering a

@@ -28,13 +28,26 @@ func writeTestFiles(t *testing.T, dir string) map[string][]byte {
 	return files
 }
 
+// baseOptions returns the small-scale settings the CLI tests share.
+func baseOptions() runOptions {
+	return runOptions{
+		algo:     "mhd",
+		ecs:      512,
+		sd:       4,
+		cache:    8,
+		parallel: 1,
+	}
+}
+
 func TestRunOnDirectoryWithVerifyAndSave(t *testing.T) {
 	dir := t.TempDir()
 	writeTestFiles(t, dir)
 	storeDir := filepath.Join(t.TempDir(), "store")
-	err := run("mhd", 512, 4, 8, false, dir, false,
-		0, 0, 0, 0, 0, 0, true /* verify */, storeDir, "")
-	if err != nil {
+	o := baseOptions()
+	o.dir = dir
+	o.verify = true
+	o.save = storeDir
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(filepath.Join(storeDir, "chunks")); err != nil {
@@ -46,8 +59,10 @@ func TestRunResumeAppends(t *testing.T) {
 	dir1 := t.TempDir()
 	writeTestFiles(t, dir1)
 	storeDir := filepath.Join(t.TempDir(), "store")
-	if err := run("mhd", 512, 4, 8, false, dir1, false,
-		0, 0, 0, 0, 0, 0, false, storeDir, ""); err != nil {
+	o := baseOptions()
+	o.dir = dir1
+	o.save = storeDir
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	// Second session: new directory with different names, resumed store.
@@ -58,28 +73,67 @@ func TestRunResumeAppends(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir2, "c.img"), data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("mhd", 512, 4, 8, false, dir2, false,
-		0, 0, 0, 0, 0, 0, true, storeDir, storeDir); err != nil {
+	o2 := baseOptions()
+	o2.dir = dir2
+	o2.verify = true
+	o2.save = storeDir
+	o2.resume = storeDir
+	if err := run(o2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWorkloadAllAlgorithms(t *testing.T) {
 	for _, a := range []string{"mhd", "si-mhd", "cdc", "bimodal", "subchunk", "sparse", "fbc", "fingerdiff", "extremebinning"} {
-		if err := run(a, 1024, 4, 8, false, "", true,
-			1, 2, 1<<20, 6, 8<<10, 1, true, "", ""); err != nil {
+		o := runOptions{
+			algo: a, ecs: 1024, sd: 4, cache: 8, parallel: 1,
+			workload: true, machines: 1, days: 2, snapshot: 1 << 20,
+			edits: 6, editSize: 8 << 10, seed: 1, verify: true,
+		}
+		if err := run(o); err != nil {
 			t.Errorf("%s: %v", a, err)
 		}
 	}
 }
 
+func TestRunWorkloadParallel(t *testing.T) {
+	for _, a := range []string{"mhd", "si-mhd"} {
+		o := runOptions{
+			algo: a, ecs: 1024, sd: 4, cache: 8, parallel: 4,
+			workload: true, machines: 4, days: 2, snapshot: 1 << 20,
+			edits: 6, editSize: 8 << 10, seed: 1, verify: true,
+		}
+		if err := run(o); err != nil {
+			t.Errorf("%s parallel: %v", a, err)
+		}
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("mhd", 512, 4, 8, false, "", false,
-		0, 0, 0, 0, 0, 0, false, "", ""); err == nil {
+	o := baseOptions()
+	if err := run(o); err == nil {
 		t.Error("missing input source accepted")
 	}
-	if err := run("nope", 512, 4, 8, false, "", true,
-		1, 1, 1<<20, 1, 1024, 1, false, "", ""); err == nil {
+	o = baseOptions()
+	o.algo = "nope"
+	o.workload = true
+	o.machines, o.days, o.snapshot, o.edits, o.editSize, o.seed = 1, 1, 1<<20, 1, 1024, 1
+	if err := run(o); err == nil {
 		t.Error("unknown algorithm accepted")
+	}
+	// Concurrent ingest on a single-stream engine must be rejected.
+	o = baseOptions()
+	o.algo = "cdc"
+	o.parallel = 4
+	o.workload = true
+	o.machines, o.days, o.snapshot, o.edits, o.editSize, o.seed = 2, 1, 1<<20, 1, 1024, 1
+	if err := run(o); err == nil {
+		t.Error("parallel ingest on cdc accepted")
+	}
+	o = baseOptions()
+	o.parallel = 0
+	o.workload = true
+	if err := run(o); err == nil {
+		t.Error("-parallel 0 accepted")
 	}
 }

@@ -127,6 +127,15 @@ type Options struct {
 	// FastCDC selects the gear-hash chunker for MHD (faster scanning,
 	// tighter size distribution; mutually exclusive with TTTD).
 	FastCDC bool
+	// HashWorkers > 0 enables MHD's per-stream chunk/hash pipeline (ordered
+	// fan-out SHA-1; bit-identical results). Other engines ignore it.
+	HashWorkers int
+	// IngestWorkers caps how many backup streams IngestParallel deduplicates
+	// concurrently on an MHD/SI-MHD engine. 0 or 1 is fully sequential and
+	// bit-identical to calling PutFile in a loop. Engines other than MHD and
+	// SIMHD reject values above 1 at construction (their state is
+	// single-stream).
+	IngestWorkers int
 }
 
 // New returns an engine for the given algorithm.
@@ -153,12 +162,57 @@ func New(a Algorithm, opt Options) (Engine, error) {
 		SHMPerSlice:        opt.SHMPerSlice,
 		TTTD:               opt.TTTD,
 		FastCDC:            opt.FastCDC,
+		HashWorkers:        opt.HashWorkers,
+		IngestWorkers:      opt.IngestWorkers,
 	}
 	eng, err := exp.Build(p)
 	if err != nil {
 		return nil, fmt.Errorf("dedup: %w", err)
 	}
 	return eng, nil
+}
+
+// IngestItem is one input file of an ingest stream: the Restore key and an
+// opener returning its contents.
+type IngestItem = core.Item
+
+// IngestStream is an ordered sequence of input files sharing backup-stream
+// locality (one machine's disk-image history). Files within a stream are
+// always ingested in order; different streams may run concurrently.
+type IngestStream = core.Stream
+
+// StreamIngester is implemented by engines that accept multiple concurrent
+// backup streams (MHD and SIMHD).
+type StreamIngester interface {
+	IngestStreams(workers int, streams []IngestStream) error
+}
+
+// IngestParallel deduplicates the given streams with up to workers
+// concurrent sessions on eng. workers ≤ 1 ingests sequentially in stream
+// order — bit-identical to a serial PutFile loop. Engines that do not
+// support concurrent ingest (everything except MHD and SIMHD) return an
+// error when workers > 1 and fall back to the sequential loop otherwise.
+func IngestParallel(eng Engine, workers int, streams []IngestStream) error {
+	if si, ok := eng.(StreamIngester); ok {
+		return si.IngestStreams(workers, streams)
+	}
+	if workers > 1 {
+		return fmt.Errorf("dedup: engine %T does not support concurrent ingest", eng)
+	}
+	for _, st := range streams {
+		for _, it := range st.Items {
+			r, err := it.Open()
+			if err != nil {
+				return err
+			}
+			putErr := eng.PutFile(it.Name, r)
+			r.Close()
+			if putErr != nil {
+				return putErr
+			}
+		}
+	}
+	return nil
 }
 
 // Workload re-exports the synthetic disk-image backup generator so library
@@ -264,6 +318,8 @@ func Resume(a Algorithm, opt Options, dir string) (Engine, error) {
 		cfg.SHMPerSlice = opt.SHMPerSlice
 		cfg.TTTD = opt.TTTD
 		cfg.FastCDC = opt.FastCDC
+		cfg.HashWorkers = opt.HashWorkers
+		cfg.IngestWorkers = opt.IngestWorkers
 		cfg.SparseIndex = a == SIMHD
 		return core.Resume(cfg, disk)
 	case CDC:

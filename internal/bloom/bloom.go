@@ -13,19 +13,30 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"mhdedup/internal/hashutil"
 )
 
 // Filter is a Bloom filter over hashutil.Sum keys. The zero value is not
 // usable; construct with New or NewWithEstimate.
+//
+// Filter is safe for concurrent use. Unlike the striped hash→location
+// index, the filter cannot be sharded by low hash bits without changing its
+// probe layout (each key's k probes land anywhere in the bit array, and
+// re-deriving them per shard would alter the false-positive pattern and
+// with it the disk-access counters the paper's tables reproduce). Instead
+// every word access is a lock-free atomic: Test is k atomic loads, Add is
+// up to k compare-and-swap loops. The bit positions are exactly those of
+// the serial filter, so a single-session run remains bit-identical to the
+// pre-concurrency engine.
 type Filter struct {
 	bits   []uint64
 	nbits  uint64
 	k      int
-	adds   uint64
-	tested uint64
-	hits   uint64
+	adds   atomic.Uint64
+	tested atomic.Uint64
+	hits   atomic.Uint64
 }
 
 // New returns a filter with the given size in bytes and number of probe
@@ -75,28 +86,37 @@ func probes(h hashutil.Sum) (uint64, uint64) {
 	return h1, h2
 }
 
-// Add inserts h into the filter.
+// Add inserts h into the filter. Concurrent Adds (and Adds racing Tests)
+// are safe: each word is set with a compare-and-swap loop, so no set bit is
+// ever lost.
 func (f *Filter) Add(h hashutil.Sum) {
 	h1, h2 := probes(h)
 	for i := 0; i < f.k; i++ {
 		pos := (h1 + uint64(i)*h2) % f.nbits
-		f.bits[pos/64] |= 1 << (pos % 64)
+		word := &f.bits[pos/64]
+		mask := uint64(1) << (pos % 64)
+		for {
+			old := atomic.LoadUint64(word)
+			if old&mask != 0 || atomic.CompareAndSwapUint64(word, old, old|mask) {
+				break
+			}
+		}
 	}
-	f.adds++
+	f.adds.Add(1)
 }
 
 // Test reports whether h might be in the filter. False means certainly not
 // present; true means present with probability 1 − FP rate.
 func (f *Filter) Test(h hashutil.Sum) bool {
 	h1, h2 := probes(h)
-	f.tested++
+	f.tested.Add(1)
 	for i := 0; i < f.k; i++ {
 		pos := (h1 + uint64(i)*h2) % f.nbits
-		if f.bits[pos/64]&(1<<(pos%64)) == 0 {
+		if atomic.LoadUint64(&f.bits[pos/64])&(1<<(pos%64)) == 0 {
 			return false
 		}
 	}
-	f.hits++
+	f.hits.Add(1)
 	return true
 }
 
@@ -107,26 +127,27 @@ func (f *Filter) SizeBytes() int64 {
 }
 
 // Count returns the number of Add calls.
-func (f *Filter) Count() uint64 { return f.adds }
+func (f *Filter) Count() uint64 { return f.adds.Load() }
 
 // Stats returns the number of Test calls and how many returned true.
-func (f *Filter) Stats() (tested, hits uint64) { return f.tested, f.hits }
+func (f *Filter) Stats() (tested, hits uint64) { return f.tested.Load(), f.hits.Load() }
 
 // EstimatedFPRate returns the expected false-positive probability given the
 // current load: (1 − e^(−k·n/m))^k.
 func (f *Filter) EstimatedFPRate() float64 {
-	if f.adds == 0 {
+	adds := f.adds.Load()
+	if adds == 0 {
 		return 0
 	}
-	exp := -float64(f.k) * float64(f.adds) / float64(f.nbits)
+	exp := -float64(f.k) * float64(adds) / float64(f.nbits)
 	return math.Pow(1-math.Exp(exp), float64(f.k))
 }
 
 // FillRatio returns the fraction of set bits, a direct measure of load.
 func (f *Filter) FillRatio() float64 {
 	var set int
-	for _, w := range f.bits {
-		set += popcount(w)
+	for i := range f.bits {
+		set += popcount(atomic.LoadUint64(&f.bits[i]))
 	}
 	return float64(set) / float64(f.nbits)
 }
@@ -140,10 +161,13 @@ func popcount(x uint64) int {
 	return n
 }
 
-// Reset clears the filter.
+// Reset clears the filter. Reset must not race with Add/Test (it is a
+// maintenance operation, not a data-path one).
 func (f *Filter) Reset() {
 	for i := range f.bits {
-		f.bits[i] = 0
+		atomic.StoreUint64(&f.bits[i], 0)
 	}
-	f.adds, f.tested, f.hits = 0, 0, 0
+	f.adds.Store(0)
+	f.tested.Store(0)
+	f.hits.Store(0)
 }

@@ -67,6 +67,14 @@ type Config struct {
 	// on a single-CPU machine its hand-off overhead makes ingest slower,
 	// so leave it off there (see BenchmarkIngestPipeline4).
 	HashWorkers int
+	// IngestWorkers caps how many backup streams IngestStreams deduplicates
+	// concurrently. 0 or 1 runs streams sequentially in order — bit-identical
+	// to feeding PutFile from a single loop; N > 1 runs up to N sessions in
+	// parallel, each owning one stream's ordered files while sharing the
+	// striped indexes, bloom filter, manifest cache and disk. Totals (input
+	// bytes, chunk counts, stored bytes) are exact regardless of N; RAM peaks
+	// and disk-access interleavings may differ run to run when N > 1.
+	IngestWorkers int
 	// Poly optionally overrides the Rabin polynomial.
 	Poly rabin.Poly
 }
@@ -104,6 +112,9 @@ func (c Config) Validate() error {
 	}
 	if c.HashWorkers < 0 {
 		return fmt.Errorf("core: HashWorkers must be non-negative, got %d", c.HashWorkers)
+	}
+	if c.IngestWorkers < 0 {
+		return fmt.Errorf("core: IngestWorkers must be non-negative, got %d", c.IngestWorkers)
 	}
 	if c.TTTD && c.FastCDC {
 		return fmt.Errorf("core: TTTD and FastCDC are mutually exclusive")

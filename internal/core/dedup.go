@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
 	"mhdedup/internal/bloom"
 	"mhdedup/internal/chunker"
@@ -15,8 +17,33 @@ import (
 
 // Dedup is an MHD deduplicator. Feed input files in stream order with
 // PutFile, then call Finish to write back cached state; Stats/Report expose
-// the paper's metrics and Restore rebuilds any ingested file. Not safe for
-// concurrent use: deduplication is an ordered single-stream process.
+// the paper's metrics and Restore rebuilds any ingested file.
+//
+// Concurrency model: deduplication of ONE backup stream is an ordered,
+// stateful process (hysteresis buffer, match extension and HHR all depend
+// on stream order), but nothing couples DIFFERENT streams — different
+// machines' disk images, different days of a rotation — so a Dedup accepts
+// N concurrent streams. Each stream is a Session (NewSession) whose
+// per-file state (hysteresis buffer, BME/FME context, recipe slots) is
+// private; everything shared sits behind fine-grained synchronization:
+//
+//   - hash→location indexes (cache index, sparse hook index): 64-way
+//     striped RWMutexes keyed by low hash bits (stripe.go);
+//   - bloom filter: lock-free atomic word access, bit layout unchanged;
+//   - manifest LRU cache: internally locked; cache-resident manifests are
+//     additionally guarded by a per-manifest mutex held across match
+//     extension and eviction write-back;
+//   - simulated disk and its cost counters: one mutex inside simdisk, so
+//     access totals stay exact;
+//   - statistics: metrics.Atomic counters.
+//
+// Lock order is cache → manifest → {stripe, disk}; no path acquires them
+// in the reverse direction, and stripe/disk are leaves.
+//
+// A single-session run takes exactly the code path of the previous serial
+// engine (same operations in the same order), so its manifests, metrics
+// and disk counters are bit-identical to the pre-concurrency engine — the
+// determinism regression test pins this.
 type Dedup struct {
 	cfg    Config
 	disk   *simdisk.Disk
@@ -25,15 +52,23 @@ type Dedup struct {
 	cache  *lru.Cache[hashutil.Sum, *store.Manifest]
 	// cacheIdx maps every entry hash of every cached manifest to the
 	// manifest holding it — the "cache of Manifests, each organized as a
-	// hash table" of Fig 4, flattened for O(1) lookup.
-	cacheIdx map[hashutil.Sum]hashutil.Sum
+	// hash table" of Fig 4, flattened for O(1) lookup and striped for
+	// concurrency.
+	cacheIdx *stripedIndex
 	// sparseIdx is SI-MHD's in-RAM hook index (hook hash → manifest name);
 	// nil in BF-MHD mode.
-	sparseIdx map[hashutil.Sum]hashutil.Sum
+	sparseIdx *stripedIndex
+	// pubLocks serialize hook publication per hash stripe, making the
+	// check-then-create of hooks atomic across sessions.
+	pubLocks publishLocks
 
-	stats       metrics.Stats
-	peakRAM     int64
+	stats   metrics.Atomic
+	peakRAM atomic.Int64
+
+	errMu       sync.Mutex
 	evictionErr error
+
+	defaultSession *Session
 }
 
 // New returns a Dedup over a fresh simulated disk.
@@ -51,10 +86,10 @@ func NewOnDisk(cfg Config, disk *simdisk.Disk) (*Dedup, error) {
 		cfg:      cfg,
 		disk:     disk,
 		st:       store.New(disk, store.FormatMHD),
-		cacheIdx: make(map[hashutil.Sum]hashutil.Sum),
+		cacheIdx: newStripedIndex(),
 	}
 	if cfg.SparseIndex {
-		d.sparseIdx = make(map[hashutil.Sum]hashutil.Sum)
+		d.sparseIdx = newStripedIndex()
 	} else if cfg.UseBloom {
 		f, err := bloom.New(cfg.BloomBytes, cfg.BloomHashes)
 		if err != nil {
@@ -67,6 +102,7 @@ func NewOnDisk(cfg Config, disk *simdisk.Disk) (*Dedup, error) {
 		return nil, err
 	}
 	d.cache = cache
+	d.defaultSession = &Session{d: d}
 	return d, nil
 }
 
@@ -78,31 +114,51 @@ func (d *Dedup) Config() Config { return d.cfg }
 
 // onEvict writes a dirty manifest back to disk and drops its hashes from
 // the flat cache index. Write errors are deferred to Finish (the LRU
-// callback cannot fail).
+// callback cannot fail). It runs with the cache lock held and takes the
+// manifest lock, so an eviction racing a match extension in another
+// session serializes on the manifest.
 func (d *Dedup) onEvict(name hashutil.Sum, m *store.Manifest) {
-	if err := d.st.WriteBackManifest(m); err != nil && d.evictionErr == nil {
-		d.evictionErr = err
-	}
-	for _, e := range m.Entries {
-		if d.cacheIdx[e.Hash] == name {
-			delete(d.cacheIdx, e.Hash)
+	m.Lock()
+	if err := d.st.WriteBackManifest(m); err != nil {
+		d.errMu.Lock()
+		if d.evictionErr == nil {
+			d.evictionErr = err
 		}
+		d.errMu.Unlock()
+	}
+	hashes := make([]hashutil.Sum, len(m.Entries))
+	for i, e := range m.Entries {
+		hashes[i] = e.Hash
+	}
+	m.Unlock()
+	for _, h := range hashes {
+		// Only remove mappings still pointing at this manifest: a reload
+		// of the same name may have re-registered them.
+		d.cacheIdx.deleteIf(h, name)
 	}
 }
 
 // cacheInsert registers a manifest in the LRU cache and the flat index.
+// The entry hashes are collected before Put while the manifest is still
+// private to this goroutine (a freshly decoded manifest becomes shared the
+// instant it enters the cache).
 func (d *Dedup) cacheInsert(m *store.Manifest) {
+	hashes := make([]hashutil.Sum, len(m.Entries))
+	for i, e := range m.Entries {
+		hashes[i] = e.Hash
+	}
 	d.cache.Put(m.Name, m)
-	for _, e := range m.Entries {
-		d.cacheIdx[e.Hash] = m.Name
+	for _, h := range hashes {
+		d.cacheIdx.put(h, m.Name)
 	}
 	d.trackRAM()
 }
 
 // indexEntries refreshes the flat index after a splice added entries to m.
+// Called with m's lock held (stripe locks nest inside manifest locks).
 func (d *Dedup) indexEntries(m *store.Manifest, entries []store.Entry) {
 	for _, e := range entries {
-		d.cacheIdx[e.Hash] = m.Name
+		d.cacheIdx.put(e.Hash, m.Name)
 	}
 }
 
@@ -114,37 +170,40 @@ func (d *Dedup) trackRAM() {
 		cur = d.filter.SizeBytes()
 	}
 	d.cache.Each(func(_ hashutil.Sum, m *store.Manifest) {
+		m.Lock()
 		cur += int64(m.ByteSize())
+		m.Unlock()
 	})
-	cur += int64(len(d.cacheIdx)) * (hashutil.Size + hashutil.Size + 8)
-	cur += int64(len(d.sparseIdx)) * (hashutil.Size + hashutil.Size + 16)
-	if cur > d.peakRAM {
-		d.peakRAM = cur
+	cur += int64(d.cacheIdx.len()) * (hashutil.Size + hashutil.Size + 8)
+	if d.sparseIdx != nil {
+		cur += int64(d.sparseIdx.len()) * (hashutil.Size + hashutil.Size + 16)
 	}
+	metrics.MaxInt64(&d.peakRAM, cur)
 }
 
-// lookupCached consults the flat cache index, revalidating against the
-// manifest (HHR splices can retire hashes).
-func (d *Dedup) lookupCached(h hashutil.Sum) (*store.Manifest, int, bool) {
-	name, ok := d.cacheIdx[h]
+// lookupCached consults the flat cache index and returns the cached
+// manifest the hash maps to. The entry index is NOT resolved here: the
+// caller revalidates under the manifest lock (tryExtend), because a
+// concurrent HHR splice can retire the hash between the index lookup and
+// the extension.
+func (d *Dedup) lookupCached(h hashutil.Sum) (*store.Manifest, bool) {
+	name, ok := d.cacheIdx.get(h)
 	if !ok {
-		return nil, 0, false
+		return nil, false
 	}
 	m, ok := d.cache.Get(name)
 	if !ok {
-		delete(d.cacheIdx, h)
-		return nil, 0, false
+		d.cacheIdx.deleteIf(h, name)
+		return nil, false
 	}
-	idx, ok := m.Lookup(h)
-	if !ok {
-		delete(d.cacheIdx, h)
-		return nil, 0, false
-	}
-	return m, idx, true
+	return m, true
 }
 
 // loadManifest brings a manifest into the cache from disk (one disk
-// access), unless it is already cached.
+// access), unless it is already cached. Two sessions racing on the same
+// name may both read it; the second Put supersedes the first object, which
+// remains valid for the session still holding it (its entries reference
+// immutable DiskChunk bytes).
 func (d *Dedup) loadManifest(name hashutil.Sum) (*store.Manifest, error) {
 	if m, ok := d.cache.Get(name); ok {
 		return m, nil
@@ -153,7 +212,7 @@ func (d *Dedup) loadManifest(name hashutil.Sum) (*store.Manifest, error) {
 	if err != nil {
 		return nil, err
 	}
-	d.stats.ManifestLoads++
+	d.stats.ManifestLoads.Add(1)
 	d.cacheInsert(m)
 	return m, nil
 }
@@ -178,7 +237,10 @@ type slotState struct {
 }
 
 // fileState is the per-input-file processing context: one DiskChunk, one
-// Manifest, the pending (hysteresis) buffer and the recipe slots.
+// Manifest, the pending (hysteresis) buffer and the recipe slots. It is
+// owned by exactly one Session for the duration of one PutFile — nothing
+// in it is shared, which is what makes the hysteresis machinery safe under
+// concurrent streams without any locking of its own.
 type fileState struct {
 	name      string
 	chunkName hashutil.Sum
@@ -191,9 +253,16 @@ type fileState struct {
 	pipe      *chunkPipeline // non-nil when the parallel pipeline is on
 }
 
-// PutFile deduplicates one input file. Files must be fed in backup-stream
-// order; the name must be unique and is the key for Restore.
+// PutFile deduplicates one input file on the default session. Files of one
+// stream must be fed in backup-stream order; the name must be unique and
+// is the key for Restore. For concurrent multi-stream ingest create one
+// Session per stream (NewSession) or use IngestStreams.
 func (d *Dedup) PutFile(name string, r io.Reader) error {
+	return d.defaultSession.PutFile(name, r)
+}
+
+// putFile is the per-stream ingest path shared by every session.
+func (d *Dedup) putFile(name string, r io.Reader) error {
 	var ch chunker.Chunker
 	var err error
 	switch {
@@ -213,7 +282,7 @@ func (d *Dedup) PutFile(name string, r io.Reader) error {
 		f.pipe = newChunkPipeline(ch, d.cfg.HashWorkers)
 		defer f.pipe.stop()
 	}
-	d.stats.FilesTotal++
+	d.stats.FilesTotal.Add(1)
 	for {
 		pc, ok, err := d.nextChunk(f, ch)
 		if err != nil {
@@ -264,10 +333,10 @@ func (d *Dedup) pull(f *fileState, ch chunker.Chunker) (pchunk, bool, error) {
 		}
 		data, h = c.Data, hashutil.SumBytes(c.Data)
 	}
-	d.stats.ChunksIn++
-	d.stats.InputBytes += int64(len(data))
-	d.stats.ChunkedBytes += int64(len(data))
-	d.stats.HashedBytes += int64(len(data))
+	d.stats.ChunksIn.Add(1)
+	d.stats.InputBytes.Add(int64(len(data)))
+	d.stats.ChunkedBytes.Add(int64(len(data)))
+	d.stats.HashedBytes.Add(int64(len(data)))
 	slot := len(f.slots)
 	f.slots = append(f.slots, slotState{size: int64(len(data))})
 	return pchunk{data: data, hash: h, slot: slot}, true, nil
@@ -278,19 +347,34 @@ func (d *Dedup) pull(f *fileState, ch chunker.Chunker) (pchunk, bool, error) {
 // otherwise buffer as non-duplicate, flushing half the buffer via SHM when
 // it fills.
 func (d *Dedup) process(f *fileState, ch chunker.Chunker, pc pchunk) error {
-	if m, idx, ok := d.lookupCached(pc.hash); ok {
-		return d.extendMatch(f, ch, m, idx, pc)
+	if m, ok := d.lookupCached(pc.hash); ok {
+		done, err := d.tryExtend(f, ch, m, pc)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+		// The hash no longer resolves in the manifest (an HHR splice —
+		// possibly by a concurrent session — retired it). Drop the stale
+		// index entry and fall through to the hook paths, exactly as the
+		// serial engine treated a revalidation miss.
+		d.cacheIdx.deleteIf(pc.hash, m.Name)
 	}
 	if d.sparseIdx != nil {
 		// SI-MHD: the in-RAM index answers the hook query with no disk
 		// access; only the manifest load touches the disk.
-		if target, ok := d.sparseIdx[pc.hash]; ok {
+		if target, ok := d.sparseIdx.get(pc.hash); ok {
 			m, err := d.loadManifest(target)
 			if err != nil {
 				return err
 			}
-			if idx, ok := m.Lookup(pc.hash); ok {
-				return d.extendMatch(f, ch, m, idx, pc)
+			done, err := d.tryExtend(f, ch, m, pc)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
 			}
 		}
 	} else {
@@ -307,8 +391,12 @@ func (d *Dedup) process(f *fileState, ch chunker.Chunker, pc pchunk) error {
 			if err != nil {
 				return err
 			}
-			if idx, ok := m.Lookup(pc.hash); ok {
-				return d.extendMatch(f, ch, m, idx, pc)
+			done, err := d.tryExtend(f, ch, m, pc)
+			if err != nil {
+				return err
+			}
+			if done {
+				return nil
 			}
 		}
 	}
@@ -317,6 +405,52 @@ func (d *Dedup) process(f *fileState, ch chunker.Chunker, pc pchunk) error {
 		return d.flushPending(f, d.cfg.SD)
 	}
 	return nil
+}
+
+// tryExtend locks the (possibly shared) manifest, revalidates that the
+// chunk's hash still resolves to an entry, and runs the whole match
+// extension — BME, FME, HHR splices — inside that critical section. It
+// reports whether the chunk was handled; false means the hash was retired
+// and the caller should continue down the miss path. If extension dirtied
+// a manifest that has meanwhile been evicted from the cache, the splice is
+// written back here so it is never lost.
+func (d *Dedup) tryExtend(f *fileState, ch chunker.Chunker, m *store.Manifest, pc pchunk) (bool, error) {
+	m.Lock()
+	idx, ok := m.Lookup(pc.hash)
+	if !ok {
+		m.Unlock()
+		return false, nil
+	}
+	err := d.extendMatch(f, ch, m, idx, pc)
+	dirty := m.Dirty()
+	m.Unlock()
+	if err != nil {
+		return true, err
+	}
+	if dirty {
+		if err := d.persistIfOrphaned(m); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// persistIfOrphaned writes a dirty manifest back to disk when it is no
+// longer cache-resident. In the serial engine this never fires (a manifest
+// under extension cannot be evicted mid-extension); under concurrency
+// another session's cacheInsert can evict — and write back — a manifest
+// while this session is still splicing it, which would strand the splice
+// in an orphaned object. Once evicted, a manifest object can never re-enter
+// the cache (loads decode fresh copies), so the Peek race is benign: if it
+// is present it will be written back by eviction or Finish, if absent we
+// write it back ourselves.
+func (d *Dedup) persistIfOrphaned(m *store.Manifest) error {
+	if _, cached := d.cache.Peek(m.Name); cached {
+		return nil
+	}
+	m.Lock()
+	defer m.Unlock()
+	return d.st.WriteBackManifest(m)
 }
 
 // resolveDup records a chunk as duplicate data found at the given location.
@@ -382,7 +516,7 @@ func (d *Dedup) flushGroup(f *fileState, group []pchunk) {
 		h.Write(pc.data)
 	}
 	mergedSize := int64(len(f.data)) - mergedStart
-	d.stats.HashedBytes += mergedSize
+	d.stats.HashedBytes.Add(mergedSize)
 	f.manifest.Append(store.Entry{
 		Hash:  h.Sum(),
 		Start: mergedStart,
@@ -394,7 +528,9 @@ func (d *Dedup) flushGroup(f *fileState, group []pchunk) {
 // finishFile flushes the hysteresis buffer, writes the DiskChunk, Manifest
 // and Hooks (files that turned out to be complete duplicates write none of
 // those), emits the FileManifest from the recipe slots, and folds the
-// file's slot classification into the global duplicate statistics.
+// file's slot classification into the global duplicate statistics. Hook
+// publication holds the hash's stripe lock across the check-then-create so
+// two sessions finishing identical content cannot double-create a hook.
 func (d *Dedup) finishFile(f *fileState) error {
 	if len(f.replay) > 0 {
 		return fmt.Errorf("core: %d replay chunks left at end of %q", len(f.replay), f.name)
@@ -410,24 +546,12 @@ func (d *Dedup) finishFile(f *fileState) error {
 			return err
 		}
 		for _, h := range f.hooks {
-			if d.sparseIdx != nil {
-				if _, dup := d.sparseIdx[h]; !dup {
-					d.sparseIdx[h] = f.chunkName
-				}
-				continue
-			}
-			if d.st.HookKnown(h) {
-				continue // an identical chunk was hooked by an earlier file
-			}
-			if err := d.st.CreateHook(h, f.chunkName); err != nil {
+			if err := d.publishHook(h, f.chunkName); err != nil {
 				return err
 			}
-			if d.filter != nil {
-				d.filter.Add(h)
-			}
 		}
-		d.stats.Files++
-		d.stats.StoredDataBytes += int64(len(f.data))
+		d.stats.Files.Add(1)
+		d.stats.StoredDataBytes.Add(int64(len(f.data)))
 		// The new manifest is NOT inserted into the cache: per Fig 4,
 		// manifests enter RAM only through hook-hit loading. Cross-file
 		// locality therefore costs one manifest load per duplicate slice,
@@ -442,40 +566,66 @@ func (d *Dedup) finishFile(f *fileState) error {
 		}
 		fm.Append(s.ref)
 		if s.dup {
-			d.stats.DupChunks++
-			d.stats.DupBytes += s.size
+			d.stats.DupChunks.Add(1)
+			d.stats.DupBytes.Add(s.size)
 			if !prevDup {
-				d.stats.DupSlices++
+				d.stats.DupSlices.Add(1)
 			}
 		} else {
-			d.stats.NonDupChunks++
+			d.stats.NonDupChunks.Add(1)
 		}
 		prevDup = s.dup
 	}
 	return d.st.WriteFileManifest(fm)
 }
 
-// Finish writes back all cached dirty manifests and finalizes RAM
-// accounting. The Dedup remains usable for Restore afterwards.
-func (d *Dedup) Finish() error {
-	d.trackRAM()
-	d.cache.Flush()
-	d.stats.RAMBytes = d.peakRAM
-	if err := d.evictionErr; err != nil {
-		d.evictionErr = nil
+// publishHook makes hook hash h point at the finished file's chunk, in the
+// mode-appropriate index: the sparse in-RAM index (SI-MHD) or an on-disk
+// hook object plus the bloom filter (BF-MHD). The per-stripe publication
+// lock makes the known-check and the create one atomic step.
+func (d *Dedup) publishHook(h, chunkName hashutil.Sum) error {
+	if d.sparseIdx != nil {
+		// First writer wins, as in the serial engine: a hook keeps
+		// pointing at the first manifest that published it.
+		d.sparseIdx.putIfAbsent(h, chunkName)
+		return nil
+	}
+	unlock := d.pubLocks.lock(h)
+	defer unlock()
+	if d.st.HookKnown(h) {
+		return nil // an identical chunk was hooked by an earlier file
+	}
+	if err := d.st.CreateHook(h, chunkName); err != nil {
 		return err
+	}
+	if d.filter != nil {
+		d.filter.Add(h)
 	}
 	return nil
 }
 
+// Finish writes back all cached dirty manifests and finalizes RAM
+// accounting. All sessions must have completed their PutFile calls before
+// Finish. The Dedup remains usable for Restore afterwards.
+func (d *Dedup) Finish() error {
+	d.trackRAM()
+	d.cache.Flush()
+	d.stats.RAMBytes.Store(d.peakRAM.Load())
+	d.errMu.Lock()
+	err := d.evictionErr
+	d.evictionErr = nil
+	d.errMu.Unlock()
+	return err
+}
+
 // Stats returns the collected raw statistics.
-func (d *Dedup) Stats() metrics.Stats { return d.stats }
+func (d *Dedup) Stats() metrics.Stats { return d.stats.Snapshot() }
 
 // Report snapshots statistics plus disk-side accounting.
 func (d *Dedup) Report() metrics.Report {
-	s := d.stats
+	s := d.stats.Snapshot()
 	if s.RAMBytes == 0 {
-		s.RAMBytes = d.peakRAM
+		s.RAMBytes = d.peakRAM.Load()
 	}
 	return metrics.BuildReport(s, d.disk)
 }
@@ -512,9 +662,7 @@ func Resume(cfg Config, disk *simdisk.Disk) (*Dedup, error) {
 			}
 			for _, e := range m.Entries {
 				if e.Kind == store.KindHook {
-					if _, dup := d.sparseIdx[e.Hash]; !dup {
-						d.sparseIdx[e.Hash] = mName
-					}
+					d.sparseIdx.putIfAbsent(e.Hash, mName)
 				}
 			}
 		}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"reflect"
+	"testing"
+
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/simdisk"
+	"mhdedup/internal/trace"
+)
+
+// diskSnapshot reads every stored object into a map keyed by
+// "category/name". Taken after Report (reads bump disk counters).
+func diskSnapshot(t *testing.T, d *Dedup) map[string][]byte {
+	t.Helper()
+	out := map[string][]byte{}
+	for _, cat := range []simdisk.Category{
+		simdisk.Data, simdisk.Hook, simdisk.Manifest, simdisk.FileManifest,
+	} {
+		for _, name := range d.Disk().Names(cat) {
+			data, err := d.Disk().Read(cat, name)
+			if err != nil {
+				t.Fatalf("read %v/%s: %v", cat, name, err)
+			}
+			out[fmt.Sprintf("%v/%s", cat, name)] = data
+		}
+	}
+	return out
+}
+
+// runVariant ingests the dataset with the given config and feeding strategy
+// and returns its Report and full disk contents.
+func runVariant(t *testing.T, cfg Config, ds *trace.Dataset, feed func(*Dedup) error) (metrics.Report, map[string][]byte) {
+	t.Helper()
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := feed(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	rep := d.Report()
+	return rep, diskSnapshot(t, d)
+}
+
+// compareSnapshots asserts two disk states are byte-identical.
+func compareSnapshots(t *testing.T, label string, want, got map[string][]byte) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("%s: object count %d, baseline %d", label, len(got), len(want))
+	}
+	for name, w := range want {
+		g, ok := got[name]
+		if !ok {
+			t.Errorf("%s: object %s missing", label, name)
+			continue
+		}
+		if !bytes.Equal(w, g) {
+			t.Errorf("%s: object %s differs (%d vs %d bytes)", label, name, len(g), len(w))
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("%s: extra object %s", label, name)
+		}
+	}
+}
+
+// TestSingleStreamDeterminism is the serial-parity regression test: a
+// one-worker IngestStreams run and a HashWorkers-pipelined run must both
+// produce a store byte-identical to the plain PutFile loop and an
+// identical metrics.Report. This pins the tentpole invariant that
+// `-parallel 1` IS the serial engine, not merely an equivalent of it.
+func TestSingleStreamDeterminism(t *testing.T) {
+	cfg := trace.Default()
+	cfg.Machines = 3
+	cfg.Days = 3
+	cfg.SnapshotBytes = 256 << 10
+	cfg.EditsPerDay = 6
+	cfg.EditBytes = 8 << 10
+	ds, err := trace.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	serialFeed := func(d *Dedup) error {
+		return ds.EachFile(func(info trace.FileInfo, r io.Reader) error {
+			return d.PutFile(info.Name, r)
+		})
+	}
+	// IngestStreams with one worker must walk the same files in the same
+	// order: machine streams are fed in slice order, day by day — exactly
+	// the EachFile order (machine-major, day-minor).
+	streamFeed := func(d *Dedup) error {
+		return d.IngestStreams(1, machineStreams(ds))
+	}
+
+	for _, mode := range []struct {
+		name   string
+		sparse bool
+	}{{"bf-mhd", false}, {"si-mhd", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			ecfg := stressConfig(mode.sparse)
+			ecfg.CacheManifests = 2 // force evictions; they must replay identically
+
+			wantRep, wantDisk := runVariant(t, ecfg, ds, serialFeed)
+
+			gotRep, gotDisk := runVariant(t, ecfg, ds, streamFeed)
+			if !reflect.DeepEqual(gotRep, wantRep) {
+				t.Errorf("IngestStreams(1) report differs:\n got %+v\nwant %+v", gotRep, wantRep)
+			}
+			compareSnapshots(t, "IngestStreams(1)", wantDisk, gotDisk)
+
+			// The hash pipeline changes only WHO computes the SHA-1s, not
+			// any observable result.
+			pcfg := ecfg
+			pcfg.HashWorkers = 2
+			pipeRep, pipeDisk := runVariant(t, pcfg, ds, serialFeed)
+			if !reflect.DeepEqual(pipeRep, wantRep) {
+				t.Errorf("HashWorkers=2 report differs:\n got %+v\nwant %+v", pipeRep, wantRep)
+			}
+			compareSnapshots(t, "HashWorkers=2", wantDisk, pipeDisk)
+
+			// Both together: one ingest worker over the pipelined chunker.
+			bcfg := ecfg
+			bcfg.HashWorkers = 2
+			bothRep, bothDisk := runVariant(t, bcfg, ds, streamFeed)
+			if !reflect.DeepEqual(bothRep, wantRep) {
+				t.Errorf("IngestStreams(1)+HashWorkers report differs:\n got %+v\nwant %+v", bothRep, wantRep)
+			}
+			compareSnapshots(t, "IngestStreams(1)+HashWorkers", wantDisk, bothDisk)
+		})
+	}
+}

@@ -57,7 +57,7 @@ func (d *Dedup) bme(f *fileState, m *store.Manifest, hitIdx int) (shift int, err
 			sum += int64(len(f.pending[j].data))
 		}
 		if sum == e.Size {
-			d.stats.HashedBytes += sum
+			d.stats.HashedBytes.Add(sum)
 			if hashRun(f.pending[j:]) == e.Hash {
 				d.consumeTailAsDup(f, j, m, e)
 				continue
@@ -118,7 +118,7 @@ func (d *Dedup) fme(f *fileState, ch chunker.Chunker, m *store.Manifest, hitIdx 
 			k++
 		}
 		if sum == e.Size {
-			d.stats.HashedBytes += sum
+			d.stats.HashedBytes.Add(sum)
 			if hashRun(pre[:k]) == e.Hash {
 				container := m.ContainerOf(e)
 				off := e.Start

@@ -70,7 +70,7 @@ func TestBMEConsumesAlignedTail(t *testing.T) {
 	if len(f.pending) != 0 {
 		t.Errorf("pending = %d, want 0 (everything matched)", len(f.pending))
 	}
-	if d.stats.HHROps != 0 {
+	if d.stats.HHROps.Load() != 0 {
 		t.Error("aligned match must not trigger HHR")
 	}
 	for i := 0; i < 4; i++ {
@@ -95,7 +95,7 @@ func TestBMEStopsAtMismatchWithoutPending(t *testing.T) {
 	if err != nil || shift != 0 {
 		t.Errorf("empty pending: shift=%d err=%v", shift, err)
 	}
-	if d.stats.HHRDiskAccesses != 0 {
+	if d.stats.HHRDiskAccesses.Load() != 0 {
 		t.Error("empty pending must not reload anything")
 	}
 }
@@ -137,7 +137,7 @@ func TestFMEExtendsForwardAcrossEntries(t *testing.T) {
 	if err := d.fme(f, src, m, 0); err != nil {
 		t.Fatal(err)
 	}
-	if d.stats.HHROps != 0 {
+	if d.stats.HHROps.Load() != 0 {
 		t.Error("fully matching forward extension must not trigger HHR")
 	}
 	if len(f.replay) != 0 {

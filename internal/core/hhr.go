@@ -54,18 +54,18 @@ func (d *Dedup) hhrSplit(m *store.Manifest, i int, old []byte, sizes [3]int64, k
 		off += n
 		consumed += n
 	}
-	d.stats.HashedBytes += consumed
+	d.stats.HashedBytes.Add(consumed)
 	wasClean := !m.Dirty()
 	if err := m.Splice(i, pieces...); err != nil {
 		return nil, err
 	}
 	d.indexEntries(m, pieces)
-	d.stats.HHROps++
+	d.stats.HHROps.Add(1)
 	if wasClean {
 		// The write-back this dirtying forces (at eviction or Finish) is
 		// charged to HHR, per the paper's "at most three disk accesses per
 		// duplicate slice" accounting.
-		d.stats.HHRDiskAccesses++
+		d.stats.HHRDiskAccesses.Add(1)
 	}
 	return pieces, nil
 }
@@ -85,7 +85,7 @@ func (d *Dedup) hhrBackward(f *fileState, m *store.Manifest, i int) (shift int, 
 	if err != nil {
 		return 0, err
 	}
-	d.stats.HHRDiskAccesses++
+	d.stats.HHRDiskAccesses.Add(1)
 
 	// Longest suffix of whole pending chunks matching old's suffix.
 	var s int64
@@ -141,7 +141,7 @@ func (d *Dedup) hhrForward(f *fileState, m *store.Manifest, i int, pre []pchunk)
 	if err != nil {
 		return 0, err
 	}
-	d.stats.HHRDiskAccesses++
+	d.stats.HHRDiskAccesses.Add(1)
 
 	var s int64
 	k := 0

@@ -103,8 +103,8 @@ func TestHHRBackwardSplitsAtByteBoundary(t *testing.T) {
 	if !m.Dirty() {
 		t.Error("HHR must dirty the manifest")
 	}
-	if d.stats.HHROps != 1 {
-		t.Errorf("HHROps = %d, want 1", d.stats.HHROps)
+	if d.stats.HHROps.Load() != 1 {
+		t.Errorf("HHROps = %d, want 1", d.stats.HHROps.Load())
 	}
 }
 
@@ -153,12 +153,12 @@ func TestHHRRefusesNonMergedEntries(t *testing.T) {
 	d, m := hhrFixture(t, cfg, old)
 	m.Entries[0].Kind = store.KindHook // hooks must never be re-chunked
 	f := &fileState{name: "f", pending: mkPending(old[1024:], 1024)}
-	before := d.stats.HHRDiskAccesses
+	before := d.stats.HHRDiskAccesses.Load()
 	shift, err := d.hhrBackward(f, m, 0)
 	if err != nil || shift != 0 {
 		t.Errorf("hook entry was processed: shift=%d err=%v", shift, err)
 	}
-	if d.stats.HHRDiskAccesses != before {
+	if d.stats.HHRDiskAccesses.Load() != before {
 		t.Error("hook entry caused a chunk reload")
 	}
 	if len(m.Entries) != 1 || m.Dirty() {
@@ -182,7 +182,7 @@ func TestHHRNoMatchNoEdgeLeavesEntryIntact(t *testing.T) {
 	}
 	// The reload itself is still charged — that is the repeat cost the
 	// EdgeHash exists to stop.
-	if d.stats.HHRDiskAccesses == 0 {
+	if d.stats.HHRDiskAccesses.Load() == 0 {
 		t.Error("byte comparison requires a reload even when nothing matches")
 	}
 }
@@ -204,11 +204,11 @@ func TestHHRNoMatchWithEdgePlantsGuard(t *testing.T) {
 		t.Errorf("edge guard wrong: %+v", edge)
 	}
 	// A second identical attempt stops at the plain edge without reload.
-	before := d.stats.HHRDiskAccesses
+	before := d.stats.HHRDiskAccesses.Load()
 	if _, err := d.hhrBackward(f, m, 1); err != nil {
 		t.Fatal(err)
 	}
-	if d.stats.HHRDiskAccesses != before {
+	if d.stats.HHRDiskAccesses.Load() != before {
 		t.Error("edge guard did not prevent the repeat reload")
 	}
 }

@@ -5,7 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
+
+	"mhdedup/internal/chunker"
 )
 
 // TestPipelineParityWithSynchronous is the pipeline's master test: with any
@@ -67,6 +70,86 @@ func TestPipelineErrorPropagation(t *testing.T) {
 type failingReader struct{ err error }
 
 func (r *failingReader) Read([]byte) (int, error) { return 0, r.err }
+
+// endlessChunker produces chunks forever — a stand-in for an input stream
+// much longer than the pipeline's read-ahead.
+type endlessChunker struct{ n int }
+
+func (c *endlessChunker) Next() (chunker.Chunk, error) {
+	c.n++
+	return chunker.Chunk{Data: randBytes(int64(c.n), 4096)}, nil
+}
+
+// TestPipelineStopMidStreamNoGoroutineLeak abandons a pipeline with chunks
+// still queued, workers mid-hash and the reader blocked on read-ahead —
+// stop() must unwind all of them. The goroutine count is the leak oracle.
+func TestPipelineStopMidStreamNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < 10; i++ {
+		p := newChunkPipeline(&endlessChunker{}, 4)
+		// Consume a few chunks so slots, workers and the reader are all in
+		// flight, then walk away mid-stream.
+		for j := 0; j < 5; j++ {
+			if item := p.next(); item.err != nil {
+				t.Fatalf("next: %v", item.err)
+			}
+		}
+		p.stop()
+	}
+	waitForGoroutines(t, baseline)
+}
+
+// TestPipelineStopAfterExhaustion: stop() after the stream drained to its
+// terminal error must be a clean no-op (this is the normal PutFile path —
+// the deferred stop always runs).
+func TestPipelineStopAfterExhaustion(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	var chunks []chunker.Chunk
+	for i := 0; i < 8; i++ {
+		chunks = append(chunks, chunker.Chunk{Data: randBytes(int64(300+i), 2048)})
+	}
+	p := newChunkPipeline(&sliceChunker{chunks: chunks}, 4)
+	var got int
+	for {
+		item := p.next()
+		if item.err == io.EOF || item.err == errPipelineClosed {
+			break
+		}
+		if item.err != nil {
+			t.Fatalf("next: %v", item.err)
+		}
+		got++
+	}
+	if got != len(chunks) {
+		t.Errorf("drained %d chunks, want %d", got, len(chunks))
+	}
+	p.stop()
+	waitForGoroutines(t, baseline)
+}
+
+// TestPutFileAbortReleasesPipeline: a PutFile that dies mid-stream (reader
+// error) must tear its pipeline down via the deferred stop — no goroutine
+// may outlive the call.
+func TestPutFileAbortReleasesPipeline(t *testing.T) {
+	cfg := testConfig()
+	cfg.HashWorkers = 4
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := runtime.NumGoroutine()
+	boom := errors.New("stream died")
+	for i := 0; i < 5; i++ {
+		err := d.PutFile(fmt.Sprintf("x%d", i), io.MultiReader(
+			bytes.NewReader(randBytes(int64(500+i), 200_000)),
+			&failingReader{err: boom},
+		))
+		if !errors.Is(err, boom) {
+			t.Fatalf("PutFile error = %v, want %v", err, boom)
+		}
+	}
+	waitForGoroutines(t, baseline)
+}
 
 func TestPipelineEmptyAndTinyFiles(t *testing.T) {
 	cfg := testConfig()

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"encoding/binary"
+	"sync"
+
+	"mhdedup/internal/hashutil"
+)
+
+// Striped locking for the shared hash→location indexes.
+//
+// The concurrent ingest engine shares two hash-keyed maps across sessions:
+// the flat cache index (entry hash → name of the cached manifest holding
+// it, Fig 4's "cache of Manifests, each organized as a hash table"
+// flattened) and, in SI-MHD mode, the sparse hook index (hook hash →
+// manifest name). A single mutex over either map would serialize every
+// chunk of every stream on one lock; instead the key space is sharded into
+// numStripes independent maps, each behind its own RWMutex, selected by the
+// low bits of the (uniformly distributed) SHA-1 key. Two sessions contend
+// only when they touch the same stripe at the same instant — expected
+// 1/numStripes of the time — and the common lookup path takes a read lock,
+// so concurrent readers of one stripe do not block each other at all.
+//
+// The same stripe locks double as the hook-publication locks: finishFile
+// holds the key's stripe write lock across its check-then-create of an
+// on-disk hook (or sparse-index insert), making duplicate-hook suppression
+// atomic when two sessions finish files containing identical content.
+
+// numStripes is the shard count of every striped structure. 64 stripes keep
+// the expected contention probability under 2% for 8 sessions while costing
+// only 64 small maps; it must be a power of two so stripe selection is a
+// mask.
+const numStripes = 64
+
+// stripeOf maps a hash to its stripe: the low bits of the little-endian
+// word formed by the hash's first 8 bytes (SHA-1 output is uniform, so any
+// fixed bit window balances; the low bits match how the bloom filter
+// derives its probe words). The mapping is pure and stable — the same hash
+// always lands on the same stripe, which is what makes the per-stripe lock
+// a lock over "all operations concerning this hash".
+func stripeOf(h hashutil.Sum) int {
+	return int(binary.LittleEndian.Uint64(h[:8]) & (numStripes - 1))
+}
+
+// stripedIndex is a hash→hash map sharded over numStripes lock-guarded
+// maps. Used for the cache index (entry hash → manifest name) and the
+// sparse hook index (hook hash → manifest name).
+type stripedIndex struct {
+	shards [numStripes]indexShard
+}
+
+type indexShard struct {
+	mu sync.RWMutex
+	m  map[hashutil.Sum]hashutil.Sum
+}
+
+// newStripedIndex returns an empty index.
+func newStripedIndex() *stripedIndex {
+	idx := &stripedIndex{}
+	for i := range idx.shards {
+		idx.shards[i].m = make(map[hashutil.Sum]hashutil.Sum)
+	}
+	return idx
+}
+
+// get returns the value for key, if present.
+func (s *stripedIndex) get(key hashutil.Sum) (hashutil.Sum, bool) {
+	sh := &s.shards[stripeOf(key)]
+	sh.mu.RLock()
+	v, ok := sh.m[key]
+	sh.mu.RUnlock()
+	return v, ok
+}
+
+// put sets key→val unconditionally.
+func (s *stripedIndex) put(key, val hashutil.Sum) {
+	sh := &s.shards[stripeOf(key)]
+	sh.mu.Lock()
+	sh.m[key] = val
+	sh.mu.Unlock()
+}
+
+// putIfAbsent sets key→val only if key has no value yet, and reports
+// whether it inserted. This is the atomic first-writer-wins insert the
+// sparse index needs (the paper keeps the first manifest a hook pointed
+// at).
+func (s *stripedIndex) putIfAbsent(key, val hashutil.Sum) bool {
+	sh := &s.shards[stripeOf(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, dup := sh.m[key]; dup {
+		return false
+	}
+	sh.m[key] = val
+	return true
+}
+
+// deleteIf removes key only while it still maps to val (so a stale-entry
+// cleanup cannot erase a mapping another session just refreshed).
+func (s *stripedIndex) deleteIf(key, val hashutil.Sum) {
+	sh := &s.shards[stripeOf(key)]
+	sh.mu.Lock()
+	if cur, ok := sh.m[key]; ok && cur == val {
+		delete(sh.m, key)
+	}
+	sh.mu.Unlock()
+}
+
+// del removes key unconditionally.
+func (s *stripedIndex) del(key hashutil.Sum) {
+	sh := &s.shards[stripeOf(key)]
+	sh.mu.Lock()
+	delete(sh.m, key)
+	sh.mu.Unlock()
+}
+
+// len returns the total entry count across stripes (each stripe read under
+// its lock; the sum is a consistent-enough RAM estimate, exact when no
+// writer is active).
+func (s *stripedIndex) len() int {
+	var n int
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// publishLocks are the per-hash-stripe mutexes serializing hook
+// publication (check-then-create of on-disk hooks and bloom insertion) so
+// two sessions finishing files with identical hooks cannot double-create.
+type publishLocks struct {
+	mu [numStripes]sync.Mutex
+}
+
+// lock acquires the publication lock for h's stripe and returns the unlock
+// function.
+func (p *publishLocks) lock(h hashutil.Sum) func() {
+	mu := &p.mu[stripeOf(h)]
+	mu.Lock()
+	return mu.Unlock
+}

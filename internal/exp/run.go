@@ -59,6 +59,11 @@ type Params struct {
 	SHMPerSlice bool
 	TTTD        bool
 	FastCDC     bool
+	// HashWorkers enables MHD's per-stream chunk/hash pipeline; IngestWorkers
+	// caps how many backup streams ingest concurrently (MHD/SI-MHD only —
+	// the baseline engines are single-stream).
+	HashWorkers   int
+	IngestWorkers int
 }
 
 // DefaultParams returns paper-faithful settings for one algorithm.
@@ -93,6 +98,10 @@ func (p Params) bloomBytes() int {
 
 // Build constructs the deduplicator p describes.
 func Build(p Params) (algo.Deduplicator, error) {
+	if p.IngestWorkers > 1 && p.Algo != AlgoMHD && p.Algo != AlgoSIMHD {
+		return nil, fmt.Errorf("exp: %q does not support concurrent ingest (IngestWorkers=%d); only %s and %s do",
+			p.Algo, p.IngestWorkers, AlgoMHD, AlgoSIMHD)
+	}
 	switch p.Algo {
 	case AlgoMHD, AlgoSIMHD:
 		cfg := core.DefaultConfig()
@@ -106,6 +115,8 @@ func Build(p Params) (algo.Deduplicator, error) {
 		cfg.SHMPerSlice = p.SHMPerSlice
 		cfg.TTTD = p.TTTD
 		cfg.FastCDC = p.FastCDC
+		cfg.HashWorkers = p.HashWorkers
+		cfg.IngestWorkers = p.IngestWorkers
 		cfg.SparseIndex = p.Algo == AlgoSIMHD
 		return core.New(cfg)
 	case AlgoCDC:

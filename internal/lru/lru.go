@@ -11,12 +11,17 @@ package lru
 import (
 	"container/list"
 	"fmt"
+	"sync"
 )
 
-// Cache is an LRU cache from K to V. It is not safe for concurrent use; the
-// deduplication pipeline is single-stream by design (the paper's system
-// processes one backup stream in order).
+// Cache is an LRU cache from K to V. It is safe for concurrent use: a single
+// mutex guards the recency list and the map, so N ingest sessions can share
+// one manifest cache. The eviction callback is invoked with the cache lock
+// held — it must not call back into the cache (the deduplicator's write-back
+// callback touches only the disk and the striped hash index, never the
+// cache itself).
 type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
 	capacity int
 	items    map[K]*list.Element
 	order    *list.List // front = most recently used
@@ -32,7 +37,8 @@ type entry[K comparable, V any] struct {
 
 // New returns a cache holding at most capacity entries. onEvict, if
 // non-nil, is called for each entry as it leaves the cache (by LRU pressure
-// or Remove; not by Clear with discard=true).
+// or Remove; not by Clear with discard=true). onEvict runs under the cache
+// lock and must not re-enter the cache.
 func New[K comparable, V any](capacity int, onEvict func(K, V)) (*Cache[K, V], error) {
 	if capacity <= 0 {
 		return nil, fmt.Errorf("lru: capacity must be positive, got %d", capacity)
@@ -47,6 +53,8 @@ func New[K comparable, V any](capacity int, onEvict func(K, V)) (*Cache[K, V], e
 
 // Get returns the value for key and marks it most recently used.
 func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits++
@@ -59,6 +67,8 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 
 // Peek returns the value for key without updating recency or hit counters.
 func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		return el.Value.(*entry[K, V]).val, true
 	}
@@ -69,6 +79,8 @@ func (c *Cache[K, V]) Peek(key K) (V, bool) {
 // Put inserts or updates key, marking it most recently used, evicting the
 // LRU entry if the cache is over capacity.
 func (c *Cache[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
 		el.Value.(*entry[K, V]).val = val
 		c.order.MoveToFront(el)
@@ -83,6 +95,8 @@ func (c *Cache[K, V]) Put(key K, val V) {
 
 // Remove deletes key, invoking the eviction callback if present.
 func (c *Cache[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
 		return false
@@ -92,19 +106,27 @@ func (c *Cache[K, V]) Remove(key K) bool {
 }
 
 // Len returns the number of cached entries.
-func (c *Cache[K, V]) Len() int { return c.order.Len() }
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
 
 // Cap returns the capacity.
 func (c *Cache[K, V]) Cap() int { return c.capacity }
 
 // Stats returns hit/miss/eviction counters.
 func (c *Cache[K, V]) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.hits, c.misses, c.evictions
 }
 
-// Each calls fn for every cached entry, most recently used first. fn must
-// not mutate the cache.
+// Each calls fn for every cached entry, most recently used first. fn runs
+// under the cache lock: it must not mutate the cache or call back into it.
 func (c *Cache[K, V]) Each(fn func(K, V)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for el := c.order.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*entry[K, V])
 		fn(e.key, e.val)
@@ -114,11 +136,14 @@ func (c *Cache[K, V]) Each(fn func(K, V)) {
 // Flush evicts every entry through the eviction callback (used at stream end
 // to write back all dirty manifests).
 func (c *Cache[K, V]) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for c.order.Len() > 0 {
 		c.evictOldest()
 	}
 }
 
+// evictOldest must be called with the lock held.
 func (c *Cache[K, V]) evictOldest() {
 	el := c.order.Back()
 	if el != nil {
@@ -127,6 +152,7 @@ func (c *Cache[K, V]) evictOldest() {
 	}
 }
 
+// removeElement must be called with the lock held.
 func (c *Cache[K, V]) removeElement(el *list.Element) {
 	e := el.Value.(*entry[K, V])
 	c.order.Remove(el)

@@ -1,6 +1,7 @@
 package lru
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -169,5 +170,113 @@ func TestLastWriterWins(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestConcurrentAccess hammers one cache from 8 goroutines mixing Put, Get,
+// Peek, Remove, Each, Stats and Len (run under -race). Each goroutine also
+// owns a private key range whose writes it must never lose; the capacity
+// invariant must hold throughout.
+func TestConcurrentAccess(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 500
+		capacity   = 64
+	)
+	c, err := New[int, int](capacity, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			base := g * 1_000_000
+			for i := 0; i < perG; i++ {
+				k := base + i
+				c.Put(k, k*2)
+				// Immediately readable (eviction may strike between ops for
+				// OTHER keys, but a just-Put key is MRU — it can only be
+				// evicted by concurrent Puts filling the whole cache, so
+				// tolerate a miss but never a wrong value).
+				if v, ok := c.Get(k); ok && v != k*2 {
+					t.Errorf("g%d: Get(%d) = %d, want %d", g, k, v, k*2)
+					return
+				}
+				if v, ok := c.Peek(k); ok && v != k*2 {
+					t.Errorf("g%d: Peek(%d) = %d, want %d", g, k, v, k*2)
+					return
+				}
+				if n := c.Len(); n > capacity {
+					t.Errorf("g%d: Len %d exceeds capacity %d", g, n, capacity)
+					return
+				}
+				switch i % 8 {
+				case 3:
+					c.Remove(k)
+				case 5:
+					c.Each(func(k, v int) {
+						if v != k*2 {
+							t.Errorf("Each saw %d -> %d", k, v)
+						}
+					})
+				case 7:
+					c.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > capacity {
+		t.Errorf("final Len %d exceeds capacity %d", n, capacity)
+	}
+}
+
+// TestConcurrentEvictionCallback: the onEvict callback runs under the cache
+// lock; concurrent Puts far beyond capacity must fire it exactly
+// (inserts − capacity) times with no double- or dropped evictions, and the
+// callback must see each evicted key once.
+func TestConcurrentEvictionCallback(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 300
+		capacity   = 16
+	)
+	seen := make(map[int]int)
+	var mu sync.Mutex
+	c, err := New[int, int](capacity, func(k, _ int) {
+		// Called with the cache lock held — do NOT touch the cache here,
+		// only private state (mirrors how the dedup engine's write-back
+		// callback touches the store, never the cache).
+		mu.Lock()
+		seen[k]++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Put(g*1_000_000+i, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	var evictions int
+	for k, n := range seen {
+		if n != 1 {
+			t.Errorf("key %d evicted %d times", k, n)
+		}
+		evictions += n
+	}
+	if want := goroutines*perG - capacity; evictions != want {
+		t.Errorf("evictions = %d, want %d (every insert beyond capacity)", evictions, want)
 	}
 }

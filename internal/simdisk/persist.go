@@ -26,6 +26,8 @@ var categoryDirs = map[Category]string{
 // SaveDir writes every stored object under dir, creating it if needed.
 // Object names are encoded so they are safe as file names.
 func (d *Disk) SaveDir(dir string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	for cat, sub := range categoryDirs {
 		catDir := filepath.Join(dir, sub)
 		if err := os.MkdirAll(catDir, 0o755); err != nil {

@@ -15,6 +15,7 @@ package simdisk
 
 import (
 	"fmt"
+	"sync"
 )
 
 // Category classifies stored objects the way the paper's analysis does.
@@ -110,15 +111,22 @@ func (c Counters) Accesses() int64 {
 }
 
 // Disk is the simulated disk. The zero value is not usable; construct with
-// New. Disk is not safe for concurrent use: the deduplication pipeline is a
-// single ordered stream, as in the paper.
+// New. Disk is safe for concurrent use: a single mutex serializes every
+// operation, so the access and byte counters — the inputs of the disk cost
+// model — stay exact no matter how many ingest sessions run at once. The
+// lock models what a real spindle serializes anyway (each Create/Read/Write
+// is "one disk access" in the paper's accounting), and the operations under
+// it are map lookups and memcpy, so it is never the scaling bottleneck:
+// chunking and SHA-1 dominate and run outside it.
 type Disk struct {
+	mu       sync.Mutex
 	objects  [numCategories]map[string][]byte
 	counters Counters
 
 	// failHook, when non-nil, is consulted before every operation; a
 	// non-nil return aborts the operation with that error. Used for
-	// failure-injection tests.
+	// failure-injection tests. It is called with the disk lock held and
+	// must not call back into the Disk.
 	failHook func(Op, Category, string) error
 }
 
@@ -134,6 +142,8 @@ func New() *Disk {
 // SetFailureHook installs fn as a fault injector: it is called before every
 // operation and may return an error to abort it. Pass nil to clear.
 func (d *Disk) SetFailureHook(fn func(op Op, cat Category, name string) error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.failHook = fn
 }
 
@@ -154,6 +164,8 @@ func (d *Disk) check(op Op, cat Category, name string) error {
 // and the Hook files that have been written to disk will not be further
 // modified").
 func (d *Disk) Create(cat Category, name string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.check(OpCreate, cat, name); err != nil {
 		return err
 	}
@@ -169,6 +181,8 @@ func (d *Disk) Create(cat Category, name string, data []byte) error {
 // Write replaces the content of an existing object (only Manifests are
 // updated in place during deduplication).
 func (d *Disk) Write(cat Category, name string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.check(OpWrite, cat, name); err != nil {
 		return err
 	}
@@ -184,6 +198,8 @@ func (d *Disk) Write(cat Category, name string, data []byte) error {
 // Delete removes an object (one disk access). Deleting a missing object is
 // an error.
 func (d *Disk) Delete(cat Category, name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.check(OpDelete, cat, name); err != nil {
 		return err
 	}
@@ -197,6 +213,8 @@ func (d *Disk) Delete(cat Category, name string) error {
 
 // Read returns a copy of the object's content.
 func (d *Disk) Read(cat Category, name string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.check(OpRead, cat, name); err != nil {
 		return nil, err
 	}
@@ -214,6 +232,8 @@ func (d *Disk) Read(cat Category, name string) ([]byte, error) {
 // primitive HHR uses to reload part of an old DiskChunk, and counts as one
 // disk access like Read.
 func (d *Disk) ReadRange(cat Category, name string, off, length int64) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.check(OpRead, cat, name); err != nil {
 		return nil, err
 	}
@@ -234,6 +254,8 @@ func (d *Disk) ReadRange(cat Category, name string, off, length int64) ([]byte, 
 // Exists reports whether the object is present. It counts as one disk
 // access: it models the on-disk lookup the bloom filter exists to avoid.
 func (d *Disk) Exists(cat Category, name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if err := d.check(OpExists, cat, name); err != nil {
 		return false
 	}
@@ -248,6 +270,8 @@ func (d *Disk) Exists(cat Category, name string) bool {
 // Size returns the stored size of an object without counting an access
 // (metadata the in-RAM structures already know).
 func (d *Disk) Size(cat Category, name string) (int64, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	data, ok := d.objects[cat][name]
 	return int64(len(data)), ok
 }
@@ -259,6 +283,8 @@ func (d *Disk) Names(cat Category) []string {
 	if cat < 0 || cat >= numCategories {
 		return nil
 	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]string, 0, len(d.objects[cat]))
 	for name := range d.objects[cat] {
 		out = append(out, name)
@@ -267,16 +293,28 @@ func (d *Disk) Names(cat Category) []string {
 }
 
 // Counters returns a snapshot of the access counters.
-func (d *Disk) Counters() Counters { return d.counters }
+func (d *Disk) Counters() Counters {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.counters
+}
 
 // ObjectCount returns the number of stored objects in cat — the inode count
 // for that category.
 func (d *Disk) ObjectCount(cat Category) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return int64(len(d.objects[cat]))
 }
 
 // TotalObjects returns the total number of stored objects (total inodes).
 func (d *Disk) TotalObjects() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.totalObjectsLocked()
+}
+
+func (d *Disk) totalObjectsLocked() int64 {
 	var t int64
 	for i := range d.objects {
 		t += int64(len(d.objects[i]))
@@ -286,6 +324,12 @@ func (d *Disk) TotalObjects() int64 {
 
 // BytesStored returns the byte size of all objects in cat.
 func (d *Disk) BytesStored(cat Category) int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytesStoredLocked(cat)
+}
+
+func (d *Disk) bytesStoredLocked(cat Category) int64 {
 	var t int64
 	for _, data := range d.objects[cat] {
 		t += int64(len(data))

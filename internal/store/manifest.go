@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"mhdedup/internal/hashutil"
 )
@@ -102,6 +103,12 @@ type Entry struct {
 // describing one DiskChunk (or, for FormatMultiContainer, one segment whose
 // chunks may live in several DiskChunks). The zero value is not usable;
 // construct with NewManifest or Store.ReadManifest.
+//
+// A Manifest is not implicitly synchronized. Single-stream engines use it
+// bare; the concurrent ingest engine shares cache-resident manifests across
+// sessions and brackets every access (Lookup, entry walks, Splice, Encode)
+// with Lock/Unlock. The lock lives here so that the eviction write-back and
+// a match extension in another goroutine serialize on the same mutex.
 type Manifest struct {
 	// Name is the manifest's hash-addressable name. For single-container
 	// formats it is also the name of the DiskChunk it describes.
@@ -109,9 +116,17 @@ type Manifest struct {
 	Format  Format
 	Entries []Entry
 
+	mu    sync.Mutex
 	dirty bool
 	index map[hashutil.Sum]int
 }
+
+// Lock acquires the manifest's mutex. Callers sharing a manifest across
+// goroutines must hold it around every read or mutation, including Encode.
+func (m *Manifest) Lock() { m.mu.Lock() }
+
+// Unlock releases the manifest's mutex.
+func (m *Manifest) Unlock() { m.mu.Unlock() }
 
 // NewManifest returns an empty manifest with the given name and format.
 func NewManifest(name hashutil.Sum, format Format) *Manifest {

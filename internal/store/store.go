@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync/atomic"
 
 	"mhdedup/internal/hashutil"
 	"mhdedup/internal/simdisk"
@@ -17,10 +18,16 @@ const HookPayloadBytes = hashutil.Size
 // Store ties the metadata formats to a simulated disk. All object names are
 // 20-byte sums rendered as hex; FileManifests are keyed by the input file's
 // name. A Store is bound to one manifest Format (one algorithm run).
+//
+// Store is safe for concurrent use: the name sequence is allocated with an
+// atomic counter and every disk operation is serialized by the Disk itself.
+// Note that Manifest objects handed out by ReadManifest are NOT implicitly
+// guarded — callers that share a manifest across goroutines must hold its
+// lock (Manifest.Lock/Unlock) around reads and mutations.
 type Store struct {
 	disk   *simdisk.Disk
 	format Format
-	seq    uint64
+	seq    atomic.Uint64
 }
 
 // New returns a Store over disk using the given manifest format.
@@ -40,12 +47,12 @@ func (s *Store) Format() Format { return s.format }
 // them unique even when two files happen to store identical bytes. When a
 // Store is resumed over an existing disk the sequence restarts, so names
 // are probed against the disk (no access charged) until a fresh one is
-// found.
+// found. Concurrent callers receive distinct names (the sequence is
+// atomic), so two ingest sessions can never collide on a DiskChunk name.
 func (s *Store) NextName() hashutil.Sum {
 	for {
 		var b [8]byte
-		s.seq++
-		binary.BigEndian.PutUint64(b[:], s.seq)
+		binary.BigEndian.PutUint64(b[:], s.seq.Add(1))
 		name := hashutil.SumBytes(b[:])
 		if _, used := s.disk.Size(simdisk.Data, name.Hex()); used {
 			continue

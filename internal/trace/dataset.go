@@ -348,6 +348,14 @@ func (m *machine) buildDayZero() {
 	f := m.cfg.SharedFraction
 	for total < m.cfg.SnapshotBytes {
 		osLen := 256<<10 + layout.Int63n(768<<10) // 256 KiB – 1 MiB OS extent
+		if f <= 0 {
+			// No shared content at all: the whole image is drawn from the
+			// machine's private pool, so different machines share nothing
+			// (the concurrency stress test depends on this disjointness).
+			m.exts = append(m.exts, m.fresh(osLen))
+			total += osLen
+			continue
+		}
 		m.exts = append(m.exts, extent{pool: osPool, off: osOff, n: osLen})
 		osOff += osLen
 		total += osLen
