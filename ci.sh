@@ -1,8 +1,10 @@
 #!/bin/sh
-# CI gate: static checks, full build, and the complete test suite under the
-# race detector. This is the command the concurrency work is held to —
-# `go test -race` covers the 8-goroutine ingest stress test, the striped
-# index and LRU hammer tests, and the pipeline shutdown/leak tests.
+# CI gate: static checks, full build, the complete test suite under the
+# race detector, a dedicated crash-consistency smoke, and short fuzz
+# smokes of the decoder surfaces. This is the command the concurrency and
+# robustness work is held to — `go test -race` covers the 8-goroutine
+# ingest stress test, the striped index and LRU hammer tests, the pipeline
+# shutdown/leak tests, and the kill-point persistence tests.
 #
 # Usage: ./ci.sh
 set -eu
@@ -18,5 +20,19 @@ echo "== go test -race =="
 # detector on a small machine it can exceed go test's default 10-minute
 # per-package timeout, so raise it.
 go test -race -timeout 45m ./...
+
+echo "== crash-consistency smoke (10 seeds, race) =="
+# Kill SaveDir at a random injection point per seed (payloads torn half the
+# time), then demand recovery mounts exactly the old or the new store —
+# never a hybrid — and passes fsck. -short runs 10 seeds; the full suite
+# above already ran 100.
+go test -race -short -count=1 -run 'TestCrashConsistency' ./internal/store
+
+echo "== fuzz smokes (5s each) =="
+# Each target runs alone: `go test -fuzz` accepts only one matching fuzz
+# target per invocation.
+go test -run '^$' -fuzz 'FuzzEncodeDecodeName' -fuzztime 5s ./internal/simdisk
+go test -run '^$' -fuzz 'FuzzDecodeManifest$' -fuzztime 5s ./internal/store
+go test -run '^$' -fuzz 'FuzzDecodeFileManifest' -fuzztime 5s ./internal/store
 
 echo "CI OK"

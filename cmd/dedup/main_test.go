@@ -4,7 +4,10 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
+
+	"mhdedup/internal/simdisk"
 )
 
 func writeTestFiles(t *testing.T, dir string) map[string][]byte {
@@ -50,7 +53,10 @@ func TestRunOnDirectoryWithVerifyAndSave(t *testing.T) {
 	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := os.Stat(filepath.Join(storeDir, "chunks")); err != nil {
+	if _, err := os.Stat(filepath.Join(storeDir, "MANIFEST.json")); err != nil {
+		t.Errorf("store not saved (commit marker missing): %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "gen-000001", "chunks")); err != nil {
 		t.Errorf("store not saved: %v", err)
 	}
 }
@@ -135,5 +141,46 @@ func TestRunErrors(t *testing.T) {
 	o.workload = true
 	if err := run(o); err == nil {
 		t.Error("-parallel 0 accepted")
+	}
+}
+
+func TestRunScrubMode(t *testing.T) {
+	dir := t.TempDir()
+	writeTestFiles(t, dir)
+	storeDir := filepath.Join(t.TempDir(), "store")
+	o := baseOptions()
+	o.dir = dir
+	o.save = storeDir
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// A clean store scrubs clean.
+	if err := run(runOptions{scrub: storeDir}); err != nil {
+		t.Fatalf("scrub of clean store: %v", err)
+	}
+	// Corrupt one stored chunk file on disk; scrub must notice, quarantine,
+	// and exit non-zero.
+	disk, err := simdisk.LoadDir(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := disk.Names(simdisk.Data)
+	sort.Strings(names)
+	fd := simdisk.NewFaultDisk(disk, simdisk.FaultPlan{Seed: 3})
+	if err := fd.FlipStoredBit(simdisk.Data, names[0], 123); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.SaveDir(storeDir); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(runOptions{scrub: storeDir}); err == nil {
+		t.Fatal("scrub of corrupt store should exit non-zero")
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "quarantine", "data-"+names[0])); err != nil {
+		t.Errorf("quarantined object not preserved: %v", err)
+	}
+	// The quarantining was persisted: a second scrub is clean.
+	if err := run(runOptions{scrub: storeDir}); err != nil {
+		t.Fatalf("second scrub: %v", err)
 	}
 }

@@ -6,11 +6,25 @@
 //	restore -store /tmp/store -list
 //	restore -store /tmp/store -file m00/d01 -out /tmp/m00-d01.img
 //	restore -store /tmp/store -all -out /tmp/restored/
+//	restore -store /tmp/store -all -out /tmp/restored/ -verify
+//	restore -store /tmp/store -scrub
+//
+// Opening a store runs crash recovery first: if a previous save was
+// interrupted, its partial generation is rolled back and the last
+// consistent one is mounted. With -verify every chunk is re-hashed against
+// the content address its manifest vouches for before a byte is written,
+// so corrupt stores fail loudly instead of producing corrupt output. Output
+// files are written atomically (to <name>.tmp, renamed into place on
+// success), so an interrupted or failed restore never leaves a truncated
+// file that looks complete. -scrub verifies the whole store, quarantines
+// objects with persistent damage under <store>/quarantine/, and saves the
+// cleaned store back.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -19,135 +33,205 @@ import (
 )
 
 func main() {
-	var (
-		storeDir = flag.String("store", "", "directory written by dedup -save (required)")
-		list     = flag.Bool("list", false, "list restorable files")
-		file     = flag.String("file", "", "file to restore")
-		all      = flag.Bool("all", false, "restore every file")
-		out      = flag.String("out", "", "output file (-file) or directory (-all)")
-		check    = flag.Bool("check", false, "run a consistency check of the store (fsck)")
-		del      = flag.String("delete", "", "delete a file's recipe from the store")
-		gc       = flag.Bool("gc", false, "reclaim unreferenced containers after deletions")
-	)
+	var o restoreOptions
+	flag.StringVar(&o.storeDir, "store", "", "directory written by dedup -save (required)")
+	flag.BoolVar(&o.list, "list", false, "list restorable files")
+	flag.StringVar(&o.file, "file", "", "file to restore")
+	flag.BoolVar(&o.all, "all", false, "restore every file")
+	flag.StringVar(&o.out, "out", "", "output file (-file) or directory (-all)")
+	flag.BoolVar(&o.check, "check", false, "run a consistency check of the store (fsck)")
+	flag.BoolVar(&o.verify, "verify", false, "re-hash every chunk against its content address while restoring")
+	flag.BoolVar(&o.scrub, "scrub", false, "verify the whole store and quarantine corrupt objects")
+	flag.StringVar(&o.del, "delete", "", "delete a file's recipe from the store")
+	flag.BoolVar(&o.gc, "gc", false, "reclaim unreferenced containers after deletions")
 	flag.Parse()
-	if err := run2(*storeDir, *list, *file, *all, *out, *check, *del, *gc); err != nil {
+	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "restore:", err)
 		os.Exit(1)
 	}
 }
 
-func run2(storeDir string, list bool, file string, all bool, out string, check bool, del string, gc bool) error {
-	if del != "" || gc {
-		if storeDir == "" {
-			return fmt.Errorf("-store is required")
-		}
-		st, err := dedup.OpenStore(storeDir)
-		if err != nil {
+// restoreOptions carries every flag; one struct so tests can name the
+// fields they care about.
+type restoreOptions struct {
+	storeDir string
+	list     bool
+	file     string
+	all      bool
+	out      string
+	check    bool
+	verify   bool
+	scrub    bool
+	del      string
+	gc       bool
+}
+
+func run(o restoreOptions, w io.Writer) error {
+	if o.storeDir == "" {
+		return fmt.Errorf("-store is required")
+	}
+	st, err := dedup.OpenStore(o.storeDir)
+	if err != nil {
+		return err
+	}
+
+	if o.scrub {
+		if err := runScrub(st, o.storeDir, w); err != nil {
 			return err
 		}
-		if del != "" {
-			if err := st.Delete(del); err != nil {
+		if !o.list && o.file == "" && !o.all {
+			return nil
+		}
+	}
+	if o.del != "" || o.gc {
+		if o.del != "" {
+			if err := st.Delete(o.del); err != nil {
 				return err
 			}
-			fmt.Printf("deleted %s\n", del)
+			fmt.Fprintf(w, "deleted %s\n", o.del)
 		}
-		if gc {
+		if o.gc {
 			stats, err := st.Sweep()
 			if err != nil {
 				return err
 			}
-			fmt.Printf("gc: reclaimed %d containers (%d bytes), %d manifests, %d hooks\n",
+			fmt.Fprintf(w, "gc: reclaimed %d containers (%d bytes), %d manifests, %d hooks\n",
 				stats.ContainersDeleted, stats.BytesReclaimed, stats.ManifestsDeleted, stats.HooksDeleted)
 		}
-		// Persist the post-GC store back to the directory.
-		if err := saveBack(st, storeDir); err != nil {
-			return err
-		}
-		return nil
+		// Persist the post-GC store: SaveDir commits a new generation
+		// atomically, so a crash here loses nothing.
+		return st.Save(o.storeDir)
 	}
-	if check {
-		if storeDir == "" {
-			return fmt.Errorf("-store is required")
-		}
-		st, err := dedup.OpenStore(storeDir)
-		if err != nil {
-			return err
-		}
+	if o.check {
 		problems := st.Check()
 		if len(problems) == 0 {
-			fmt.Println("store is consistent")
-			if list || file != "" || all {
-				return run(storeDir, list, file, all, out)
+			fmt.Fprintln(w, "store is consistent")
+		} else {
+			for _, p := range problems {
+				fmt.Fprintln(w, "PROBLEM:", p)
 			}
+			return fmt.Errorf("%d problems found", len(problems))
+		}
+		if !o.list && o.file == "" && !o.all {
 			return nil
 		}
-		for _, p := range problems {
-			fmt.Println("PROBLEM:", p)
-		}
-		return fmt.Errorf("%d problems found", len(problems))
 	}
-	return run(storeDir, list, file, all, out)
+
+	restore := st.Restore
+	if o.verify {
+		restore = st.VerifyRestore
+	}
+	switch {
+	case o.list:
+		for _, name := range st.Files() {
+			fmt.Fprintln(w, name)
+		}
+		return nil
+	case o.all:
+		if o.out == "" {
+			return fmt.Errorf("-all requires -out directory")
+		}
+		// Restore every file, continuing past per-file failures: one bad
+		// container must not hold the rest of the archive hostage. Each
+		// outcome is reported; any failure makes the run exit non-zero.
+		var ok, failed int
+		for _, name := range st.Files() {
+			path := filepath.Join(o.out, filepath.FromSlash(strings.ReplaceAll(name, ":", "_")))
+			if err := restoreTo(restore, name, path); err != nil {
+				fmt.Fprintf(w, "FAILED   %s: %v\n", name, err)
+				failed++
+				continue
+			}
+			fmt.Fprintf(w, "restored %s\n", name)
+			ok++
+		}
+		fmt.Fprintf(w, "%d restored, %d failed\n", ok, failed)
+		if failed > 0 {
+			return fmt.Errorf("%d of %d files failed to restore", failed, ok+failed)
+		}
+		return nil
+	case o.file != "":
+		if o.out == "" {
+			return fmt.Errorf("-file requires -out path")
+		}
+		if err := restoreTo(restore, o.file, o.out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "restored %s to %s\n", o.file, o.out)
+		return nil
+	default:
+		return fmt.Errorf("one of -list, -file, -all, -check, -scrub, -delete or -gc is required")
+	}
 }
 
-func run(storeDir string, list bool, file string, all bool, out string) error {
-	if storeDir == "" {
-		return fmt.Errorf("-store is required")
-	}
-	st, err := dedup.OpenStore(storeDir)
+// runScrub verifies every container of the store, quarantines persistently
+// damaged objects, reports, and persists the scrubbed store.
+func runScrub(st *dedup.Store, dir string, w io.Writer) error {
+	rep, err := st.Scrub(dedup.VerifyOpts{})
 	if err != nil {
 		return err
 	}
-	switch {
-	case list:
-		for _, name := range st.Files() {
-			fmt.Println(name)
-		}
-		return nil
-	case all:
-		if out == "" {
-			return fmt.Errorf("-all requires -out directory")
-		}
-		for _, name := range st.Files() {
-			path := filepath.Join(out, filepath.FromSlash(strings.ReplaceAll(name, ":", "_")))
-			if err := restoreTo(st, name, path); err != nil {
-				return err
-			}
-			fmt.Printf("restored %s\n", name)
-		}
-		return nil
-	case file != "":
-		if out == "" {
-			return fmt.Errorf("-file requires -out path")
-		}
-		if err := restoreTo(st, file, out); err != nil {
-			return err
-		}
-		fmt.Printf("restored %s to %s\n", file, out)
-		return nil
-	default:
-		return fmt.Errorf("one of -list, -file or -all is required")
+	fmt.Fprintf(w, "scrub: %d containers checked, %d entries verified\n",
+		rep.ContainersChecked, rep.EntriesVerified)
+	for _, m := range rep.Corrupt {
+		fmt.Fprintln(w, "CORRUPT:", m.String())
 	}
-}
-
-// saveBack rewrites the store directory to reflect deletions and sweeps.
-func saveBack(st *dedup.Store, dir string) error {
-	if err := os.RemoveAll(dir); err != nil {
+	for _, name := range rep.Unreadable {
+		fmt.Fprintf(w, "UNREADABLE: container %s\n", name)
+	}
+	for _, name := range rep.BadManifests {
+		fmt.Fprintf(w, "BAD MANIFEST: %s\n", name)
+	}
+	for _, q := range rep.Quarantined {
+		fmt.Fprintf(w, "quarantined %s\n", q)
+	}
+	for _, f := range rep.AffectedFiles {
+		fmt.Fprintf(w, "file lost data: %s\n", f)
+	}
+	if rep.OK() {
+		fmt.Fprintln(w, "scrub: store is clean")
+		return nil
+	}
+	if err := st.Save(dir); err != nil {
 		return err
 	}
-	return st.Save(dir)
+	fmt.Fprintf(w, "scrub: quarantined %d objects into %s\n",
+		len(rep.Quarantined), filepath.Join(dir, "quarantine"))
+	return nil
 }
 
-func restoreTo(st *dedup.Store, name, path string) error {
+// restoreTo writes one restored file atomically: the bytes go to
+// <path>.tmp, which is fsynced and renamed into place only after the
+// restore completed. On any error the temp file is removed, so a failed or
+// interrupted restore never leaves a truncated file under the final name.
+func restoreTo(restore func(string, io.Writer) error, name, path string) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := st.Restore(name, f); err != nil {
+	cleanup := func() {
 		f.Close()
+		os.Remove(tmp)
+	}
+	if err := restore(name, f); err != nil {
+		cleanup()
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }

@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"testing"
 
 	"mhdedup/dedup"
+	"mhdedup/internal/simdisk"
 )
 
 func buildStore(t *testing.T) (string, map[string][]byte) {
@@ -36,10 +40,34 @@ func buildStore(t *testing.T) (string, map[string][]byte) {
 	return dir, files
 }
 
+// corruptOneContainer flips a bit in one stored Data container of the store
+// directory and saves the damage back, returning the container's name.
+func corruptOneContainer(t *testing.T, storeDir string) string {
+	t.Helper()
+	// Corrupt via the public surface: load, flip one stored bit, save.
+	disk, err := simdisk.LoadDir(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := disk.Names(simdisk.Data)
+	if len(names) == 0 {
+		t.Fatal("store has no containers")
+	}
+	sort.Strings(names)
+	fd := simdisk.NewFaultDisk(disk, simdisk.FaultPlan{Seed: 9})
+	if err := fd.FlipStoredBit(simdisk.Data, names[0], 37); err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.SaveDir(storeDir); err != nil {
+		t.Fatal(err)
+	}
+	return names[0]
+}
+
 func TestRestoreSingleFile(t *testing.T) {
 	storeDir, files := buildStore(t)
 	out := filepath.Join(t.TempDir(), "a.out")
-	if err := run(storeDir, false, "m0/a", false, out); err != nil {
+	if err := run(restoreOptions{storeDir: storeDir, file: "m0/a", out: out}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(out)
@@ -49,12 +77,15 @@ func TestRestoreSingleFile(t *testing.T) {
 	if !bytes.Equal(got, files["m0/a"]) {
 		t.Error("restored file differs")
 	}
+	if _, err := os.Stat(out + ".tmp"); !os.IsNotExist(err) {
+		t.Error("temp file left behind after successful restore")
+	}
 }
 
 func TestRestoreAll(t *testing.T) {
 	storeDir, files := buildStore(t)
 	outDir := t.TempDir()
-	if err := run(storeDir, false, "", true, outDir); err != nil {
+	if err := run(restoreOptions{storeDir: storeDir, all: true, out: outDir, verify: true}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	for name, want := range files {
@@ -70,34 +101,87 @@ func TestRestoreAll(t *testing.T) {
 
 func TestRestoreList(t *testing.T) {
 	storeDir, _ := buildStore(t)
-	if err := run(storeDir, true, "", false, ""); err != nil {
+	if err := run(restoreOptions{storeDir: storeDir, list: true}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRestoreErrors(t *testing.T) {
 	storeDir, _ := buildStore(t)
-	cases := []struct {
-		store, file string
-		list, all   bool
-		out         string
-	}{
-		{"", "", true, false, ""},                                          // no store
-		{storeDir, "", false, false, ""},                                   // no mode
-		{storeDir, "x", false, false, ""},                                  // -file without -out
-		{storeDir, "", false, true, ""},                                    // -all without -out
-		{storeDir, "ghost", false, false, filepath.Join(t.TempDir(), "g")}, // unknown file
+	cases := []restoreOptions{
+		{list: true},                    // no store
+		{storeDir: storeDir},            // no mode
+		{storeDir: storeDir, file: "x"}, // -file without -out
+		{storeDir: storeDir, all: true}, // -all without -out
+		{storeDir: storeDir, file: "ghost", out: filepath.Join(t.TempDir(), "g")}, // unknown file
 	}
-	for i, c := range cases {
-		if err := run(c.store, c.list, c.file, c.all, c.out); err == nil {
+	for i, o := range cases {
+		if err := run(o, io.Discard); err == nil {
 			t.Errorf("case %d should have failed", i)
 		}
 	}
 }
 
+func TestRestoreFailureLeavesNoPartialOutput(t *testing.T) {
+	storeDir, _ := buildStore(t)
+	corruptOneContainer(t, storeDir)
+	outDir := t.TempDir()
+	var buf bytes.Buffer
+	err := run(restoreOptions{storeDir: storeDir, all: true, out: outDir, verify: true}, &buf)
+	if err == nil {
+		t.Fatal("verified restore of a corrupt store should exit non-zero")
+	}
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Errorf("per-file summary missing FAILED line:\n%s", buf.String())
+	}
+	// No final-named output of a failed file, truncated or otherwise, and
+	// no temp debris.
+	entries, err := os.ReadDir(filepath.Join(outDir, "m0"))
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+	// Every file that was written must be byte-complete: a verified restore
+	// never renames a partial file into place. (Completeness is attested by
+	// the summary: files reported "restored" exist, failed ones do not.)
+	out := buf.String()
+	for _, e := range entries {
+		if !strings.Contains(out, "restored m0/"+e.Name()) {
+			t.Errorf("file %s exists but was not reported restored", e.Name())
+		}
+	}
+}
+
+func TestScrubFlagQuarantinesAndSaves(t *testing.T) {
+	storeDir, _ := buildStore(t)
+	bad := corruptOneContainer(t, storeDir)
+	var buf bytes.Buffer
+	if err := run(restoreOptions{storeDir: storeDir, scrub: true}, &buf); err != nil {
+		t.Fatalf("scrub: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "quarantined data/"+bad) {
+		t.Errorf("scrub output does not report the quarantined container:\n%s", buf.String())
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "quarantine", "data-"+bad)); err != nil {
+		t.Errorf("quarantined bytes not preserved: %v", err)
+	}
+	// The scrubbed store was saved back: a fresh scrub is clean.
+	buf.Reset()
+	if err := run(restoreOptions{storeDir: storeDir, scrub: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "store is clean") {
+		t.Errorf("second scrub not clean:\n%s", buf.String())
+	}
+}
+
 func TestDeleteAndGC(t *testing.T) {
 	storeDir, files := buildStore(t)
-	if err := run2(storeDir, false, "", false, "", false, "m0/a", true); err != nil {
+	if err := run(restoreOptions{storeDir: storeDir, del: "m0/a", gc: true}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	// Reopen: m0/a gone, m0/b intact and restorable.
@@ -123,7 +207,7 @@ func TestDeleteAndGC(t *testing.T) {
 
 func TestCheckFlag(t *testing.T) {
 	storeDir, _ := buildStore(t)
-	if err := run2(storeDir, false, "", false, "", true, "", false); err != nil {
+	if err := run(restoreOptions{storeDir: storeDir, check: true}, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -25,6 +25,8 @@ package dedup
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 
 	"mhdedup/internal/algo"
@@ -240,21 +242,45 @@ func SaveStore(eng Engine, dir string) error {
 	return eng.Disk().SaveDir(dir)
 }
 
-// Store is a read-only handle to a saved deduplicated store: it can list
-// and restore the ingested files.
+// Store is a handle to a saved deduplicated store: it can list, verify and
+// restore the ingested files, scrub out corruption, and garbage-collect.
 type Store struct {
-	st *store.Store
+	st  *store.Store
+	dir string
 }
 
-// OpenStore opens a directory written by SaveStore.
+// RecoverReport describes what crash recovery found and repaired in a store
+// directory: the generation mounted, partial saves rolled back, and whether
+// the commit marker had to be rewritten.
+type RecoverReport = simdisk.RecoverReport
+
+// RecoverStore repairs the debris of an interrupted SaveStore/Save in dir:
+// partially written generations are rolled back and the commit marker is
+// rewritten if it was torn, leaving exactly the last consistent generation.
+// It is idempotent and a no-op on clean, legacy, or empty directories.
+// OpenStore and Resume call it automatically.
+func RecoverStore(dir string) (RecoverReport, error) {
+	return simdisk.Recover(dir)
+}
+
+// OpenStore opens a directory written by SaveStore, running crash recovery
+// first: if the last save was interrupted, its partial state is rolled back
+// and the previous consistent generation is mounted.
 func OpenStore(dir string) (*Store, error) {
+	// Recovery is best-effort here (the directory may be read-only);
+	// LoadDir performs the same generation selection read-only and is the
+	// authority on whether the store is mountable.
+	simdisk.Recover(dir)
 	disk, err := simdisk.LoadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	// Restore follows FileManifests and raw chunk ranges only; the
-	// manifest format is irrelevant on this path.
-	return &Store{st: store.New(disk, store.FormatBasic)}, nil
+	// Restore follows FileManifests and raw chunk ranges only, but
+	// verification and scrubbing must decode every manifest, so the format
+	// is sniffed up front (an ambiguous store still mounts; its manifests
+	// are then reported by Scrub/Check rather than trusted blindly).
+	format, _ := store.DetectFormat(disk)
+	return &Store{st: store.New(disk, format), dir: dir}, nil
 }
 
 // Files lists the restorable file names, sorted.
@@ -281,6 +307,54 @@ func (s *Store) Check() []string {
 	return store.Check(s.st.Disk(), format).Problems
 }
 
+// VerifyOpts tunes verified restore and scrub: MaxRetries bounds how many
+// times a failed read or hash mismatch is retried before the damage is
+// declared persistent (transient faults heal on retry; latent media
+// corruption does not).
+type VerifyOpts = store.VerifyOpts
+
+// ScrubReport summarizes a Scrub: what was checked, what was corrupt, what
+// was quarantined, and which files lost data.
+type ScrubReport = store.ScrubReport
+
+// VerifyRestore rebuilds one file into w with end-to-end verification:
+// every chunk range the file references is re-read and re-hashed against
+// the content address its manifest vouches for before a single byte is
+// written out. Transient read faults are retried; persistent mismatches
+// fail the restore with an error naming the corrupt container, so w never
+// silently receives corrupt data.
+func (s *Store) VerifyRestore(name string, w io.Writer) error {
+	return s.verifier().RestoreFile(name, w)
+}
+
+// verifier builds a fresh verification index over the store's manifests.
+// It is rebuilt per call because Delete/Sweep/Scrub mutate the object set.
+func (s *Store) verifier() *store.Verifier {
+	return store.NewVerifier(s.st, store.VerifyOpts{})
+}
+
+// Scrub re-hashes every chunk of every container against the content
+// addresses its manifests vouch for, with bounded retry to separate
+// transient faults from latent corruption. Objects with persistent damage
+// (corrupt or unreadable containers, undecodable manifests) are removed
+// from the store and their bytes preserved under dir/quarantine/ for
+// forensics; the report lists exactly what was quarantined and which files
+// are affected. The in-RAM store is mutated immediately; call Save to
+// persist the scrubbed state.
+func (s *Store) Scrub(opts VerifyOpts) (ScrubReport, error) {
+	quarantine := func(cat simdisk.Category, name string, data []byte) error {
+		if s.dir == "" {
+			return nil
+		}
+		qdir := filepath.Join(s.dir, "quarantine")
+		if err := os.MkdirAll(qdir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(qdir, cat.String()+"-"+simdisk.EncodeName(name)), data, 0o644)
+	}
+	return s.st.Scrub(opts, quarantine)
+}
+
 // Resume reopens a store directory written by SaveStore and returns an
 // engine that deduplicates new files against everything already stored.
 // The in-RAM detection state is rebuilt from the on-disk hooks, so Resume
@@ -288,6 +362,9 @@ func (s *Store) Check() []string {
 // MHD, SIMHD and CDC. Statistics start fresh — the Report covers the new
 // session's ingest only; restore covers all files ever stored.
 func Resume(a Algorithm, opt Options, dir string) (Engine, error) {
+	// As in OpenStore: roll back any interrupted save first, so the session
+	// resumes from the last consistent generation, never a hybrid.
+	simdisk.Recover(dir)
 	disk, err := simdisk.LoadDir(dir)
 	if err != nil {
 		return nil, err

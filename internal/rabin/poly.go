@@ -39,9 +39,18 @@ func (p Poly) Add(q Poly) Poly {
 	return p ^ q
 }
 
-// MulMod returns (p · q) mod m over GF(2). m must be non-zero. The
-// computation reduces as it goes, so it is correct even when the plain
-// product would overflow 64 bits.
+// MulMod returns (p · q) mod m over GF(2). The computation reduces as it
+// goes, so it is correct even when the plain product would overflow 64
+// bits.
+//
+// m must be non-zero; a zero modulus panics. This is a programmer-error
+// invariant, not a data-dependent failure: every modulus in this package
+// reaches MulMod from one of three sources, none of which can be zero —
+// DefaultPoly is a non-zero constant, RandomPoly returns only irreducible
+// (hence non-zero) polynomials, and NewWindow rejects any polynomial of
+// degree < 9 before building its tables. Untrusted input never selects the
+// modulus, so the panic can only fire on a caller bug, exactly like an
+// out-of-range slice index.
 func (p Poly) MulMod(q, m Poly) Poly {
 	if m == 0 {
 		panic("rabin: modulo by zero polynomial")
@@ -64,7 +73,9 @@ func (p Poly) MulMod(q, m Poly) Poly {
 	return res
 }
 
-// Mod returns p mod m over GF(2).
+// Mod returns p mod m over GF(2). A zero modulus panics; as with MulMod
+// this is a programmer-error invariant (see there) — no public code path
+// lets input data choose m.
 func (p Poly) Mod(m Poly) Poly {
 	if m == 0 {
 		panic("rabin: modulo by zero polynomial")

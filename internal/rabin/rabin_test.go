@@ -144,7 +144,7 @@ func TestRandomPoly(t *testing.T) {
 
 func TestWindowRollingMatchesDirect(t *testing.T) {
 	const winSize = 16
-	w := MustWindow(DefaultPoly, winSize)
+	w := mustWindow(t, DefaultPoly, winSize)
 	rng := rand.New(rand.NewSource(7))
 	data := make([]byte, 4096)
 	rng.Read(data)
@@ -169,7 +169,7 @@ func TestWindowRollingMatchesDirectRandomPoly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	w := MustWindow(p, DefaultWindowSize)
+	w := mustWindow(t, p, DefaultWindowSize)
 	rng := rand.New(rand.NewSource(8))
 	data := make([]byte, 1024)
 	rng.Read(data)
@@ -188,8 +188,8 @@ func TestWindowRollingMatchesDirectRandomPoly(t *testing.T) {
 func TestWindowPositionIndependence(t *testing.T) {
 	// The fingerprint after a full window must depend only on the window
 	// contents, not on what came before — the property CDC relies on.
-	w1 := MustWindow(DefaultPoly, 8)
-	w2 := MustWindow(DefaultPoly, 8)
+	w1 := mustWindow(t, DefaultPoly, 8)
+	w2 := mustWindow(t, DefaultPoly, 8)
 	window := []byte("abcdefgh")
 	prefix := []byte("SOME PREFIX OF DIFFERENT CONTENT AND LENGTH")
 	for _, b := range append(append([]byte{}, prefix...), window...) {
@@ -204,7 +204,7 @@ func TestWindowPositionIndependence(t *testing.T) {
 }
 
 func TestWindowReset(t *testing.T) {
-	w := MustWindow(DefaultPoly, 8)
+	w := mustWindow(t, DefaultPoly, 8)
 	for _, b := range []byte("hello world hello") {
 		w.Roll(b)
 	}
@@ -233,20 +233,41 @@ func TestNewWindowValidation(t *testing.T) {
 	}
 }
 
-func TestMustWindowPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("MustWindow should panic on invalid parameters")
-		}
-	}()
-	MustWindow(DefaultPoly, 0)
+// mustWindow builds a Window from known-good parameters, failing the test
+// on error. Production code always uses NewWindow and handles the error.
+func mustWindow(t *testing.T, poly Poly, size int) *Window {
+	t.Helper()
+	w, err := NewWindow(poly, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+// TestZeroModulusPanics pins the documented programmer-error invariant of
+// Mod and MulMod: a zero modulus is a caller bug and must fail fast with a
+// panic rather than loop forever or return garbage. No public path lets
+// input data choose the modulus (DefaultPoly is constant, RandomPoly
+// returns only irreducible polynomials, NewWindow validates degree), so
+// these panics are unreachable in production.
+func TestZeroModulusPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s with zero modulus should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Mod", func() { Poly(0b1011).Mod(0) })
+	mustPanic("MulMod", func() { Poly(0b1011).MulMod(0b110, 0) })
 }
 
 func TestFingerprintDistribution(t *testing.T) {
 	// Cut-point selection masks the low bits of the fingerprint; those bits
 	// must be roughly uniform for the chunk-size distribution to hold. Roll
 	// random data and check the frequency of (fp & 0xFF == 0) is near 1/256.
-	w := MustWindow(DefaultPoly, DefaultWindowSize)
+	w := mustWindow(t, DefaultPoly, DefaultWindowSize)
 	rng := rand.New(rand.NewSource(12345))
 	data := make([]byte, 1<<20)
 	rng.Read(data)
@@ -263,7 +284,10 @@ func TestFingerprintDistribution(t *testing.T) {
 }
 
 func BenchmarkRoll(b *testing.B) {
-	w := MustWindow(DefaultPoly, DefaultWindowSize)
+	w, err := NewWindow(DefaultPoly, DefaultWindowSize)
+	if err != nil {
+		b.Fatal(err)
+	}
 	data := make([]byte, 1<<16)
 	rand.New(rand.NewSource(1)).Read(data)
 	b.SetBytes(int64(len(data)))

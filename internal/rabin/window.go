@@ -62,16 +62,6 @@ func NewWindow(poly Poly, size int) (*Window, error) {
 	return w, nil
 }
 
-// MustWindow is NewWindow that panics on error; for use with constant,
-// known-good parameters.
-func MustWindow(poly Poly, size int) *Window {
-	w, err := NewWindow(poly, size)
-	if err != nil {
-		panic(err)
-	}
-	return w
-}
-
 // modSlow is bitwise polynomial reduction, used only during table
 // construction (the fast path uses the tables).
 func (p Poly) modSlow(m Poly) Poly {

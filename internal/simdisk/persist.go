@@ -1,11 +1,15 @@
 package simdisk
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 )
 
 // Persistence: a simulated disk can be materialized to (and reloaded from)
@@ -14,6 +18,28 @@ import (
 // and write the outputs to local directories" (§V) — and it lets the CLI
 // deduplicate in one invocation and restore in another. Access counters
 // are session state and are not persisted.
+//
+// Crash safety. A save is all-or-nothing at generation granularity:
+//
+//	dir/
+//	  MANIFEST.json        top-level commit marker: current generation +
+//	                       per-category object counts and byte totals
+//	  gen-000002/          the committed generation
+//	    GEN.json           the generation's own manifest (written last,
+//	                       before the directory is renamed into place)
+//	    chunks/ hooks/ manifests/ files/
+//	  gen-000003.tmp/      an interrupted save (removed by Recover)
+//
+// SaveDir writes the complete object set into a fresh gen-N.tmp directory,
+// fsyncs everything, renames it to gen-N (the generation becomes
+// self-validating: GEN.json records what it must contain), then atomically
+// replaces MANIFEST.json (write temp + fsync + rename) — the commit point —
+// and finally removes older generations. A crash at any step leaves either
+// the old or the new generation committed, never a hybrid; Recover (and the
+// read-only selection inside LoadDir) detects interrupted saves, ignores or
+// rolls back partial state, and mounts the last consistent generation.
+// Directories without MANIFEST.json or gen-* subdirectories are loaded in
+// the legacy flat layout (category dirs at top level) for compatibility.
 
 // categoryDirs maps categories to directory names (stable on disk).
 var categoryDirs = map[Category]string{
@@ -23,33 +49,418 @@ var categoryDirs = map[Category]string{
 	FileManifest: "files",
 }
 
-// SaveDir writes every stored object under dir, creating it if needed.
-// Object names are encoded so they are safe as file names.
+// markerFile is the top-level commit marker's name.
+const markerFile = "MANIFEST.json"
+
+// genManifestFile is the per-generation manifest's name inside a gen dir.
+const genManifestFile = "GEN.json"
+
+// genPrefix prefixes generation directory names.
+const genPrefix = "gen-"
+
+// storeManifest is the JSON body of both MANIFEST.json and GEN.json: the
+// generation number plus per-category object counts and byte totals, which
+// is what makes a generation self-validating.
+type storeManifest struct {
+	Generation int              `json:"generation"`
+	Objects    map[string]int   `json:"objects"`
+	Bytes      map[string]int64 `json:"bytes"`
+	SavedAt    string           `json:"saved_at,omitempty"`
+}
+
+// SaveHook is consulted before every file-system mutation a SaveDir
+// performs: each object write, the generation rename and the marker
+// commit. path identifies the mutation; data is the payload about to be
+// written (nil for renames). The hook may return a prefix of data to
+// simulate a torn write, and a non-nil error to abort the save at that
+// point. When the error is (or wraps) ErrKilled the save leaves its
+// partial state on disk, exactly as a crash would — the crash-consistency
+// harness is built on this. The hook runs with the disk lock held and must
+// not call back into the Disk.
+type SaveHook func(path string, data []byte) ([]byte, error)
+
+// SetSaveHook installs fn as the persistence fault injector; nil clears it.
+func (d *Disk) SetSaveHook(fn SaveHook) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.saveHook = fn
+}
+
+// categoryOrder returns the categories in their fixed numeric order, so a
+// save visits objects deterministically (kill points are reproducible).
+func categoryOrder() []Category {
+	return []Category{Data, Hook, Manifest, FileManifest}
+}
+
+// SaveDir writes every stored object under dir as a new generation and
+// commits it atomically; see the package comment above for the protocol.
+// Object names are encoded so they are safe as file names. On a non-crash
+// error the partially written generation is cleaned up; on an injected
+// ErrKilled it is deliberately left behind for recovery to deal with.
 func (d *Disk) SaveDir(dir string) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for cat, sub := range categoryDirs {
-		catDir := filepath.Join(dir, sub)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+
+	gen := 1
+	if m, _, err := readMarker(dir); err == nil && m != nil {
+		gen = m.Generation + 1
+	} else if g, _, ok := newestValidGen(dir); ok {
+		gen = g + 1
+	}
+	genName := fmt.Sprintf("%s%06d", genPrefix, gen)
+	tmpDir := filepath.Join(dir, genName+".tmp")
+
+	err := d.writeGeneration(dir, tmpDir, genName, gen)
+	if err != nil {
+		if !errors.Is(err, ErrKilled) {
+			os.RemoveAll(tmpDir) // best-effort cleanup; crash paths keep the wreckage
+		}
+		return err
+	}
+
+	// Post-commit cleanup: older generations and any legacy flat layout
+	// are now garbage. A crash in here is harmless — the marker already
+	// names the new generation — but the kill hook still covers it so the
+	// harness exercises this window too.
+	if err := d.cleanupAfterCommit(dir, genName); err != nil {
+		return err
+	}
+	return nil
+}
+
+// writeGeneration materializes the disk's objects as generation gen under
+// tmpDir, validates nothing less than the full commit protocol: object
+// files, GEN.json, directory fsyncs, the rename to genName, and the marker
+// replacement that commits it.
+func (d *Disk) writeGeneration(dir, tmpDir, genName string, gen int) error {
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+	man := storeManifest{
+		Generation: gen,
+		Objects:    make(map[string]int),
+		Bytes:      make(map[string]int64),
+		SavedAt:    time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, cat := range categoryOrder() {
+		sub := categoryDirs[cat]
+		catDir := filepath.Join(tmpDir, sub)
 		if err := os.MkdirAll(catDir, 0o755); err != nil {
 			return fmt.Errorf("simdisk: save: %w", err)
 		}
-		for name, data := range d.objects[cat] {
+		names := make([]string, 0, len(d.objects[cat]))
+		for name := range d.objects[cat] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			data := d.objects[cat][name]
 			path := filepath.Join(catDir, encodeName(name))
-			if err := os.WriteFile(path, data, 0o644); err != nil {
+			if err := d.savePoint(path, data); err != nil {
 				return fmt.Errorf("simdisk: save %v %q: %w", cat, name, err)
 			}
+			man.Objects[sub]++
+			man.Bytes[sub] += int64(len(data))
+		}
+		if err := syncDir(catDir); err != nil {
+			return fmt.Errorf("simdisk: save: %w", err)
+		}
+	}
+
+	// The generation manifest is written last inside the temp dir: its
+	// presence (and agreement with the directory contents) is what makes
+	// the generation self-validating after the rename.
+	genJSON, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+	if err := d.savePoint(filepath.Join(tmpDir, genManifestFile), genJSON); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+	if err := syncDir(tmpDir); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+
+	// Publish the generation directory under its final name.
+	final := filepath.Join(dir, genName)
+	if err := d.renamePoint(tmpDir, final); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+
+	// Commit: atomically replace the top-level marker.
+	markerTmp := filepath.Join(dir, markerFile+".tmp")
+	if err := d.savePoint(markerTmp, genJSON); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+	if err := d.renamePoint(markerTmp, filepath.Join(dir, markerFile)); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
+	return nil
+}
+
+// cleanupAfterCommit removes everything except the committed generation and
+// the marker: older/newer generation dirs, stray temp dirs, and legacy flat
+// category dirs.
+func (d *Disk) cleanupAfterCommit(dir, keep string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil // the committed state is safe; cleanup is best-effort
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == keep || name == markerFile {
+			continue
+		}
+		legacy := false
+		for _, sub := range categoryDirs {
+			if name == sub {
+				legacy = true
+			}
+		}
+		if !legacy && !strings.HasPrefix(name, genPrefix) && name != markerFile+".tmp" {
+			continue
+		}
+		if err := d.removePoint(filepath.Join(dir, name)); err != nil {
+			if errors.Is(err, ErrKilled) {
+				return err
+			}
+			// Non-crash cleanup errors don't endanger the commit.
 		}
 	}
 	return nil
 }
 
+// savePoint writes one file durably (write + fsync), consulting the save
+// hook first. The hook may tear the payload (write the returned prefix,
+// then fail) or abort the write entirely.
+func (d *Disk) savePoint(path string, data []byte) error {
+	if d.saveHook != nil {
+		torn, err := d.saveHook(path, data)
+		if err != nil {
+			if torn != nil && len(torn) < len(data) {
+				// Torn write: persist the prefix, then crash.
+				writeFileSync(path, torn)
+			}
+			return err
+		}
+		if torn != nil {
+			data = torn
+		}
+	}
+	return writeFileSync(path, data)
+}
+
+// renamePoint renames oldp to newp, consulting the save hook first.
+func (d *Disk) renamePoint(oldp, newp string) error {
+	if d.saveHook != nil {
+		if _, err := d.saveHook("rename:"+newp, nil); err != nil {
+			return err
+		}
+	}
+	return os.Rename(oldp, newp)
+}
+
+// removePoint removes a path during cleanup, consulting the save hook.
+func (d *Disk) removePoint(path string) error {
+	if d.saveHook != nil {
+		if _, err := d.saveHook("remove:"+path, nil); err != nil {
+			return err
+		}
+	}
+	return os.RemoveAll(path)
+}
+
+// writeFileSync writes path and fsyncs it before closing, so the data is
+// durable before any rename that depends on it.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so renames and file creations in it are
+// durable.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = f.Sync()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// readMarker parses dir's MANIFEST.json. Returns (nil, false, nil) when the
+// marker does not exist, and an error when it exists but is unreadable or
+// does not parse (torn or corrupted marker).
+func readMarker(dir string) (*storeManifest, bool, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, markerFile))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, true, err
+	}
+	var m storeManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, true, fmt.Errorf("simdisk: corrupt marker: %w", err)
+	}
+	if m.Generation <= 0 {
+		return nil, true, fmt.Errorf("simdisk: corrupt marker: generation %d", m.Generation)
+	}
+	return &m, true, nil
+}
+
+// readGenManifest parses and validates a generation directory: GEN.json
+// must exist, parse, and agree with the directory's actual per-category
+// file counts and byte totals.
+func readGenManifest(genDir string) (*storeManifest, error) {
+	raw, err := os.ReadFile(filepath.Join(genDir, genManifestFile))
+	if err != nil {
+		return nil, err
+	}
+	var m storeManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("simdisk: corrupt %s: %w", genManifestFile, err)
+	}
+	for _, sub := range categoryDirs {
+		var count int
+		var bytes int64
+		entries, err := os.ReadDir(filepath.Join(genDir, sub))
+		if err != nil && !os.IsNotExist(err) {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			info, err := e.Info()
+			if err != nil {
+				return nil, err
+			}
+			count++
+			bytes += info.Size()
+		}
+		if count != m.Objects[sub] || bytes != m.Bytes[sub] {
+			return nil, fmt.Errorf("simdisk: generation %q: %s holds %d objects / %d bytes, manifest says %d / %d",
+				genDir, sub, count, bytes, m.Objects[sub], m.Bytes[sub])
+		}
+	}
+	return &m, nil
+}
+
+// genNumber parses a generation directory name; ok is false for temp dirs
+// and non-generation names.
+func genNumber(name string) (int, bool) {
+	if !strings.HasPrefix(name, genPrefix) || strings.HasSuffix(name, ".tmp") {
+		return 0, false
+	}
+	var n int
+	if _, err := fmt.Sscanf(name[len(genPrefix):], "%d", &n); err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// newestValidGen scans dir for the highest-numbered generation directory
+// that self-validates.
+func newestValidGen(dir string) (int, string, bool) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, "", false
+	}
+	best, bestDir := 0, ""
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		n, ok := genNumber(e.Name())
+		if !ok || n <= best {
+			continue
+		}
+		genDir := filepath.Join(dir, e.Name())
+		if _, err := readGenManifest(genDir); err == nil {
+			best, bestDir = n, genDir
+		}
+	}
+	return best, bestDir, best > 0
+}
+
+// selectGeneration decides, read-only, what a mount of dir should see:
+// the generation directory to load (legacy == false), the legacy flat
+// layout (legacy == true, genDir == dir), or an empty store (genDir == "").
+// Preference order: the marker's generation when it validates; otherwise
+// the newest self-validating generation; otherwise the legacy layout if
+// any category dir exists at top level.
+func selectGeneration(dir string) (gen int, genDir string, legacy bool, err error) {
+	m, markerPresent, markerErr := readMarker(dir)
+	if markerErr == nil && m != nil {
+		candidate := filepath.Join(dir, fmt.Sprintf("%s%06d", genPrefix, m.Generation))
+		if _, err := readGenManifest(candidate); err == nil {
+			return m.Generation, candidate, false, nil
+		}
+		// Marker names a generation that is missing or fails validation
+		// (post-commit damage): fall back to the newest consistent one.
+	}
+	if g, gdir, ok := newestValidGen(dir); ok {
+		return g, gdir, false, nil
+	}
+	if markerPresent {
+		// A marker exists (even corrupt) but no generation validates:
+		// the store is unrecoverable, which the caller must hear about.
+		if markerErr != nil {
+			return 0, "", false, fmt.Errorf("simdisk: no consistent generation under %s (marker: %v)", dir, markerErr)
+		}
+		return 0, "", false, fmt.Errorf("simdisk: no consistent generation under %s", dir)
+	}
+	// No marker, no generations: legacy flat layout (or an empty/missing
+	// directory, which loads as an empty store).
+	for _, sub := range categoryDirs {
+		if st, err := os.Stat(filepath.Join(dir, sub)); err == nil && st.IsDir() {
+			return 0, dir, true, nil
+		}
+	}
+	return 0, "", false, nil
+}
+
 // LoadDir returns a disk populated from a directory written by SaveDir.
-// Counters start at zero: loading models mounting existing storage, not
-// re-performing the writes.
+// It performs read-only recovery: if the last save was interrupted, the
+// partial generation is ignored and the last consistent one is loaded
+// (use Recover to also roll the partial state back). Counters start at
+// zero: loading models mounting existing storage, not re-performing the
+// writes.
 func LoadDir(dir string) (*Disk, error) {
+	_, genDir, _, err := selectGeneration(dir)
+	if err != nil {
+		return nil, err
+	}
 	d := New()
+	if genDir == "" {
+		return d, nil // empty or missing directory
+	}
 	for cat, sub := range categoryDirs {
-		catDir := filepath.Join(dir, sub)
+		catDir := filepath.Join(genDir, sub)
 		entries, err := os.ReadDir(catDir)
 		if err != nil {
 			if os.IsNotExist(err) {
@@ -75,50 +486,177 @@ func LoadDir(dir string) (*Disk, error) {
 	return d, nil
 }
 
-// walkSize returns the on-disk footprint of a saved store (for CLI
-// reporting).
-func DirSize(dir string) (int64, error) {
-	var total int64
-	err := filepath.WalkDir(dir, func(_ string, e fs.DirEntry, err error) error {
-		if err != nil || e.IsDir() {
-			return err
+// RecoverReport describes what Recover found and did.
+type RecoverReport struct {
+	// Generation is the generation left mounted (0 for legacy or empty
+	// stores).
+	Generation int
+	// Legacy is true when the directory uses the pre-generation flat
+	// layout.
+	Legacy bool
+	// RolledBack lists directories removed because they belonged to
+	// interrupted saves or superseded generations.
+	RolledBack []string
+	// RepairedMarker is true when MANIFEST.json was missing or disagreed
+	// with the mounted generation and was rewritten.
+	RepairedMarker bool
+}
+
+// Recover inspects a store directory for the debris of an interrupted
+// SaveDir and repairs it: partial gen-*.tmp directories and uncommitted or
+// superseded generations are rolled back, and the commit marker is
+// rewritten if it was torn or lost, so the directory afterwards holds
+// exactly the last consistent generation. Legacy flat-layout directories
+// and empty/missing directories are left untouched. Recover is idempotent.
+func Recover(dir string) (RecoverReport, error) {
+	var rep RecoverReport
+	gen, genDir, legacy, err := selectGeneration(dir)
+	if err != nil {
+		return rep, err
+	}
+	rep.Generation, rep.Legacy = gen, legacy
+	if genDir == "" || legacy {
+		return rep, nil
+	}
+	keep := filepath.Base(genDir)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return rep, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if name == keep || name == markerFile {
+			continue
 		}
-		info, err := e.Info()
+		stale := name == markerFile+".tmp" || strings.HasSuffix(name, ".tmp")
+		if n, ok := genNumber(name); ok && n != gen {
+			stale = true
+		}
+		if !stale {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+			return rep, fmt.Errorf("simdisk: recover: %w", err)
+		}
+		rep.RolledBack = append(rep.RolledBack, name)
+	}
+
+	// Re-point the marker if it is missing, torn, or names a generation
+	// other than the one that validated.
+	m, _, markerErr := readMarker(dir)
+	if markerErr != nil || m == nil || m.Generation != gen {
+		gm, err := readGenManifest(genDir)
 		if err != nil {
-			return err
+			return rep, fmt.Errorf("simdisk: recover: %w", err)
 		}
-		total += info.Size()
-		return nil
-	})
-	return total, err
+		raw, err := json.Marshal(gm)
+		if err != nil {
+			return rep, err
+		}
+		tmp := filepath.Join(dir, markerFile+".tmp")
+		if err := writeFileSync(tmp, raw); err != nil {
+			return rep, fmt.Errorf("simdisk: recover: %w", err)
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, markerFile)); err != nil {
+			return rep, fmt.Errorf("simdisk: recover: %w", err)
+		}
+		if err := syncDir(dir); err != nil {
+			return rep, fmt.Errorf("simdisk: recover: %w", err)
+		}
+		rep.RepairedMarker = true
+	}
+	sort.Strings(rep.RolledBack)
+	return rep, nil
+}
+
+// DirSize returns the on-disk footprint of a saved store's object payload
+// (the mounted generation's object files; marker and generation manifests
+// are bookkeeping and excluded), for CLI reporting.
+func DirSize(dir string) (int64, error) {
+	_, genDir, _, err := selectGeneration(dir)
+	if err != nil {
+		return 0, err
+	}
+	if genDir == "" {
+		return 0, nil
+	}
+	var total int64
+	for _, sub := range categoryDirs {
+		catDir := filepath.Join(genDir, sub)
+		err := filepath.WalkDir(catDir, func(_ string, e fs.DirEntry, err error) error {
+			if err != nil {
+				if os.IsNotExist(err) {
+					return fs.SkipAll
+				}
+				return err
+			}
+			if e.IsDir() {
+				return nil
+			}
+			info, err := e.Info()
+			if err != nil {
+				return err
+			}
+			total += info.Size()
+			return nil
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
 }
 
 // encodeName makes an object name safe as a file name. Hash-addressable
 // names are already hex; FileManifest keys are arbitrary user paths, so
-// '/' and other separators are escaped.
+// '/' and other separators are escaped. The encoding is canonical: exactly
+// the four bytes {%, /, \, :} are escaped, always as uppercase %XX, so
+// encodeName is injective and decodeName can reject every non-canonical
+// spelling (two distinct on-disk names can never collide on one object
+// name).
 func encodeName(name string) string {
 	r := strings.NewReplacer("%", "%25", "/", "%2F", "\\", "%5C", ":", "%3A")
 	return r.Replace(name)
 }
 
-// decodeName inverts encodeName.
+// EncodeName exposes the canonical object-name → file-name encoding for
+// tools that materialize object payloads outside a store proper (e.g. the
+// quarantine directory a scrub writes corrupt objects into).
+func EncodeName(name string) string { return encodeName(name) }
+
+// decodeName inverts encodeName, strictly: only the canonical escapes
+// %25 %2F %5C %3A (uppercase) are accepted, and raw separator bytes —
+// which encodeName would have escaped — are rejected. Anything else is
+// corruption or an adversarial file name, never a panic.
 func decodeName(file string) (string, error) {
 	var b strings.Builder
 	for i := 0; i < len(file); i++ {
-		c := file[i]
-		if c != '%' {
+		switch c := file[i]; c {
+		case '%':
+			if i+2 >= len(file) {
+				return "", fmt.Errorf("truncated escape in %q", file)
+			}
+			var v byte
+			switch file[i+1 : i+3] {
+			case "25":
+				v = '%'
+			case "2F":
+				v = '/'
+			case "5C":
+				v = '\\'
+			case "3A":
+				v = ':'
+			default:
+				return "", fmt.Errorf("non-canonical escape %%%s in %q", file[i+1:i+3], file)
+			}
+			b.WriteByte(v)
+			i += 2
+		case '/', '\\', ':':
+			return "", fmt.Errorf("unescaped separator %q in %q", c, file)
+		default:
 			b.WriteByte(c)
-			continue
 		}
-		if i+2 >= len(file) {
-			return "", fmt.Errorf("truncated escape in %q", file)
-		}
-		var v byte
-		if _, err := fmt.Sscanf(file[i+1:i+3], "%02X", &v); err != nil {
-			return "", fmt.Errorf("bad escape in %q: %w", file, err)
-		}
-		b.WriteByte(v)
-		i += 2
 	}
 	return b.String(), nil
 }

@@ -128,6 +128,18 @@ type Disk struct {
 	// failure-injection tests. It is called with the disk lock held and
 	// must not call back into the Disk.
 	failHook func(Op, Category, string) error
+
+	// saveHook, when non-nil, is consulted before every file-system
+	// mutation SaveDir performs (see SaveHook in persist.go). It is the
+	// kill-point mechanism of the crash-consistency harness.
+	saveHook SaveHook
+
+	// readTransform, when non-nil, post-processes the copy returned by
+	// every Read/ReadRange. The stored object is untouched, so it models
+	// transient corruption on the read path (bus/RAM flips) that a
+	// re-read heals. Called with the disk lock held; must not call back
+	// into the Disk.
+	readTransform func(Category, string, []byte) []byte
 }
 
 // New returns an empty simulated disk.
@@ -145,6 +157,17 @@ func (d *Disk) SetFailureHook(fn func(op Op, cat Category, name string) error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.failHook = fn
+}
+
+// SetReadTransform installs fn to post-process the bytes returned by every
+// Read/ReadRange (the stored object stays intact — the corruption is
+// transient and heals on re-read). Pass nil to clear. Used by fault-
+// injection tests to exercise bounded-retry verification on the real data
+// path.
+func (d *Disk) SetReadTransform(fn func(cat Category, name string, data []byte) []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.readTransform = fn
 }
 
 func (d *Disk) check(op Op, cat Category, name string) error {
@@ -225,7 +248,11 @@ func (d *Disk) Read(cat Category, name string) ([]byte, error) {
 	}
 	d.counters.Reads[cat]++
 	d.counters.BytesRead[cat] += int64(len(data))
-	return append([]byte(nil), data...), nil
+	out := append([]byte(nil), data...)
+	if d.readTransform != nil {
+		out = d.readTransform(cat, name, out)
+	}
+	return out, nil
 }
 
 // ReadRange returns length bytes of the object starting at off. It is the
@@ -248,7 +275,11 @@ func (d *Disk) ReadRange(cat Category, name string, off, length int64) ([]byte, 
 	}
 	d.counters.Reads[cat]++
 	d.counters.BytesRead[cat] += length
-	return append([]byte(nil), data[off:off+length]...), nil
+	out := append([]byte(nil), data[off:off+length]...)
+	if d.readTransform != nil {
+		out = d.readTransform(cat, name, out)
+	}
+	return out, nil
 }
 
 // Exists reports whether the object is present. It counts as one disk
@@ -290,6 +321,29 @@ func (d *Disk) Names(cat Category) []string {
 		out = append(out, name)
 	}
 	return out
+}
+
+// mutateRaw rewrites a stored object's bytes in place without charging any
+// disk access or byte counter. It is the primitive behind FaultDisk's
+// latent-corruption helpers (bit flips, truncation): the mutation models
+// damage that happens *to* the medium, not an operation performed by the
+// store.
+func (d *Disk) mutateRaw(cat Category, name string, fn func(data []byte) ([]byte, error)) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if cat < 0 || cat >= numCategories {
+		return fmt.Errorf("simdisk: invalid category %d", int(cat))
+	}
+	data, exists := d.objects[cat][name]
+	if !exists {
+		return fmt.Errorf("simdisk: %v object %q does not exist", cat, name)
+	}
+	out, err := fn(data)
+	if err != nil {
+		return err
+	}
+	d.objects[cat][name] = out
+	return nil
 }
 
 // Counters returns a snapshot of the access counters.

@@ -1,0 +1,289 @@
+package store
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/simdisk"
+)
+
+// buildVerifyStore synthesizes a small, fully consistent FormatBasic store:
+// two containers tiled by their manifests, a hook, and three files whose
+// recipes reference entry-aligned ranges. Returns the store and the
+// expected content of every file.
+func buildVerifyStore(t *testing.T) (*Store, map[string][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	disk := simdisk.New()
+	s := New(disk, FormatBasic)
+
+	mk := func(tag string, size int, entrySizes []int64) (hashutil.Sum, []byte) {
+		data := make([]byte, size)
+		rng.Read(data)
+		name := hashutil.SumString(tag)
+		if err := s.WriteDiskChunk(name, data); err != nil {
+			t.Fatal(err)
+		}
+		m := NewManifest(name, FormatBasic)
+		var off int64
+		for _, sz := range entrySizes {
+			m.Append(Entry{Hash: hashutil.SumBytes(data[off : off+sz]), Start: off, Size: sz})
+			off += sz
+		}
+		if off != int64(size) {
+			t.Fatalf("entries do not tile container %s", tag)
+		}
+		if err := s.CreateManifest(m); err != nil {
+			t.Fatal(err)
+		}
+		return name, data
+	}
+
+	c1, d1 := mk("c1", 1024, []int64{512, 512})
+	c2, d2 := mk("c2", 768, []int64{256, 512})
+	if err := s.CreateHook(hashutil.SumString("hk1"), c1); err != nil {
+		t.Fatal(err)
+	}
+
+	files := map[string][]byte{}
+	addFile := func(name string, refs []FileRef) {
+		fm := &FileManifest{File: name}
+		var content []byte
+		for _, r := range refs {
+			fm.Append(r)
+			switch r.Container {
+			case c1:
+				content = append(content, d1[r.Start:r.Start+r.Size]...)
+			case c2:
+				content = append(content, d2[r.Start:r.Start+r.Size]...)
+			}
+		}
+		if err := s.WriteFileManifest(fm); err != nil {
+			t.Fatal(err)
+		}
+		files[name] = content
+	}
+	addFile("f/one", []FileRef{{Container: c1, Start: 0, Size: 512}, {Container: c2, Start: 0, Size: 256}})
+	addFile("f/two", []FileRef{{Container: c1, Start: 512, Size: 512}, {Container: c2, Start: 256, Size: 512}})
+	addFile("f/shared", []FileRef{{Container: c1, Start: 0, Size: 1024}})
+
+	if rep := Check(disk, FormatBasic); !rep.OK() {
+		t.Fatalf("synthesized store is inconsistent: %v", rep.Problems)
+	}
+	return s, files
+}
+
+func TestVerifierCleanStore(t *testing.T) {
+	s, files := buildVerifyStore(t)
+	v := NewVerifier(s, VerifyOpts{})
+	if len(v.BadManifests) != 0 {
+		t.Fatalf("BadManifests = %v", v.BadManifests)
+	}
+	for _, c := range v.Containers() {
+		bad, err := v.VerifyContainer(c)
+		if err != nil || len(bad) != 0 {
+			t.Fatalf("container %s: %v, %v", c[:8], bad, err)
+		}
+	}
+	for name, want := range files {
+		var buf bytes.Buffer
+		if err := v.RestoreFile(name, &buf); err != nil {
+			t.Fatalf("verified restore %q: %v", name, err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("verified restore %q: bytes differ", name)
+		}
+	}
+}
+
+func TestVerifierDetectsPersistentBitFlip(t *testing.T) {
+	s, files := buildVerifyStore(t)
+	fd := simdisk.NewFaultDisk(s.Disk(), simdisk.FaultPlan{Seed: 1})
+	c1 := hashutil.SumString("c1").Hex()
+	// Flip a bit inside [0,512): corrupts f/one and f/shared, not f/two.
+	if err := fd.FlipStoredBit(simdisk.Data, c1, 100*8); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(s, VerifyOpts{})
+	bad, err := v.VerifyContainer(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) != 1 || bad[0].Start != 0 || bad[0].Size != 512 {
+		t.Fatalf("mismatches = %v, want exactly entry [0,512)", bad)
+	}
+	if bad[0].Got == bad[0].Want || bad[0].Got.IsZero() {
+		t.Errorf("mismatch hashes not reported: %v", bad[0])
+	}
+	for _, name := range []string{"f/one", "f/shared"} {
+		if err := v.RestoreFile(name, &bytes.Buffer{}); err == nil {
+			t.Errorf("restore %q of corrupt range succeeded silently", name)
+		} else if !strings.Contains(err.Error(), "corrupt data") {
+			t.Errorf("restore %q error = %v", name, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := v.RestoreFile("f/two", &buf); err != nil {
+		t.Errorf("f/two does not touch the corrupt range, restore failed: %v", err)
+	} else if !bytes.Equal(buf.Bytes(), files["f/two"]) {
+		t.Error("f/two restored wrong bytes")
+	}
+}
+
+func TestVerifierRetriesTransientReadErrors(t *testing.T) {
+	s, _ := buildVerifyStore(t)
+	failures := 2
+	s.Disk().SetFailureHook(func(op simdisk.Op, cat simdisk.Category, _ string) error {
+		if op == simdisk.OpRead && cat == simdisk.Data && failures > 0 {
+			failures--
+			return simdisk.ErrInjected
+		}
+		return nil
+	})
+	defer s.Disk().SetFailureHook(nil)
+	v := NewVerifier(s, VerifyOpts{MaxRetries: 2})
+	bad, err := v.VerifyContainer(hashutil.SumString("c1").Hex())
+	if err != nil || len(bad) != 0 {
+		t.Fatalf("transient errors should heal on retry: %v, %v", bad, err)
+	}
+}
+
+func TestVerifierRetriesTransientBitFlips(t *testing.T) {
+	s, files := buildVerifyStore(t)
+	flips := 1
+	s.Disk().SetReadTransform(func(cat simdisk.Category, _ string, data []byte) []byte {
+		if cat == simdisk.Data && flips > 0 && len(data) > 0 {
+			flips--
+			data[0] ^= 0x80
+		}
+		return data
+	})
+	defer s.Disk().SetReadTransform(nil)
+	v := NewVerifier(s, VerifyOpts{MaxRetries: 2})
+	var buf bytes.Buffer
+	if err := v.RestoreFile("f/one", &buf); err != nil {
+		t.Fatalf("one transient flip should heal on retry: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), files["f/one"]) {
+		t.Error("restored bytes differ after healed flip")
+	}
+}
+
+func TestVerifierReportsTruncatedContainer(t *testing.T) {
+	s, _ := buildVerifyStore(t)
+	fd := simdisk.NewFaultDisk(s.Disk(), simdisk.FaultPlan{Seed: 1})
+	c2 := hashutil.SumString("c2").Hex()
+	if err := fd.TruncateStored(simdisk.Data, c2, 300); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(s, VerifyOpts{})
+	bad, err := v.VerifyContainer(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Entry [256,+512) now reaches past the end: reported with a zero Got.
+	found := false
+	for _, mm := range bad {
+		if mm.Start == 256 && mm.Got.IsZero() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("truncation not reported: %v", bad)
+	}
+}
+
+func TestVerifierRefusesUnvouchedRanges(t *testing.T) {
+	s, _ := buildVerifyStore(t)
+	// Remove c1's manifest: its bytes are no longer vouched for by anyone.
+	if err := s.Disk().Delete(simdisk.Manifest, hashutil.SumString("c1").Hex()); err != nil {
+		t.Fatal(err)
+	}
+	v := NewVerifier(s, VerifyOpts{})
+	err := v.RestoreFile("f/one", &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "not vouched") {
+		t.Fatalf("restore of unvouched range = %v, want refusal", err)
+	}
+}
+
+func TestScrubQuarantinesExactlyTheCorruptObjects(t *testing.T) {
+	s, _ := buildVerifyStore(t)
+	fd := simdisk.NewFaultDisk(s.Disk(), simdisk.FaultPlan{Seed: 1})
+	c2 := hashutil.SumString("c2").Hex()
+	if err := fd.FlipStoredBit(simdisk.Data, c2, 5000); err != nil {
+		t.Fatal(err)
+	}
+	var quarantined []string
+	var quarantinedBytes int
+	rep, err := s.Scrub(VerifyOpts{}, func(cat simdisk.Category, name string, data []byte) error {
+		quarantined = append(quarantined, cat.String()+"/"+name)
+		quarantinedBytes += len(data)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK() {
+		t.Fatal("scrub of a corrupt store reported OK")
+	}
+	if len(rep.Corrupt) == 0 || rep.Corrupt[0].Container.Hex() != c2 {
+		t.Fatalf("Corrupt = %v", rep.Corrupt)
+	}
+	if len(quarantined) != 1 || quarantined[0] != "data/"+c2 {
+		t.Fatalf("quarantined %v, want exactly data/%s", quarantined, c2[:8])
+	}
+	if quarantinedBytes != 768 {
+		t.Errorf("quarantine preserved %d bytes, want 768", quarantinedBytes)
+	}
+	// The corrupt object is gone; the rest of the store is intact.
+	if _, ok := s.Disk().Size(simdisk.Data, c2); ok {
+		t.Error("corrupt container still in store after scrub")
+	}
+	if _, ok := s.Disk().Size(simdisk.Data, hashutil.SumString("c1").Hex()); !ok {
+		t.Error("healthy container removed by scrub")
+	}
+	wantAffected := []string{"f/one", "f/two"}
+	if len(rep.AffectedFiles) != 2 || rep.AffectedFiles[0] != wantAffected[0] || rep.AffectedFiles[1] != wantAffected[1] {
+		t.Errorf("AffectedFiles = %v, want %v", rep.AffectedFiles, wantAffected)
+	}
+	// Affected files now fail loudly; unaffected files still restore.
+	v := NewVerifier(s, VerifyOpts{})
+	if err := v.RestoreFile("f/one", &bytes.Buffer{}); err == nil {
+		t.Error("restore of a file with quarantined data succeeded")
+	}
+	if err := v.RestoreFile("f/shared", &bytes.Buffer{}); err != nil {
+		t.Errorf("restore of unaffected file failed: %v", err)
+	}
+	// Scrubbing again finds nothing new (idempotent on the survivors).
+	rep2, err := s.Scrub(VerifyOpts{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.OK() || len(rep2.Quarantined) != 0 {
+		t.Errorf("second scrub = %+v, want clean", rep2)
+	}
+}
+
+func TestScrubQuarantinesUndecodableManifest(t *testing.T) {
+	s, _ := buildVerifyStore(t)
+	fd := simdisk.NewFaultDisk(s.Disk(), simdisk.FaultPlan{Seed: 1})
+	c1 := hashutil.SumString("c1").Hex()
+	// Truncating a basic manifest to a non-multiple of 36 makes it
+	// undecodable.
+	if err := fd.TruncateStored(simdisk.Manifest, c1, 35); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Scrub(VerifyOpts{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BadManifests) != 1 || rep.BadManifests[0] != c1 {
+		t.Fatalf("BadManifests = %v", rep.BadManifests)
+	}
+	if _, ok := s.Disk().Size(simdisk.Manifest, c1); ok {
+		t.Error("undecodable manifest still in store after scrub")
+	}
+}
