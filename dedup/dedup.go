@@ -244,9 +244,15 @@ func SaveStore(eng Engine, dir string) error {
 
 // Store is a handle to a saved deduplicated store: it can list, verify and
 // restore the ingested files, scrub out corruption, and garbage-collect.
+// A Store is not safe for concurrent use.
 type Store struct {
 	st  *store.Store
 	dir string
+	// ver is the cached verification index (manifest claims and container
+	// verdicts). Building it decodes every manifest, so it is shared across
+	// VerifyRestore calls — `restore -all -verify` costs one index, not one
+	// per file — and dropped whenever the object set mutates.
+	ver *store.Verifier
 }
 
 // RecoverReport describes what crash recovery found and repaired in a store
@@ -318,20 +324,31 @@ type VerifyOpts = store.VerifyOpts
 type ScrubReport = store.ScrubReport
 
 // VerifyRestore rebuilds one file into w with end-to-end verification:
-// every chunk range the file references is re-read and re-hashed against
-// the content address its manifest vouches for before a single byte is
-// written out. Transient read faults are retried; persistent mismatches
-// fail the restore with an error naming the corrupt container, so w never
-// silently receives corrupt data.
+// every chunk range the file references is re-hashed against the content
+// address its manifest vouches for, and the bytes written to w are served
+// from the very read that hashed clean — never from a separate, unchecked
+// re-read. Transient read faults are retried; persistent mismatches fail
+// the restore with an error naming the corrupt container, so w never
+// silently receives corrupt data. The verification index is built on
+// first use and shared across calls (see Scrub/Delete/Sweep for when it
+// is rebuilt).
 func (s *Store) VerifyRestore(name string, w io.Writer) error {
 	return s.verifier().RestoreFile(name, w)
 }
 
-// verifier builds a fresh verification index over the store's manifests.
-// It is rebuilt per call because Delete/Sweep/Scrub mutate the object set.
+// verifier returns the store's verification index, building it on first
+// use and reusing it (with its memoized container verdicts) until a
+// mutation — Delete, Sweep or Scrub — invalidates it.
 func (s *Store) verifier() *store.Verifier {
-	return store.NewVerifier(s.st, store.VerifyOpts{})
+	if s.ver == nil {
+		s.ver = store.NewVerifier(s.st, store.VerifyOpts{})
+	}
+	return s.ver
 }
+
+// invalidateVerifier drops the cached verification index; the next
+// VerifyRestore rebuilds it over the mutated object set.
+func (s *Store) invalidateVerifier() { s.ver = nil }
 
 // Scrub re-hashes every chunk of every container against the content
 // addresses its manifests vouch for, with bounded retry to separate
@@ -342,6 +359,7 @@ func (s *Store) verifier() *store.Verifier {
 // are affected. The in-RAM store is mutated immediately; call Save to
 // persist the scrubbed state.
 func (s *Store) Scrub(opts VerifyOpts) (ScrubReport, error) {
+	s.invalidateVerifier()
 	quarantine := func(cat simdisk.Category, name string, data []byte) error {
 		if s.dir == "" {
 			return nil
@@ -417,12 +435,14 @@ type GCStats = store.GCStats
 // Delete removes a file's recipe from the store. Shared chunk data remains
 // until Sweep shows nothing references it.
 func (s *Store) Delete(name string) error {
+	s.invalidateVerifier()
 	return s.st.DeleteFile(name)
 }
 
 // Sweep reclaims every container no remaining file references, with its
 // manifests and dangling hooks — the store's garbage collector.
 func (s *Store) Sweep() (GCStats, error) {
+	s.invalidateVerifier()
 	return s.st.Sweep()
 }
 

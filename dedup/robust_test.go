@@ -212,6 +212,75 @@ func TestScrubCleanAcrossAllEngines(t *testing.T) {
 	}
 }
 
+// TestVerifyRestoreSharesOneVerifier: the verification index (which
+// decodes every manifest in the store) is built once and shared across
+// VerifyRestore calls — `restore -all -verify` is O(store + files), not
+// O(files × store) — and is rebuilt only after a mutation (Delete, Sweep,
+// Scrub) invalidates it.
+func TestVerifyRestoreSharesOneVerifier(t *testing.T) {
+	dir, files := buildSavedStore(t)
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := s.Files()
+	if len(names) != len(files) {
+		t.Fatalf("Files() = %v", names)
+	}
+
+	manifestReads := 0
+	s.st.Disk().SetFailureHook(func(op simdisk.Op, cat simdisk.Category, _ string) error {
+		if op == simdisk.OpRead && cat == simdisk.Manifest {
+			manifestReads++
+		}
+		return nil
+	})
+	defer s.st.Disk().SetFailureHook(nil)
+
+	var buf bytes.Buffer
+	if err := s.VerifyRestore(names[0], &buf); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst := manifestReads
+	if afterFirst == 0 {
+		t.Fatal("building the verifier read no manifests; the counter hook is off target")
+	}
+	for _, name := range names[1:] {
+		buf.Reset()
+		if err := s.VerifyRestore(name, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), files[name]) {
+			t.Fatalf("%s restored wrong bytes", name)
+		}
+	}
+	if manifestReads != afterFirst {
+		t.Fatalf("later VerifyRestores re-read manifests (%d -> %d): verifier not shared",
+			afterFirst, manifestReads)
+	}
+
+	// A mutation invalidates the index: the next VerifyRestore rebuilds it.
+	if err := s.Delete(names[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := s.VerifyRestore(names[1], &buf); err != nil {
+		t.Fatalf("restore after Delete+Sweep: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), files[names[1]]) {
+		t.Fatalf("%s restored wrong bytes after sweep", names[1])
+	}
+	if manifestReads == afterFirst {
+		t.Fatal("VerifyRestore after Delete/Sweep served a stale verifier (no manifest re-reads)")
+	}
+	if err := s.VerifyRestore(names[0], &bytes.Buffer{}); err == nil {
+		t.Fatal("deleted file still restores")
+	}
+}
+
 // TestOpenStoreRecoversInterruptedSave crashes a SaveStore mid-flight at
 // the public API level and checks that OpenStore transparently mounts the
 // previous consistent generation, Check passes, and the first generation's

@@ -104,12 +104,20 @@ func (d *Disk) SaveDir(dir string) error {
 		return fmt.Errorf("simdisk: save: %w", err)
 	}
 
-	gen := 1
+	// The next generation number must clear BOTH the marker and every
+	// on-disk generation directory: after a crash between the generation
+	// rename and the marker swap, the marker still names N-1 while gen-N
+	// already exists, and a save that only consulted the marker would try
+	// to rename onto the existing non-empty gen-N and fail until a Recover
+	// ran. max(marker, newest valid gen) + 1 makes SaveDir itself immune.
+	gen := 0
 	if m, _, err := readMarker(dir); err == nil && m != nil {
-		gen = m.Generation + 1
-	} else if g, _, ok := newestValidGen(dir); ok {
-		gen = g + 1
+		gen = m.Generation
 	}
+	if g, _, ok := newestValidGen(dir); ok && g > gen {
+		gen = g
+	}
+	gen++
 	genName := fmt.Sprintf("%s%06d", genPrefix, gen)
 	tmpDir := filepath.Join(dir, genName+".tmp")
 
@@ -184,8 +192,14 @@ func (d *Disk) writeGeneration(dir, tmpDir, genName string, gen int) error {
 		return fmt.Errorf("simdisk: save: %w", err)
 	}
 
-	// Publish the generation directory under its final name.
+	// Publish the generation directory under its final name. Anything
+	// already sitting at that name is debris that neither the marker nor
+	// the newest-valid-generation scan accepted (gen exceeds both), so it
+	// is cleared out of the rename's way, not preserved.
 	final := filepath.Join(dir, genName)
+	if err := os.RemoveAll(final); err != nil {
+		return fmt.Errorf("simdisk: save: %w", err)
+	}
 	if err := d.renamePoint(tmpDir, final); err != nil {
 		return fmt.Errorf("simdisk: save: %w", err)
 	}

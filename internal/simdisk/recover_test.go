@@ -242,6 +242,64 @@ func TestLoadDirRejectsTamperedGeneration(t *testing.T) {
 	}
 }
 
+// TestSaveDirAfterCrashBetweenRenameAndMarker pins the one crash window
+// where the marker and the directory listing disagree: the new generation
+// gen-N is already renamed into place but the crash hits before the marker
+// swap, so the marker still names N-1. A later SaveDir that trusted the
+// marker alone would compute gen = N and fail renaming onto the existing
+// non-empty gen-N until a Recover ran; SaveDir must instead clear both
+// witnesses (max of marker and newest valid generation) and succeed on its
+// own.
+func TestSaveDirAfterCrashBetweenRenameAndMarker(t *testing.T) {
+	dir := t.TempDir()
+	d := New()
+	d.Create(Data, "a", []byte("one"))
+	if err := d.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the second save exactly at the marker swap: gen-000002 is
+	// committed on disk in everything but the marker.
+	d.Create(Data, "b", []byte("two"))
+	markerRename := "rename:" + filepath.Join(dir, markerFile)
+	d.SetSaveHook(func(path string, data []byte) ([]byte, error) {
+		if path == markerRename {
+			return nil, ErrKilled
+		}
+		return data, nil
+	})
+	if err := d.SaveDir(dir); !errors.Is(err, ErrKilled) {
+		t.Fatalf("killed save error = %v, want ErrKilled", err)
+	}
+	d.SetSaveHook(nil)
+	if _, err := os.Stat(filepath.Join(dir, "gen-000002")); err != nil {
+		t.Fatalf("renamed generation missing, kill point off target: %v", err)
+	}
+	if m, _, err := readMarker(dir); err != nil || m == nil || m.Generation != 1 {
+		t.Fatalf("marker = %+v, %v; want still generation 1", m, err)
+	}
+
+	// No Recover: the very next save must skip past the orphaned gen-2.
+	d.Create(Data, "c", []byte("three"))
+	if err := d.SaveDir(dir); err != nil {
+		t.Fatalf("save after rename/marker crash failed without Recover: %v", err)
+	}
+	if m, _, err := readMarker(dir); err != nil || m == nil || m.Generation != 3 {
+		t.Fatalf("marker after save = %+v, %v; want generation 3", m, err)
+	}
+	back, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameState(snapshot(d), snapshot(back)) {
+		t.Error("post-crash save did not round-trip")
+	}
+	// And the orphaned generation is gone (post-commit cleanup).
+	if _, err := os.Stat(filepath.Join(dir, "gen-000002")); !os.IsNotExist(err) {
+		t.Error("orphaned gen-000002 survived the committing save")
+	}
+}
+
 func TestSaveDirKillEveryPoint(t *testing.T) {
 	// Exhaustively kill a small save at every injection point (without
 	// tearing): recovery must always mount old or new, never a hybrid and

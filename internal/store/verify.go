@@ -21,6 +21,12 @@ import (
 // bus, an inject-on-read FaultDisk — heal on retry); only damage that
 // persists is reported, and Scrub quarantines exactly those objects so the
 // rest of the store keeps serving.
+//
+// Crucially, a verified restore serves bytes from the very buffer that
+// hashed clean: verification and serving are one read, never a verify-read
+// followed by a separate, unchecked serve-read. A flip injected on any
+// read either heals on retry or fails the restore — there is no window in
+// which verified-then-reread bytes reach the caller unchecked.
 
 // VerifyOpts tunes verification.
 type VerifyOpts struct {
@@ -82,6 +88,17 @@ type Verifier struct {
 
 	cover    map[string][]coverEntry
 	verdicts map[string]*containerVerdict
+
+	// serveName/serveData/serveBad/serveErr cache the most recently
+	// verified container *buffer* for RestoreFile, so consecutive refs into
+	// the same container are served from one verified read. Only one
+	// container's bytes are held at a time — restore memory stays bounded
+	// by the largest container, not the store.
+	serveValid bool
+	serveName  string
+	serveData  []byte
+	serveBad   []Mismatch
+	serveErr   error
 
 	// BadManifests lists manifests that could not be read or decoded and
 	// therefore contribute no claims (Check reports the same objects; a
@@ -162,11 +179,13 @@ func (v *Verifier) Containers() []string {
 	return out
 }
 
-// verifyOnce hashes every claimed range of one container read.
-func (v *Verifier) verifyOnce(container string) ([]Mismatch, error) {
+// verifyOnce reads one container and hashes every claimed range of that
+// read, returning the buffer alongside the violations so callers can serve
+// bytes from exactly the read that was checked.
+func (v *Verifier) verifyOnce(container string) ([]byte, []Mismatch, error) {
 	data, err := v.s.disk.Read(simdisk.Data, container)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	csum, _ := hashutil.ParseHex(container)
 	var bad []Mismatch
@@ -184,36 +203,49 @@ func (v *Verifier) verifyOnce(container string) ([]Mismatch, error) {
 			bad = append(bad, mm)
 		}
 	}
-	return bad, nil
+	return data, bad, nil
 }
 
-// VerifyContainer re-hashes every claimed range of the container against
-// its content addresses, retrying the whole read on failure or mismatch (a
-// transient flip heals on re-read; persistent damage does not). The
-// verdict is memoized. A nil, nil return means every claim checked out.
-func (v *Verifier) VerifyContainer(container string) ([]Mismatch, error) {
-	if verdict, ok := v.verdicts[container]; ok {
-		return verdict.bad, verdict.err
-	}
+// verifyData performs the full read-verify-retry loop on a fresh container
+// read (a transient flip heals on re-read; persistent damage does not) and
+// records the outcome in the verdict memo. It returns the final attempt's
+// buffer: every claim not listed in bad hashed clean on exactly those
+// bytes, so slices of ranges outside bad are safe to serve.
+func (v *Verifier) verifyData(container string) ([]byte, []Mismatch, error) {
 	var (
-		bad []Mismatch
-		err error
+		data []byte
+		bad  []Mismatch
+		err  error
 	)
 	for attempt := 0; attempt <= v.opts.retries(); attempt++ {
-		bad, err = v.verifyOnce(container)
+		data, bad, err = v.verifyOnce(container)
 		if err == nil && len(bad) == 0 {
 			break
 		}
 	}
 	v.verdicts[container] = &containerVerdict{bad: bad, err: err}
+	return data, bad, err
+}
+
+// VerifyContainer re-hashes every claimed range of the container against
+// its content addresses, retrying the whole read on failure or mismatch.
+// The verdict is memoized. A nil, nil return means every claim checked
+// out.
+func (v *Verifier) VerifyContainer(container string) ([]Mismatch, error) {
+	if verdict, ok := v.verdicts[container]; ok {
+		return verdict.bad, verdict.err
+	}
+	_, bad, err := v.verifyData(container)
 	return bad, err
 }
 
 // RestoreFile rebuilds one file into w with end-to-end verification: every
-// container the recipe touches is verified against its manifest claims
-// before any of its bytes are served, and ranges no manifest vouches for
-// are refused. The returned error is per-file — other files restore
-// independently.
+// container the recipe touches is verified against its manifest claims,
+// ranges no manifest vouches for are refused, and the bytes written to w
+// are sliced from the very buffer that hash-verified clean — never from a
+// separate, unchecked re-read, so a flip on any read either heals on retry
+// or fails the restore (w never silently receives corrupt data). The
+// returned error is per-file — other files restore independently.
 func (v *Verifier) RestoreFile(file string, w io.Writer) error {
 	raw, err := readRetry(v.s.disk, simdisk.FileManifest, file, v.opts.retries())
 	if err != nil {
@@ -225,7 +257,11 @@ func (v *Verifier) RestoreFile(file string, w io.Writer) error {
 	}
 	for _, ref := range fm.Refs {
 		cname := ref.Container.Hex()
-		bad, err := v.VerifyContainer(cname)
+		if uncovered := v.coverageGap(cname, ref.Start, ref.Size); uncovered {
+			return fmt.Errorf("store: restore %q: range [%d,+%d) of container %s is not vouched for by any manifest",
+				file, ref.Start, ref.Size, ref.Container.Short())
+		}
+		data, bad, err := v.servingData(cname)
 		if err != nil {
 			return fmt.Errorf("store: restore %q: container %s unreadable: %w", file, ref.Container.Short(), err)
 		}
@@ -234,35 +270,33 @@ func (v *Verifier) RestoreFile(file string, w io.Writer) error {
 				return fmt.Errorf("store: restore %q: corrupt data: %s", file, mm)
 			}
 		}
-		if uncovered := v.coverageGap(cname, ref.Start, ref.Size); uncovered {
-			return fmt.Errorf("store: restore %q: range [%d,+%d) of container %s is not vouched for by any manifest",
-				file, ref.Start, ref.Size, ref.Container.Short())
+		if ref.Start < 0 || ref.Start+ref.Size > int64(len(data)) {
+			// Unreachable when the ref is covered (a covering entry past the
+			// buffer's end lands in bad and overlaps the ref), but guard the
+			// slice anyway.
+			return fmt.Errorf("store: restore %q: ref %s[%d+%d] outside container (%d bytes)",
+				file, ref.Container.Short(), ref.Start, ref.Size, len(data))
 		}
-		data, err := readRangeRetry(v.s.disk, cname, ref.Start, ref.Size, v.opts.retries())
-		if err != nil {
-			return fmt.Errorf("store: restore %q: ref %s[%d+%d]: %w", file, ref.Container, ref.Start, ref.Size, err)
-		}
-		if _, err := w.Write(data); err != nil {
+		if _, err := w.Write(data[ref.Start : ref.Start+ref.Size]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// readRangeRetry reads a verified range, retrying transient failures and
-// transient bit flips (the range must hash-agree with an overlapping whole
-// verification — re-reads heal flips; the verified container bytes are the
-// reference).
-func readRangeRetry(disk *simdisk.Disk, name string, off, length int64, retries int) ([]byte, error) {
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		data, err := disk.ReadRange(simdisk.Data, name, off, length)
-		if err == nil {
-			return data, nil
-		}
-		lastErr = err
+// servingData returns a container's verified bytes for serving, caching
+// the most recent container so a recipe's consecutive refs into the same
+// container cost one read. The buffer is (re)verified on every fresh read
+// — a verdict memoized from an earlier, different read never vouches for
+// bytes it was not computed over.
+func (v *Verifier) servingData(container string) ([]byte, []Mismatch, error) {
+	if v.serveValid && v.serveName == container {
+		return v.serveData, v.serveBad, v.serveErr
 	}
-	return nil, lastErr
+	data, bad, err := v.verifyData(container)
+	v.serveValid = true
+	v.serveName, v.serveData, v.serveBad, v.serveErr = container, data, bad, err
+	return data, bad, err
 }
 
 // overlaps reports whether [aStart,+aSize) and [bStart,+bSize) intersect.

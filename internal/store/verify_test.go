@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 
@@ -169,6 +170,137 @@ func TestVerifierRetriesTransientBitFlips(t *testing.T) {
 	}
 	if !bytes.Equal(buf.Bytes(), files["f/one"]) {
 		t.Error("restored bytes differ after healed flip")
+	}
+}
+
+// TestVerifiedRestoreFlipOnServingReadIsNotSilent pins the serving-read
+// window shut: a bit flip injected on a *later* read of a container — one
+// a previously memoized good verdict does not vouch for — must never reach
+// the output silently. (A verify-then-reread implementation fails this:
+// the first read verifies clean, the flipped re-read is served unchecked.)
+func TestVerifiedRestoreFlipOnServingReadIsNotSilent(t *testing.T) {
+	s, files := buildVerifyStore(t)
+	c1 := hashutil.SumString("c1").Hex()
+	reads := 0
+	s.Disk().SetReadTransform(func(cat simdisk.Category, name string, data []byte) []byte {
+		if cat == simdisk.Data && name == c1 && len(data) > 0 {
+			reads++
+			if reads >= 2 { // first read clean, every re-read flipped
+				data[100] ^= 0x01
+			}
+		}
+		return data
+	})
+	defer s.Disk().SetReadTransform(nil)
+
+	v := NewVerifier(s, VerifyOpts{MaxRetries: 2})
+	// First restore reads c1 once (clean) and serves those verified bytes.
+	var buf bytes.Buffer
+	if err := v.RestoreFile("f/one", &buf); err != nil {
+		t.Fatalf("restore with clean first read failed: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), files["f/one"]) {
+		t.Fatal("f/one restored wrong bytes")
+	}
+	// f/shared forces a fresh read of c1 (the serving cache now holds c2).
+	// Every re-read is flipped: the restore must fail, never emit the
+	// flipped bytes on the strength of the earlier read's verdict.
+	buf.Reset()
+	err := v.RestoreFile("f/shared", &buf)
+	if err == nil {
+		if bytes.Equal(buf.Bytes(), files["f/shared"]) {
+			t.Fatal("restore succeeded with correct bytes, but every re-read was flipped — serving read not exercised")
+		}
+		t.Fatal("flipped serving read written to output without an error (silent corruption)")
+	}
+	if !strings.Contains(err.Error(), "corrupt data") {
+		t.Errorf("error = %v, want corrupt-data report", err)
+	}
+	if reads < 2 {
+		t.Fatalf("c1 read %d times; test needs a post-verdict re-read", reads)
+	}
+}
+
+// TestVerifiedRestoreTransientFlipOnServingReadHeals: the same window, but
+// the flip is transient — exactly one re-read is damaged. The restore must
+// retry and emit the correct bytes.
+func TestVerifiedRestoreTransientFlipOnServingReadHeals(t *testing.T) {
+	s, files := buildVerifyStore(t)
+	c1 := hashutil.SumString("c1").Hex()
+	reads := 0
+	s.Disk().SetReadTransform(func(cat simdisk.Category, name string, data []byte) []byte {
+		if cat == simdisk.Data && name == c1 && len(data) > 0 {
+			reads++
+			if reads == 2 { // only the first re-read is flipped
+				data[100] ^= 0x01
+			}
+		}
+		return data
+	})
+	defer s.Disk().SetReadTransform(nil)
+
+	v := NewVerifier(s, VerifyOpts{MaxRetries: 2})
+	var buf bytes.Buffer
+	if err := v.RestoreFile("f/one", &buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := v.RestoreFile("f/shared", &buf); err != nil {
+		t.Fatalf("one transient flip on the serving read should heal: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), files["f/shared"]) {
+		t.Fatal("restored bytes differ after healed serving-read flip")
+	}
+	if reads < 3 {
+		t.Fatalf("c1 read %d times; healing needs a retry read", reads)
+	}
+}
+
+// TestVerifiedRestoreRandomFlipsNeverSilent is the property behind both
+// tests above: under random flips on *any* data read, every verified
+// restore either returns the exact original bytes or an error — across
+// many trials, zero silent corruptions.
+func TestVerifiedRestoreRandomFlipsNeverSilent(t *testing.T) {
+	s, files := buildVerifyStore(t)
+	rng := rand.New(rand.NewSource(99))
+	flip := false
+	s.Disk().SetReadTransform(func(cat simdisk.Category, _ string, data []byte) []byte {
+		if flip && cat == simdisk.Data && len(data) > 0 && rng.Float64() < 0.4 {
+			data[rng.Intn(len(data))] ^= 1 << rng.Intn(8)
+		}
+		return data
+	})
+	defer s.Disk().SetReadTransform(nil)
+
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	flip = false
+	verifiers := make([]*Verifier, 20)
+	for i := range verifiers {
+		verifiers[i] = NewVerifier(s, VerifyOpts{MaxRetries: 1})
+	}
+	flip = true
+	successes, failures := 0, 0
+	for _, v := range verifiers {
+		for _, name := range names {
+			var buf bytes.Buffer
+			err := v.RestoreFile(name, &buf)
+			if err != nil {
+				failures++
+				continue
+			}
+			successes++
+			if !bytes.Equal(buf.Bytes(), files[name]) {
+				t.Fatalf("silent corruption: %q restored wrong bytes with a nil error", name)
+			}
+		}
+	}
+	if successes == 0 || failures == 0 {
+		t.Fatalf("trial mix degenerate: %d successes, %d failures — tune the flip rate", successes, failures)
 	}
 }
 
