@@ -28,11 +28,21 @@ echo "== crash-consistency smoke (10 seeds, race) =="
 # above already ran 100.
 go test -race -short -count=1 -run 'TestCrashConsistency' ./internal/store
 
+echo "== loopback server integration smoke (race) =="
+# The wire-service acceptance gate: a near-duplicate second backup must
+# move <15% of its raw bytes over loopback and restore bit-identically
+# through the verifying path, and a connection killed mid-ingest must
+# resume into a store object-identical to an uninterrupted run's.
+go test -race -count=1 \
+    -run 'TestLoopbackBackupAndVerifiedRestore|TestSecondGenerationMovesFewBytes|TestKillConnectionResumeStoreEquality|TestDrainWaitsForInFlightSession' \
+    ./internal/server
+
 echo "== fuzz smokes (5s each) =="
 # Each target runs alone: `go test -fuzz` accepts only one matching fuzz
 # target per invocation.
 go test -run '^$' -fuzz 'FuzzEncodeDecodeName' -fuzztime 5s ./internal/simdisk
 go test -run '^$' -fuzz 'FuzzDecodeManifest$' -fuzztime 5s ./internal/store
 go test -run '^$' -fuzz 'FuzzDecodeFileManifest' -fuzztime 5s ./internal/store
+go test -run '^$' -fuzz 'FuzzWireDecode' -fuzztime 5s ./internal/wire
 
 echo "CI OK"

@@ -1,0 +1,224 @@
+// Command dedupd is the network deduplication server: one shared MHD (or
+// SI-MHD) engine behind the internal/wire protocol. Clients chunk
+// locally, offer hashes, and send only the chunk bytes the server asks
+// for; the server reassembles each file's exact byte stream and ingests
+// it through a per-connection engine session, so the resulting store is
+// bit-identical to a local run over the same inputs.
+//
+// Examples:
+//
+//	dedupd -addr :7444 -store /var/lib/dedupd
+//	dedupd -addr :7444 -algo si-mhd -ecs 8192 -metrics-addr :7445
+//
+// On SIGINT/SIGTERM the server drains: it stops accepting connections,
+// refuses new sessions with a retryable error, lets in-flight sessions
+// finish (bounded by -drain-timeout), finalizes the engine and — when
+// -store is set — persists the deduplicated store with the crash-safe
+// generation commit, then exits. A second signal forces immediate exit.
+//
+// -metrics-addr serves /metrics.json (operational counters plus engine
+// statistics) and /healthz ("ok", or 503 "draining" during shutdown).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"mhdedup/dedup"
+	"mhdedup/internal/core"
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/server"
+)
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", ":7444", "listen address")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics.json and /healthz on this address (off when empty)")
+	flag.StringVar(&o.storeDir, "store", "", "store directory: resumed from on start (if it exists), saved to on drain")
+	flag.StringVar(&o.algo, "algo", "mhd", "engine: mhd or si-mhd")
+	flag.IntVar(&o.ecs, "ecs", 4096, "expected chunk size in bytes")
+	flag.IntVar(&o.sd, "sd", 64, "sample distance (hashes)")
+	flag.IntVar(&o.cache, "cache", 64, "manifest cache capacity")
+	flag.BoolVar(&o.noBloom, "no-bloom", false, "disable the engine bloom filter")
+	flag.IntVar(&o.maxSessions, "max-sessions", 16, "maximum concurrent ingest sessions")
+	flag.IntVar(&o.window, "window", 8, "per-session in-flight command window")
+	flag.Int64Var(&o.chunkCache, "chunk-cache-bytes", 256<<20, "wire chunk byte cache budget (0 disables)")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "close connections idle longer than this")
+	flag.DurationVar(&o.resumeTimeout, "resume-timeout", 2*time.Minute, "keep detached sessions resumable this long")
+	flag.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "bound on graceful drain before forcing shutdown")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "dedupd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	addr          string
+	metricsAddr   string
+	storeDir      string
+	algo          string
+	ecs           int
+	sd            int
+	cache         int
+	noBloom       bool
+	maxSessions   int
+	window        int
+	chunkCache    int64
+	idleTimeout   time.Duration
+	resumeTimeout time.Duration
+	drainTimeout  time.Duration
+}
+
+func run(o options) error {
+	logger := log.New(os.Stderr, "dedupd: ", log.LstdFlags)
+
+	eng, resumed, err := buildEngine(o)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Engine:          eng,
+		MaxSessions:     o.maxSessions,
+		Window:          o.window,
+		IdleTimeout:     o.idleTimeout,
+		ResumeTimeout:   o.resumeTimeout,
+		ChunkCacheBytes: o.chunkCache,
+		Logf:            logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	opts := srv.Options()
+	logger.Printf("listening on %s (%s ECS=%d SD=%d, resumed=%v, max sessions %d, window %d)",
+		ln.Addr(), opts.Algorithm, opts.ECS, opts.SD, resumed, o.maxSessions, o.window)
+
+	var draining atomic.Bool
+	var msrv *http.Server
+	if o.metricsAddr != "" {
+		msrv = metricsServer(o.metricsAddr, srv, eng, &draining)
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Printf("metrics server: %v", err)
+			}
+		}()
+		logger.Printf("metrics on http://%s/metrics.json", o.metricsAddr)
+	}
+
+	// Serve until the first SIGINT/SIGTERM, then drain; a second signal
+	// aborts the drain.
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-sigCtx.Done():
+	}
+	stop() // restore default signal behavior: second signal kills the process
+	draining.Store(true)
+	logger.Printf("draining (timeout %v)...", o.drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), o.drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		logger.Printf("drain incomplete: %v (sessions aborted)", err)
+	}
+	<-serveErr
+	if msrv != nil {
+		msrv.Close()
+	}
+
+	if err := eng.Finish(); err != nil {
+		return fmt.Errorf("finish: %w", err)
+	}
+	if o.storeDir != "" {
+		if err := dedup.SaveStore(eng, o.storeDir); err != nil {
+			return fmt.Errorf("save store: %w", err)
+		}
+		logger.Printf("store saved to %s", o.storeDir)
+	}
+	rep := eng.Report()
+	logger.Printf("shut down: %d files, %d input bytes, real DER %.4f",
+		rep.Files, rep.InputBytes, rep.RealDER())
+	return nil
+}
+
+// buildEngine constructs (or resumes) the shared engine. Only MHD and
+// SI-MHD are session-capable, so those are the only algorithms served.
+func buildEngine(o options) (*core.Dedup, bool, error) {
+	algo := dedup.Algorithm(o.algo)
+	if algo != dedup.MHD && algo != dedup.SIMHD {
+		return nil, false, fmt.Errorf("algorithm %q is not servable (need %s or %s)", o.algo, dedup.MHD, dedup.SIMHD)
+	}
+	opts := dedup.Options{
+		ECS:            o.ecs,
+		SD:             o.sd,
+		CacheManifests: o.cache,
+		DisableBloom:   o.noBloom,
+		IngestWorkers:  o.maxSessions,
+	}
+	if o.storeDir != "" {
+		if _, err := os.Stat(o.storeDir); err == nil {
+			eng, err := dedup.Resume(algo, opts, o.storeDir)
+			if err != nil {
+				return nil, false, fmt.Errorf("resume %s: %w", o.storeDir, err)
+			}
+			return eng.(*core.Dedup), true, nil
+		}
+	}
+	eng, err := dedup.New(algo, opts)
+	if err != nil {
+		return nil, false, err
+	}
+	return eng.(*core.Dedup), false, nil
+}
+
+// metricsServer exposes the operational counters and engine statistics
+// over HTTP: /metrics.json and /healthz.
+func metricsServer(addr string, srv *server.Server, eng *core.Dedup, draining *atomic.Bool) *http.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		cacheBytes, cacheEntries := srv.CacheStats()
+		doc := struct {
+			Counters     map[string]int64 `json:"counters"`
+			Sessions     int              `json:"sessions"`
+			CacheBytes   int64            `json:"chunk_cache_bytes"`
+			CacheEntries int              `json:"chunk_cache_entries"`
+			Engine       metrics.Stats    `json:"engine"`
+		}{
+			Counters:     metrics.Snapshot(),
+			Sessions:     srv.SessionCount(),
+			CacheBytes:   cacheBytes,
+			CacheEntries: cacheEntries,
+			Engine:       eng.Stats(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(doc)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return &http.Server{Addr: addr, Handler: mux}
+}

@@ -8,6 +8,15 @@
 //	restore -store /tmp/store -all -out /tmp/restored/
 //	restore -store /tmp/store -all -out /tmp/restored/ -verify
 //	restore -store /tmp/store -scrub
+//	restore -remote localhost:7444 -list
+//	restore -remote localhost:7444 -file m00/d01 -out /tmp/m00-d01.img -verify
+//
+// -remote host:port restores from a running dedupd server instead of a
+// local store directory: -list, -file and -all work the same; with
+// -verify the server rebuilds through its verifying path and the client
+// additionally checks the received stream against the server's declared
+// whole-file hash. Maintenance operations (-check, -scrub, -delete, -gc)
+// are local-only.
 //
 // Opening a store runs crash recovery first: if a previous save was
 // interrupted, its partial generation is rolled back and the last
@@ -30,6 +39,7 @@ import (
 	"strings"
 
 	"mhdedup/dedup"
+	"mhdedup/internal/client"
 )
 
 func main() {
@@ -44,6 +54,7 @@ func main() {
 	flag.BoolVar(&o.scrub, "scrub", false, "verify the whole store and quarantine corrupt objects")
 	flag.StringVar(&o.del, "delete", "", "delete a file's recipe from the store")
 	flag.BoolVar(&o.gc, "gc", false, "reclaim unreferenced containers after deletions")
+	flag.StringVar(&o.remote, "remote", "", "restore from a dedupd server at host:port instead of -store")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "restore:", err)
@@ -64,11 +75,15 @@ type restoreOptions struct {
 	scrub    bool
 	del      string
 	gc       bool
+	remote   string
 }
 
 func run(o restoreOptions, w io.Writer) error {
+	if o.remote != "" {
+		return runRemote(o, w)
+	}
 	if o.storeDir == "" {
-		return fmt.Errorf("-store is required")
+		return fmt.Errorf("-store or -remote is required")
 	}
 	st, err := dedup.OpenStore(o.storeDir)
 	if err != nil {
@@ -161,6 +176,67 @@ func run(o restoreOptions, w io.Writer) error {
 		return nil
 	default:
 		return fmt.Errorf("one of -list, -file, -all, -check, -scrub, -delete or -gc is required")
+	}
+}
+
+// runRemote serves -list, -file and -all from a dedupd server over the
+// wire protocol. The received stream is always checked against the
+// server's declared size and whole-file hash; -verify additionally makes
+// the server rebuild through its verifying store path.
+func runRemote(o restoreOptions, w io.Writer) error {
+	if o.check || o.scrub || o.del != "" || o.gc {
+		return fmt.Errorf("-check, -scrub, -delete and -gc operate on a local -store, not -remote")
+	}
+	cfg := client.Config{Addr: o.remote}
+	restore := func(name string, dst io.Writer) error {
+		_, err := client.Restore(cfg, name, o.verify, dst)
+		return err
+	}
+	switch {
+	case o.list:
+		names, err := client.List(cfg)
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			fmt.Fprintln(w, name)
+		}
+		return nil
+	case o.all:
+		if o.out == "" {
+			return fmt.Errorf("-all requires -out directory")
+		}
+		names, err := client.List(cfg)
+		if err != nil {
+			return err
+		}
+		var ok, failed int
+		for _, name := range names {
+			path := filepath.Join(o.out, filepath.FromSlash(strings.ReplaceAll(name, ":", "_")))
+			if err := restoreTo(restore, name, path); err != nil {
+				fmt.Fprintf(w, "FAILED   %s: %v\n", name, err)
+				failed++
+				continue
+			}
+			fmt.Fprintf(w, "restored %s\n", name)
+			ok++
+		}
+		fmt.Fprintf(w, "%d restored, %d failed\n", ok, failed)
+		if failed > 0 {
+			return fmt.Errorf("%d of %d files failed to restore", failed, ok+failed)
+		}
+		return nil
+	case o.file != "":
+		if o.out == "" {
+			return fmt.Errorf("-file requires -out path")
+		}
+		if err := restoreTo(restore, o.file, o.out); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "restored %s to %s\n", o.file, o.out)
+		return nil
+	default:
+		return fmt.Errorf("one of -list, -file or -all is required with -remote")
 	}
 }
 

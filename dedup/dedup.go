@@ -23,11 +23,13 @@
 package dedup
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"mhdedup/internal/algo"
 	"mhdedup/internal/baseline"
@@ -189,13 +191,42 @@ type StreamIngester interface {
 	IngestStreams(workers int, streams []IngestStream) error
 }
 
+// ContextStreamIngester is implemented by engines whose parallel ingest
+// honors context cancellation (MHD and SIMHD): cancelling ctx aborts
+// every in-flight file promptly and returns ctx.Err(). The engine stays
+// usable — cancelled files simply never ingested.
+type ContextStreamIngester interface {
+	IngestStreamsContext(ctx context.Context, workers int, streams []IngestStream) error
+}
+
+// ContextIngester is implemented by engines that can abort a single
+// in-flight PutFile when ctx is cancelled.
+type ContextIngester interface {
+	PutFileContext(ctx context.Context, name string, r io.Reader) error
+}
+
 // IngestParallel deduplicates the given streams with up to workers
 // concurrent sessions on eng. workers ≤ 1 ingests sequentially in stream
 // order — bit-identical to a serial PutFile loop. Engines that do not
 // support concurrent ingest (everything except MHD and SIMHD) return an
 // error when workers > 1 and fall back to the sequential loop otherwise.
 func IngestParallel(eng Engine, workers int, streams []IngestStream) error {
+	return IngestParallelContext(context.Background(), eng, workers, streams)
+}
+
+// IngestParallelContext is IngestParallel with cancellation: when ctx is
+// cancelled, in-flight ingests abort at the next chunk boundary and the
+// call returns ctx.Err(). This is what lets a network server kill a
+// session's ingest the moment its client is gone for good. Engines
+// without context support are cancelled between files.
+func IngestParallelContext(ctx context.Context, eng Engine, workers int, streams []IngestStream) error {
+	if si, ok := eng.(ContextStreamIngester); ok {
+		return si.IngestStreamsContext(ctx, workers, streams)
+	}
 	if si, ok := eng.(StreamIngester); ok {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		return si.IngestStreams(workers, streams)
 	}
 	if workers > 1 {
@@ -203,11 +234,19 @@ func IngestParallel(eng Engine, workers int, streams []IngestStream) error {
 	}
 	for _, st := range streams {
 		for _, it := range st.Items {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			r, err := it.Open()
 			if err != nil {
 				return err
 			}
-			putErr := eng.PutFile(it.Name, r)
+			var putErr error
+			if ci, ok := eng.(ContextIngester); ok {
+				putErr = ci.PutFileContext(ctx, it.Name, r)
+			} else {
+				putErr = eng.PutFile(it.Name, r)
+			}
 			r.Close()
 			if putErr != nil {
 				return putErr
@@ -244,10 +283,25 @@ func SaveStore(eng Engine, dir string) error {
 
 // Store is a handle to a saved deduplicated store: it can list, verify and
 // restore the ingested files, scrub out corruption, and garbage-collect.
-// A Store is not safe for concurrent use.
+//
+// A Store is safe for concurrent use. The locking contract: reads
+// (Files, Restore, VerifyRestore, Check) may run concurrently with each
+// other; mutations (Delete, Sweep, Scrub, Save) are exclusive — they
+// wait for in-flight reads to finish and block new ones, so a Restore
+// never observes a half-swept object set and a Sweep never reclaims a
+// container out from under a reader. VerifyRestore additionally
+// serializes against other VerifyRestore calls (the verification index
+// memoizes container verdicts and is single-threaded by design).
 type Store struct {
+	// mu is the object-set lock: read operations take RLock, mutating
+	// operations take Lock. Lock order is always mu before verMu.
+	mu  sync.RWMutex
 	st  *store.Store
 	dir string
+
+	// verMu guards ver and serializes whole VerifyRestore calls —
+	// store.Verifier is not safe for concurrent use.
+	verMu sync.Mutex
 	// ver is the cached verification index (manifest claims and container
 	// verdicts). Building it decodes every manifest, so it is shared across
 	// VerifyRestore calls — `restore -all -verify` costs one index, not one
@@ -291,13 +345,18 @@ func OpenStore(dir string) (*Store, error) {
 
 // Files lists the restorable file names, sorted.
 func (s *Store) Files() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	names := s.st.Disk().Names(simdisk.FileManifest)
 	sort.Strings(names)
 	return names
 }
 
-// Restore rebuilds one file into w.
+// Restore rebuilds one file into w. Concurrent Restores are fine;
+// mutations (Delete, Sweep, Scrub) wait until in-flight restores finish.
 func (s *Store) Restore(name string, w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.st.RestoreFile(name, w)
 }
 
@@ -306,6 +365,8 @@ func (s *Store) Restore(name string, w io.Writer) error {
 // must point at a real manifest, every file must be restorable. It returns
 // one line per problem found; nil means the store is consistent.
 func (s *Store) Check() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	format, ok := store.DetectFormat(s.st.Disk())
 	if !ok {
 		return []string{"store: cannot determine manifest format (corrupt manifests?)"}
@@ -333,22 +394,24 @@ type ScrubReport = store.ScrubReport
 // first use and shared across calls (see Scrub/Delete/Sweep for when it
 // is rebuilt).
 func (s *Store) VerifyRestore(name string, w io.Writer) error {
-	return s.verifier().RestoreFile(name, w)
-}
-
-// verifier returns the store's verification index, building it on first
-// use and reusing it (with its memoized container verdicts) until a
-// mutation — Delete, Sweep or Scrub — invalidates it.
-func (s *Store) verifier() *store.Verifier {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.verMu.Lock()
+	defer s.verMu.Unlock()
 	if s.ver == nil {
 		s.ver = store.NewVerifier(s.st, store.VerifyOpts{})
 	}
-	return s.ver
+	return s.ver.RestoreFile(name, w)
 }
 
 // invalidateVerifier drops the cached verification index; the next
-// VerifyRestore rebuilds it over the mutated object set.
-func (s *Store) invalidateVerifier() { s.ver = nil }
+// VerifyRestore rebuilds it over the mutated object set. Callers hold
+// s.mu exclusively (lock order mu → verMu).
+func (s *Store) invalidateVerifier() {
+	s.verMu.Lock()
+	s.ver = nil
+	s.verMu.Unlock()
+}
 
 // Scrub re-hashes every chunk of every container against the content
 // addresses its manifests vouch for, with bounded retry to separate
@@ -359,6 +422,8 @@ func (s *Store) invalidateVerifier() { s.ver = nil }
 // are affected. The in-RAM store is mutated immediately; call Save to
 // persist the scrubbed state.
 func (s *Store) Scrub(opts VerifyOpts) (ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.invalidateVerifier()
 	quarantine := func(cat simdisk.Category, name string, data []byte) error {
 		if s.dir == "" {
@@ -435,6 +500,8 @@ type GCStats = store.GCStats
 // Delete removes a file's recipe from the store. Shared chunk data remains
 // until Sweep shows nothing references it.
 func (s *Store) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.invalidateVerifier()
 	return s.st.DeleteFile(name)
 }
@@ -442,6 +509,8 @@ func (s *Store) Delete(name string) error {
 // Sweep reclaims every container no remaining file references, with its
 // manifests and dangling hooks — the store's garbage collector.
 func (s *Store) Sweep() (GCStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.invalidateVerifier()
 	return s.st.Sweep()
 }
@@ -449,5 +518,7 @@ func (s *Store) Sweep() (GCStats, error) {
 // Save materializes the store's current state (after deletions/sweeps) to
 // a directory, as SaveStore does for a live engine.
 func (s *Store) Save(dir string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.st.Disk().SaveDir(dir)
 }

@@ -1,0 +1,201 @@
+// Package client is the dedup-aware network client for dedupd. It chunks
+// files locally with the same chunker configuration the server's engine
+// uses (negotiated in the Hello handshake), offers chunk hashes in
+// batches, and ships only the chunk bytes the server asks for — so a
+// backup that is mostly duplicate of what the server has already seen
+// moves almost no data.
+//
+// The ingest conversation is windowed and resumable: every command
+// (FileBegin, Offer, FileEnd) carries a session-scoped sequence number,
+// the client keeps each command until its Ack arrives, and on connection
+// loss it reconnects with its resume token and replays everything the
+// server has not yet applied. The server acks replayed, already-applied
+// commands idempotently, so a retransmission is never double-ingested.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+
+	"mhdedup/internal/wire"
+)
+
+// Config parameterizes a Client. Addr is required; zero fields take the
+// documented defaults.
+type Config struct {
+	// Addr is the dedupd address (host:port).
+	Addr string
+
+	// Options is the engine contract the client expects the server to
+	// run. The server refuses mismatches at handshake (CodeHandshake), so
+	// a client never silently backs up against a differently-configured
+	// engine. Required for ingest; ignored for restore/list.
+	Options wire.EngineOptions
+
+	// BatchChunks is how many chunk hashes go into one Offer; default 64.
+	BatchChunks int
+
+	// Dial opens the transport. Default: net.Dial("tcp", addr) with a
+	// 10s timeout. Tests substitute fault-injecting dialers.
+	Dial func(addr string) (net.Conn, error)
+
+	// RetryAttempts bounds reconnection attempts after a connection
+	// failure (and retryable server errors such as Busy); default 5.
+	RetryAttempts int
+
+	// RetryDelay is the base backoff between attempts (doubling, with
+	// jitter); default 50ms.
+	RetryDelay time.Duration
+
+	// Logf receives progress lines; default discards.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Addr == "" {
+		return errors.New("client: Addr required")
+	}
+	if c.BatchChunks <= 0 {
+		c.BatchChunks = 64
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	if c.RetryAttempts <= 0 {
+		c.RetryAttempts = 5
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 50 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return nil
+}
+
+// Stats counts what a client moved over the wire — the numbers the
+// bandwidth-elimination claim is checked against.
+type Stats struct {
+	FilesSent      int   `json:"files_sent"`
+	InputBytes     int64 `json:"input_bytes"`      // raw bytes chunked locally
+	ChunksOffered  int64 `json:"chunks_offered"`   // hashes sent in Offer batches
+	ChunksSent     int64 `json:"chunks_sent"`      // chunks the server needed
+	ChunkBytesSent int64 `json:"chunk_bytes_sent"` // payload bytes of those chunks
+	WireBytesOut   int64 `json:"wire_bytes_out"`   // every frame byte written
+	WireBytesIn    int64 `json:"wire_bytes_in"`    // every frame byte read
+	Reconnects     int   `json:"reconnects"`       // successful session resumes
+}
+
+// errTransport marks a connection-level failure that reconnection can
+// heal; anything else is permanent.
+type errTransport struct{ err error }
+
+func (e errTransport) Error() string { return "client: transport: " + e.err.Error() }
+func (e errTransport) Unwrap() error { return e.err }
+
+func transportf(err error) error { return errTransport{err} }
+
+func isTransport(err error) bool {
+	var t errTransport
+	return errors.As(err, &t)
+}
+
+// conn is one live framed connection with byte accounting.
+type conn struct {
+	c     net.Conn
+	stats *Stats
+	max   uint32 // server's frame payload cap
+}
+
+func (cn *conn) write(t uint8, payload []byte) error {
+	n, err := wire.WriteFrame(cn.c, t, payload)
+	cn.stats.WireBytesOut += int64(n)
+	if err != nil {
+		return transportf(err)
+	}
+	return nil
+}
+
+func (cn *conn) read() (wire.Frame, error) {
+	f, err := wire.ReadFrame(cn.c, cn.max)
+	if err != nil {
+		return f, transportf(err)
+	}
+	cn.stats.WireBytesIn += int64(wire.HeaderSize + len(f.Payload) + wire.TrailerSize)
+	return f, nil
+}
+
+func (cn *conn) close() {
+	if cn.c != nil {
+		cn.c.Close()
+	}
+}
+
+// dialAndHello opens a connection and performs the handshake, retrying
+// with exponential backoff on dial failures and retryable server errors
+// (Busy, idle-timeout notices). Returns the connection and the server's
+// HelloOK.
+func dialAndHello(cfg *Config, hello wire.Hello, stats *Stats) (*conn, wire.HelloOK, error) {
+	var lastErr error
+	delay := cfg.RetryDelay
+	for attempt := 0; attempt < cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(delay + time.Duration(rand.Int63n(int64(delay))))
+			if delay < 2*time.Second {
+				delay *= 2
+			}
+		}
+		nc, err := cfg.Dial(cfg.Addr)
+		if err != nil {
+			lastErr = err
+			cfg.Logf("dial %s failed (attempt %d): %v", cfg.Addr, attempt+1, err)
+			continue
+		}
+		cn := &conn{c: nc, stats: stats, max: wire.DefaultMaxPayload}
+		if err := cn.write(wire.TypeHello, hello.Marshal()); err != nil {
+			cn.close()
+			lastErr = err
+			continue
+		}
+		f, err := cn.read()
+		if err != nil {
+			cn.close()
+			lastErr = err
+			continue
+		}
+		switch f.Type {
+		case wire.TypeHelloOK:
+			ok, err := wire.UnmarshalHelloOK(f.Payload)
+			if err != nil {
+				cn.close()
+				return nil, wire.HelloOK{}, fmt.Errorf("client: bad HelloOK: %w", err)
+			}
+			if ok.MaxPayload > 0 {
+				cn.max = ok.MaxPayload
+			}
+			return cn, ok, nil
+		case wire.TypeError:
+			em, uerr := wire.UnmarshalError(f.Payload)
+			cn.close()
+			if uerr != nil {
+				return nil, wire.HelloOK{}, fmt.Errorf("client: bad Error frame: %w", uerr)
+			}
+			if em.Retryable {
+				lastErr = em
+				cfg.Logf("server refused (retryable, attempt %d): %v", attempt+1, em)
+				continue
+			}
+			return nil, wire.HelloOK{}, fmt.Errorf("client: server refused session: %w", em)
+		default:
+			cn.close()
+			return nil, wire.HelloOK{}, fmt.Errorf("client: expected HelloOK, got %s", wire.TypeName(f.Type))
+		}
+	}
+	return nil, wire.HelloOK{}, fmt.Errorf("client: connect to %s failed after %d attempts: %w",
+		cfg.Addr, cfg.RetryAttempts, lastErr)
+}

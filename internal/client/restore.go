@@ -1,0 +1,125 @@
+package client
+
+import (
+	"fmt"
+	"io"
+
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/wire"
+)
+
+// RestoreResult summarizes one completed restore.
+type RestoreResult struct {
+	Bytes uint64       // bytes written to the destination
+	Sum   hashutil.Sum // whole-file SHA-1, matched against the server's claim
+}
+
+// List returns the names of files restorable from the server, sorted.
+func List(cfg Config) ([]string, error) {
+	cn, err := restoreSession(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cn.close()
+	if err := cn.write(wire.TypeListReq, nil); err != nil {
+		return nil, err
+	}
+	f, err := cn.read()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type == wire.TypeError {
+		return nil, restoreError(f)
+	}
+	if f.Type != wire.TypeListResp {
+		return nil, fmt.Errorf("client: expected ListResp, got %s", wire.TypeName(f.Type))
+	}
+	resp, err := wire.UnmarshalListResp(f.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad ListResp: %w", err)
+	}
+	closeRestore(cn)
+	return resp.Names, nil
+}
+
+// Restore streams one file from the server into w. With verify the
+// server rebuilds it through the verifying store path (every chunk range
+// re-hashed against its content address). The client independently
+// checks the received stream against the server's declared size and
+// SHA-1 regardless.
+func Restore(cfg Config, name string, verify bool, w io.Writer) (RestoreResult, error) {
+	cn, err := restoreSession(&cfg)
+	if err != nil {
+		return RestoreResult{}, err
+	}
+	defer cn.close()
+	req := wire.RestoreReq{Name: name, Verify: verify}
+	if err := cn.write(wire.TypeRestoreReq, req.Marshal()); err != nil {
+		return RestoreResult{}, err
+	}
+	hash := hashutil.NewHasher()
+	var total uint64
+	for {
+		f, err := cn.read()
+		if err != nil {
+			return RestoreResult{}, err
+		}
+		switch f.Type {
+		case wire.TypeRestoreData:
+			rd, err := wire.UnmarshalRestoreData(f.Payload)
+			if err != nil {
+				return RestoreResult{}, fmt.Errorf("client: bad RestoreData: %w", err)
+			}
+			if _, err := w.Write(rd.Data); err != nil {
+				return RestoreResult{}, fmt.Errorf("client: writing restore of %q: %w", name, err)
+			}
+			hash.Write(rd.Data)
+			total += uint64(len(rd.Data))
+		case wire.TypeRestoreEnd:
+			end, err := wire.UnmarshalRestoreEnd(f.Payload)
+			if err != nil {
+				return RestoreResult{}, fmt.Errorf("client: bad RestoreEnd: %w", err)
+			}
+			sum := hash.Sum()
+			if total != end.TotalBytes {
+				return RestoreResult{}, fmt.Errorf("client: restore of %q: received %d bytes, server declared %d",
+					name, total, end.TotalBytes)
+			}
+			if sum != end.Sum {
+				return RestoreResult{}, fmt.Errorf("client: restore of %q: received stream does not hash to the server's sum", name)
+			}
+			closeRestore(cn)
+			return RestoreResult{Bytes: total, Sum: sum}, nil
+		case wire.TypeError:
+			return RestoreResult{}, restoreError(f)
+		default:
+			return RestoreResult{}, fmt.Errorf("client: unexpected %s frame in restore stream", wire.TypeName(f.Type))
+		}
+	}
+}
+
+// restoreSession dials and completes a ModeRestore handshake.
+func restoreSession(cfg *Config) (*conn, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	var stats Stats
+	cn, _, err := dialAndHello(cfg, wire.Hello{Mode: wire.ModeRestore}, &stats)
+	return cn, err
+}
+
+// closeRestore performs the best-effort orderly Close exchange.
+func closeRestore(cn *conn) {
+	if cn.write(wire.TypeClose, nil) == nil {
+		cn.read() // CloseOK, or whatever; the conn is closing either way
+	}
+}
+
+// restoreError maps a server Error frame to a client error.
+func restoreError(f wire.Frame) error {
+	em, uerr := wire.UnmarshalError(f.Payload)
+	if uerr != nil {
+		return fmt.Errorf("client: bad Error frame: %w", uerr)
+	}
+	return fmt.Errorf("client: server error: %w", em)
+}

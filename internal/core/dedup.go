@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -262,7 +263,11 @@ func (d *Dedup) PutFile(name string, r io.Reader) error {
 }
 
 // putFile is the per-stream ingest path shared by every session.
-func (d *Dedup) putFile(name string, r io.Reader) error {
+// Cancellation is polled once per chunk — the finest boundary at which
+// the hysteresis state is consistent enough to abandon the file cleanly
+// (no FileManifest is emitted, so the partial file never looks
+// restorable).
+func (d *Dedup) putFile(ctx context.Context, name string, r io.Reader) error {
 	var ch chunker.Chunker
 	var err error
 	switch {
@@ -283,7 +288,15 @@ func (d *Dedup) putFile(name string, r io.Reader) error {
 		defer f.pipe.stop()
 	}
 	d.stats.FilesTotal.Add(1)
+	done := ctx.Done()
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		pc, ok, err := d.nextChunk(f, ch)
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -32,7 +33,22 @@ func (d *Dedup) NewSession() *Session {
 // PutFile calls on different sessions of the same Dedup may run
 // concurrently.
 func (s *Session) PutFile(name string, r io.Reader) error {
-	return s.d.putFile(name, r)
+	return s.d.putFile(context.Background(), name, r)
+}
+
+// PutFileContext is PutFile with cancellation: the ingest aborts between
+// chunks as soon as ctx is done and returns ctx.Err(). A server holding
+// one session per network connection cancels the context when the
+// connection dies, so an abandoned upload stops consuming the engine
+// instead of running to stream end. The partially ingested file writes no
+// FileManifest, so it is not restorable; chunk data already flushed for it
+// remains until a sweep, exactly as for any other mid-file error.
+//
+// Cancellation is checked per chunk, so a reader blocked in Read defers
+// it; callers that own the reader (a net.Conn, an io.Pipe) should also
+// close it on cancel to unblock immediately.
+func (s *Session) PutFileContext(ctx context.Context, name string, r io.Reader) error {
+	return s.d.putFile(ctx, name, r)
 }
 
 // Item is one input file of a stream: a name (the Restore key, unique
@@ -69,10 +85,19 @@ type Stream struct {
 // counts, stored bytes) are independent of the interleaving when streams
 // share no content; see the concurrency stress test.
 func (d *Dedup) IngestStreams(workers int, streams []Stream) error {
+	return d.IngestStreamsContext(context.Background(), workers, streams)
+}
+
+// IngestStreamsContext is IngestStreams with cancellation: once ctx is
+// done no further file is started, in-flight PutFiles abort at their next
+// chunk, and the first error returned is ctx.Err() (unless a worker
+// failed first). This is the path a network server uses to abort a
+// client's ingest when its connection dies.
+func (d *Dedup) IngestStreamsContext(ctx context.Context, workers int, streams []Stream) error {
 	if workers <= 1 || len(streams) <= 1 {
 		s := d.NewSession()
 		for _, st := range streams {
-			if err := ingestStream(s, st); err != nil {
+			if err := ingestStream(ctx, s, st); err != nil {
 				return err
 			}
 		}
@@ -100,19 +125,23 @@ func (d *Dedup) IngestStreams(workers int, streams []Stream) error {
 			defer wg.Done()
 			s := d.NewSession()
 			for st := range feed {
-				if err := ingestStream(s, st); err != nil {
+				if err := ingestStream(ctx, s, st); err != nil {
 					fail(err)
 					return
 				}
 			}
 		}()
 	}
-	// Feed streams in order; stop early once any worker failed.
+	// Feed streams in order; stop early once any worker failed or the
+	// context was cancelled.
 feeding:
 	for _, st := range streams {
 		select {
 		case feed <- st:
 		case <-failed:
+			break feeding
+		case <-ctx.Done():
+			fail(ctx.Err())
 			break feeding
 		}
 	}
@@ -122,13 +151,16 @@ feeding:
 }
 
 // ingestStream runs one stream's items, in order, through one session.
-func ingestStream(s *Session, st Stream) error {
+func ingestStream(ctx context.Context, s *Session, st Stream) error {
 	for _, it := range st.Items {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		r, err := it.Open()
 		if err != nil {
 			return fmt.Errorf("core: open %q (stream %q): %w", it.Name, st.Name, err)
 		}
-		putErr := s.PutFile(it.Name, r)
+		putErr := s.PutFileContext(ctx, it.Name, r)
 		closeErr := r.Close()
 		if putErr != nil {
 			return putErr

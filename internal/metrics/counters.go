@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry is a named-counter registry for operational (service-side)
+// metrics: sessions, frames, bytes on the wire, cache hits. Counters are
+// created on first use, updated with lock-free atomic adds, and exported
+// as one consistent-enough JSON snapshot (each counter individually
+// exact). The deduplication statistics proper stay in Stats/Atomic — the
+// registry is for the serving layer around the engine.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*atomic.Int64
+}
+
+// NewRegistry returns an empty registry (tests use private ones; servers
+// usually share Default).
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]*atomic.Int64)}
+}
+
+// Default is the process-wide registry Snapshot() exports.
+var Default = NewRegistry()
+
+// Counter returns the named counter, creating it at zero on first use.
+// The returned pointer is stable: hot paths should hold it instead of
+// re-resolving the name.
+func (r *Registry) Counter(name string) *atomic.Int64 {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c = new(atomic.Int64)
+	r.counters[name] = c
+	return c
+}
+
+// Snapshot returns the current value of every counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// Names returns the registered counter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MarshalJSON renders the registry as a flat JSON object of counter
+// values, so a *Registry can be embedded directly in a metrics document.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}
+
+// Counter returns a counter of the Default registry.
+func Counter(name string) *atomic.Int64 { return Default.Counter(name) }
+
+// Snapshot returns the Default registry's current counter values — the
+// JSON-ready operational metrics snapshot served by dedupd's
+// /metrics.json endpoint.
+func Snapshot() map[string]int64 { return Default.Snapshot() }

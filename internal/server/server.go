@@ -1,0 +1,659 @@
+// Package server implements dedupd — the network half of the dedup
+// engine. It accepts N concurrent client connections over TCP, maps each
+// ingest connection onto one core.Session of a single shared MHD/SI-MHD
+// engine, and speaks the internal/wire protocol: the client chunks
+// locally and negotiates by hash, so only chunk bytes the server has
+// never seen cross the wire.
+//
+// The server enforces hard limits (max sessions, max frame payload, a
+// per-session in-flight command window, idle read and write deadlines),
+// answers overload and shutdown with retry-friendly error frames, keeps
+// detached sessions resumable for a grace window so clients survive
+// transient connection loss, and serves restores — optionally through the
+// verifying store path — back over the same protocol.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mhdedup/internal/core"
+	"mhdedup/internal/exp"
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/simdisk"
+	"mhdedup/internal/store"
+	"mhdedup/internal/wire"
+)
+
+// Config parameterizes a Server. Zero fields take the documented
+// defaults.
+type Config struct {
+	// Engine is the shared deduplicator every ingest session feeds. It
+	// must be an MHD or SI-MHD engine (the session-capable ones).
+	Engine *core.Dedup
+
+	// MaxSessions caps concurrent (live, including detached-resumable)
+	// ingest sessions; default 16. Excess clients get a retryable Busy.
+	MaxSessions int
+	// Window caps un-applied commands per session — the backpressure
+	// contract mirrored to the client in HelloOK; default 8.
+	Window int
+	// MaxPayload caps frame payloads; default wire.DefaultMaxPayload.
+	MaxPayload uint32
+	// IdleTimeout bounds how long a connection may sit between frames;
+	// default 2 minutes. Expiry closes the connection (retry-friendly:
+	// the session stays resumable for ResumeTimeout).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each frame write; default 1 minute.
+	WriteTimeout time.Duration
+	// ResumeTimeout is how long a detached session survives for
+	// reconnection before its in-flight file is aborted; default 2
+	// minutes.
+	ResumeTimeout time.Duration
+	// ChunkCacheBytes budgets the wire-level chunk byte cache that powers
+	// hash negotiation; default 256 MiB. Zero disables the cache (every
+	// offered chunk is then needed — correct, just bandwidth-naive).
+	ChunkCacheBytes int64
+	// Registry receives the server's operational counters; default
+	// metrics.Default.
+	Registry *metrics.Registry
+	// Logf, when set, receives one line per notable event.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Engine == nil {
+		return errors.New("server: Config.Engine is required")
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 16
+	}
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.MaxPayload == 0 {
+		c.MaxPayload = wire.DefaultMaxPayload
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = time.Minute
+	}
+	if c.ResumeTimeout == 0 {
+		c.ResumeTimeout = 2 * time.Minute
+	}
+	if c.ChunkCacheBytes == 0 {
+		c.ChunkCacheBytes = 256 << 20
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.Default
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.MaxSessions < 1 || c.Window < 1 {
+		return fmt.Errorf("server: MaxSessions (%d) and Window (%d) must be positive", c.MaxSessions, c.Window)
+	}
+	return nil
+}
+
+// Server is one dedupd instance.
+type Server struct {
+	cfg      Config
+	opts     wire.EngineOptions // the handshake contract clients must match
+	cache    *chunkCache
+	tokenSrc atomic.Uint64
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	sessions map[uint64]*ingestSession
+	draining bool
+	connWG   sync.WaitGroup
+
+	// Hot operational counters (also registered in cfg.Registry).
+	cSessionsActive *atomic.Int64
+	cSessionsTotal  *atomic.Int64
+	cSessionsResume *atomic.Int64
+	cFilesIngested  *atomic.Int64
+	cChunksOffered  *atomic.Int64
+	cChunksNeeded   *atomic.Int64
+	cChunksReceived *atomic.Int64
+	cChunksCacheHit *atomic.Int64
+	cChunkBytesIn   *atomic.Int64
+	cWireBytesIn    *atomic.Int64
+	cWireBytesOut   *atomic.Int64
+	cRestores       *atomic.Int64
+	cRestoreBytes   *atomic.Int64
+	cErrors         *atomic.Int64
+}
+
+// New returns an unstarted server over cfg.Engine.
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ec := cfg.Engine.Config()
+	algorithm := exp.AlgoMHD
+	if ec.SparseIndex {
+		algorithm = exp.AlgoSIMHD
+	}
+	s := &Server{
+		cfg: cfg,
+		opts: wire.EngineOptions{
+			Algorithm: algorithm,
+			ECS:       uint32(ec.ECS),
+			SD:        uint32(ec.SD),
+			TTTD:      ec.TTTD,
+			FastCDC:   ec.FastCDC,
+		},
+		cache:    newChunkCache(cfg.ChunkCacheBytes),
+		conns:    make(map[net.Conn]struct{}),
+		sessions: make(map[uint64]*ingestSession),
+	}
+	r := cfg.Registry
+	s.cSessionsActive = r.Counter("server.sessions.active")
+	s.cSessionsTotal = r.Counter("server.sessions.total")
+	s.cSessionsResume = r.Counter("server.sessions.resumed")
+	s.cFilesIngested = r.Counter("server.files.ingested")
+	s.cChunksOffered = r.Counter("server.chunks.offered")
+	s.cChunksNeeded = r.Counter("server.chunks.needed")
+	s.cChunksReceived = r.Counter("server.chunks.received")
+	s.cChunksCacheHit = r.Counter("server.chunks.cache_hits")
+	s.cChunkBytesIn = r.Counter("server.chunks.bytes_received")
+	s.cWireBytesIn = r.Counter("server.wire.bytes_in")
+	s.cWireBytesOut = r.Counter("server.wire.bytes_out")
+	s.cRestores = r.Counter("server.restores")
+	s.cRestoreBytes = r.Counter("server.restore.bytes")
+	s.cErrors = r.Counter("server.errors")
+	// Seed the token source so resume tokens from a previous process
+	// incarnation are never accidentally honored.
+	s.tokenSrc.Store(uint64(time.Now().UnixNano()))
+	return s, nil
+}
+
+// Options returns the engine handshake contract the server enforces.
+func (s *Server) Options() wire.EngineOptions { return s.opts }
+
+// Serve accepts connections on ln until Drain or Close. It returns nil
+// after an orderly shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.connWG.Done()
+			s.handleConn(c)
+		}()
+	}
+}
+
+// Drain performs a graceful shutdown: stop accepting connections, refuse
+// new sessions with a retryable error frame, let in-flight sessions run
+// to their Close, and return once the server is idle. If ctx expires
+// first, remaining connections are severed and sessions aborted.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		idle := len(s.sessions) == 0 && len(s.conns) == 0
+		s.mu.Unlock()
+		if idle {
+			s.connWG.Wait()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			s.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close hard-stops the server: the listener, every connection and every
+// session (in-flight ingests are cancelled).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	sessions := make([]*ingestSession, 0, len(s.sessions))
+	for _, ss := range s.sessions {
+		sessions = append(sessions, ss)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, ss := range sessions {
+		s.expireSession(ss, true)
+	}
+	s.connWG.Wait()
+	return nil
+}
+
+// SessionCount returns the number of live (attached or resumable)
+// sessions.
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// CacheStats exposes the wire chunk cache occupancy for metrics.
+func (s *Server) CacheStats() (bytes int64, entries int) { return s.cache.stats() }
+
+// ---------------------------------------------------------------------------
+// Connection handling.
+
+// sender writes one frame with deadline and accounting applied.
+type sender func(t uint8, payload []byte) error
+
+// handleConn speaks the protocol on one accepted connection.
+func (s *Server) handleConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+	}()
+	send := func(t uint8, payload []byte) error {
+		if s.cfg.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		}
+		n, err := wire.WriteFrame(c, t, payload)
+		s.cWireBytesOut.Add(int64(n))
+		return err
+	}
+	sendErr := func(code uint16, retryable bool, format string, args ...any) {
+		s.cErrors.Add(1)
+		msg := wire.ErrorMsg{Code: code, Retryable: retryable, Msg: fmt.Sprintf(format, args...)}
+		send(wire.TypeError, msg.Marshal())
+	}
+	read := func() (wire.Frame, error) {
+		if s.cfg.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		f, err := wire.ReadFrame(c, s.cfg.MaxPayload)
+		if err == nil {
+			s.cWireBytesIn.Add(int64(wire.HeaderSize + len(f.Payload) + wire.TrailerSize))
+		}
+		return f, err
+	}
+
+	// Handshake.
+	f, err := read()
+	if err != nil {
+		return
+	}
+	if f.Type != wire.TypeHello {
+		sendErr(wire.CodeProtocol, false, "expected Hello, got %s", wire.TypeName(f.Type))
+		return
+	}
+	hello, err := wire.UnmarshalHello(f.Payload)
+	if err != nil {
+		sendErr(wire.CodeProtocol, false, "bad Hello: %v", err)
+		return
+	}
+	switch hello.Mode {
+	case wire.ModeRestore:
+		ok := wire.HelloOK{Window: uint32(s.cfg.Window), MaxPayload: s.cfg.MaxPayload}
+		if err := send(wire.TypeHelloOK, ok.Marshal()); err != nil {
+			return
+		}
+		s.serveRestoreConn(read, send, sendErr)
+	case wire.ModeIngest:
+		s.serveIngestConn(c, hello, read, send, sendErr)
+	default:
+		sendErr(wire.CodeProtocol, false, "unknown session mode %d", hello.Mode)
+	}
+}
+
+// serveIngestConn attaches (or creates) an ingest session and runs its
+// command loop until error, disconnect or Close.
+func (s *Server) serveIngestConn(c net.Conn, hello wire.Hello,
+	read func() (wire.Frame, error), send sender,
+	sendErr func(code uint16, retryable bool, format string, args ...any)) {
+
+	if hello.ResumeToken == 0 && hello.Options != s.opts {
+		sendErr(wire.CodeHandshake, false,
+			"engine mismatch: server runs %s ECS=%d SD=%d TTTD=%v FastCDC=%v; client offered %s ECS=%d SD=%d TTTD=%v FastCDC=%v",
+			s.opts.Algorithm, s.opts.ECS, s.opts.SD, s.opts.TTTD, s.opts.FastCDC,
+			hello.Options.Algorithm, hello.Options.ECS, hello.Options.SD, hello.Options.TTTD, hello.Options.FastCDC)
+		return
+	}
+	ss, errMsg := s.attachSession(hello)
+	if errMsg != nil {
+		s.cErrors.Add(1)
+		send(wire.TypeError, errMsg.Marshal())
+		return
+	}
+	ok := wire.HelloOK{
+		SessionToken: ss.token,
+		Window:       uint32(s.cfg.Window),
+		MaxPayload:   s.cfg.MaxPayload,
+		LastApplied:  ss.lastApplied,
+	}
+	if err := send(wire.TypeHelloOK, ok.Marshal()); err != nil {
+		s.detachSession(ss)
+		return
+	}
+	s.cfg.Logf("session %d attached (resume=%v, applied=%d)", ss.token, hello.ResumeToken != 0, ss.lastApplied)
+
+	for {
+		f, err := read()
+		if err != nil {
+			if isTimeout(err) {
+				// Retry-friendly: tell the client why before hanging up;
+				// the session survives for ResumeTimeout.
+				sendErr(wire.CodeProtocol, true, "idle timeout: no frame for %v", s.cfg.IdleTimeout)
+			}
+			s.detachSession(ss)
+			return
+		}
+		var herr error
+		switch f.Type {
+		case wire.TypeFileBegin:
+			var fb wire.FileBegin
+			if fb, herr = wire.UnmarshalFileBegin(f.Payload); herr == nil {
+				herr = ss.handleFileBegin(fb, send)
+			}
+		case wire.TypeOffer:
+			var of wire.Offer
+			if of, herr = wire.UnmarshalOffer(f.Payload); herr == nil {
+				herr = ss.handleOffer(of, send)
+			}
+		case wire.TypeChunkData:
+			var cd wire.ChunkData
+			if cd, herr = wire.UnmarshalChunkData(f.Payload); herr == nil {
+				herr = ss.handleChunkData(cd, send)
+			}
+		case wire.TypeFileEnd:
+			var fe wire.FileEnd
+			if fe, herr = wire.UnmarshalFileEnd(f.Payload); herr == nil {
+				herr = ss.handleFileEnd(fe, send)
+			}
+		case wire.TypeClose:
+			if herr = ss.closeRequested(); herr == nil {
+				s.expireSession(ss, false)
+				send(wire.TypeCloseOK, nil)
+				s.cfg.Logf("session %d closed (files=%d)", ss.token, s.cFilesIngested.Load())
+				return
+			}
+		default:
+			herr = fatalf(wire.CodeProtocol, "unexpected %s frame on ingest session", wire.TypeName(f.Type))
+		}
+		if herr != nil {
+			var sf *sessionFatal
+			if errors.As(herr, &sf) {
+				s.cErrors.Add(1)
+				send(wire.TypeError, sf.msg.Marshal())
+				s.expireSession(ss, true)
+				s.cfg.Logf("session %d failed: %s", ss.token, sf.msg.Msg)
+			} else {
+				// Send-path failure: the connection is gone; keep the
+				// session resumable.
+				s.detachSession(ss)
+			}
+			return
+		}
+	}
+}
+
+// attachSession resolves a Hello to a session: resuming an existing one
+// or creating a fresh one, subject to draining and MaxSessions.
+func (s *Server) attachSession(hello wire.Hello) (*ingestSession, *wire.ErrorMsg) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hello.ResumeToken != 0 {
+		ss, ok := s.sessions[hello.ResumeToken]
+		if !ok || ss.gone {
+			return nil, &wire.ErrorMsg{Code: wire.CodeNotFound,
+				Msg: fmt.Sprintf("no resumable session %d (expired?)", hello.ResumeToken)}
+		}
+		if ss.attached {
+			return nil, &wire.ErrorMsg{Code: wire.CodeBusy, Retryable: true,
+				Msg: fmt.Sprintf("session %d already has a live connection", hello.ResumeToken)}
+		}
+		if ss.expireTimer != nil {
+			ss.expireTimer.Stop()
+			ss.expireTimer = nil
+		}
+		ss.attached = true
+		// A fresh connection replays commands above lastApplied;
+		// half-received batches from the dead connection are void.
+		ss.pending = make(map[uint64]*pendingCmd)
+		s.cSessionsResume.Add(1)
+		s.cSessionsActive.Add(1)
+		return ss, nil
+	}
+	if s.draining {
+		return nil, &wire.ErrorMsg{Code: wire.CodeDraining, Retryable: true, Msg: "server is draining"}
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, &wire.ErrorMsg{Code: wire.CodeBusy, Retryable: true,
+			Msg: fmt.Sprintf("session limit reached (%d)", s.cfg.MaxSessions)}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ss := &ingestSession{
+		token:    s.tokenSrc.Add(1),
+		srv:      s,
+		eng:      s.cfg.Engine.NewSession(),
+		ctx:      ctx,
+		abort:    cancel,
+		attached: true,
+		pending:  make(map[uint64]*pendingCmd),
+	}
+	s.sessions[ss.token] = ss
+	s.cSessionsTotal.Add(1)
+	s.cSessionsActive.Add(1)
+	return ss, nil
+}
+
+// detachSession parks a session for resumption after its connection died:
+// pending state is dropped (the client replays), the in-flight file feed
+// stays open, and an expiry timer bounds how long that lasts.
+func (s *Server) detachSession(ss *ingestSession) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ss.gone || !ss.attached {
+		return
+	}
+	ss.attached = false
+	ss.pending = make(map[uint64]*pendingCmd)
+	s.cSessionsActive.Add(-1)
+	ss.expireTimer = time.AfterFunc(s.cfg.ResumeTimeout, func() { s.expireSession(ss, true) })
+	s.cfg.Logf("session %d detached (resumable %v)", ss.token, s.cfg.ResumeTimeout)
+}
+
+// expireSession removes a session for good: on abort the in-flight file
+// is cancelled; on orderly close there is none.
+func (s *Server) expireSession(ss *ingestSession, aborting bool) {
+	s.mu.Lock()
+	if ss.gone {
+		s.mu.Unlock()
+		return
+	}
+	if aborting && ss.attached {
+		// Called from Close() while a handler owns the session: the
+		// handler's connection is being torn down; it will not touch the
+		// session again once its read fails against the closed conn.
+		// Session teardown still proceeds here.
+	}
+	ss.gone = true
+	if ss.expireTimer != nil {
+		ss.expireTimer.Stop()
+		ss.expireTimer = nil
+	}
+	if ss.attached {
+		s.cSessionsActive.Add(-1)
+		ss.attached = false
+	}
+	delete(s.sessions, ss.token)
+	s.mu.Unlock()
+	ss.abort()
+	if aborting {
+		ss.abortOpenFile(errSessionExpired)
+	}
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// ---------------------------------------------------------------------------
+// Restore serving.
+
+// serveRestoreConn answers List and Restore requests until the client
+// hangs up or closes.
+func (s *Server) serveRestoreConn(read func() (wire.Frame, error), send sender,
+	sendErr func(code uint16, retryable bool, format string, args ...any)) {
+	for {
+		f, err := read()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.TypeListReq:
+			names := s.cfg.Engine.Disk().Names(simdisk.FileManifest)
+			sort.Strings(names)
+			if err := send(wire.TypeListResp, wire.ListResp{Names: names}.Marshal()); err != nil {
+				return
+			}
+		case wire.TypeRestoreReq:
+			req, err := wire.UnmarshalRestoreReq(f.Payload)
+			if err != nil {
+				sendErr(wire.CodeProtocol, false, "bad RestoreReq: %v", err)
+				return
+			}
+			if err := s.streamRestore(req, send); err != nil {
+				var sf *sessionFatal
+				if errors.As(err, &sf) {
+					s.cErrors.Add(1)
+					send(wire.TypeError, sf.msg.Marshal())
+					continue // stream not corrupted: error sent before or instead of End
+				}
+				return // transport failure
+			}
+		case wire.TypeClose:
+			send(wire.TypeCloseOK, nil)
+			return
+		default:
+			sendErr(wire.CodeProtocol, false, "unexpected %s frame on restore session", wire.TypeName(f.Type))
+			return
+		}
+	}
+}
+
+// streamRestore rebuilds one file through the engine's store — through
+// the verifying path when requested — and streams it as RestoreData
+// frames followed by RestoreEnd carrying the whole-file size and SHA-1.
+func (s *Server) streamRestore(req wire.RestoreReq, send sender) error {
+	if !s.cfg.Engine.Disk().Exists(simdisk.FileManifest, req.Name) {
+		return fatalf(wire.CodeNotFound, "no such file %q", req.Name)
+	}
+	st := store.New(s.cfg.Engine.Disk(), store.FormatMHD)
+	fw := &frameWriter{send: send, max: int(s.cfg.MaxPayload) - 16, hash: hashutil.NewHasher()}
+	var rerr error
+	if req.Verify {
+		// The PR 2 verified-restore path: every chunk range is re-hashed
+		// against the content address its manifest vouches for, and the
+		// bytes streamed are the ones that hashed clean.
+		rerr = store.NewVerifier(st, store.VerifyOpts{}).RestoreFile(req.Name, fw)
+	} else {
+		rerr = st.RestoreFile(req.Name, fw)
+	}
+	if rerr != nil {
+		return fatalf(wire.CodeInternal, "restore %q: %v", req.Name, rerr)
+	}
+	if err := fw.flush(); err != nil {
+		return err
+	}
+	s.cRestores.Add(1)
+	s.cRestoreBytes.Add(int64(fw.total))
+	end := wire.RestoreEnd{TotalBytes: fw.total, Sum: fw.hash.Sum()}
+	return send(wire.TypeRestoreEnd, end.Marshal())
+}
+
+// frameWriter adapts the restore io.Writer to RestoreData frames bounded
+// by the payload cap, hashing everything it emits.
+type frameWriter struct {
+	send  sender
+	max   int
+	hash  *hashutil.Hasher
+	total uint64
+	buf   []byte
+}
+
+func (w *frameWriter) Write(p []byte) (int, error) {
+	w.hash.Write(p)
+	w.total += uint64(len(p))
+	w.buf = append(w.buf, p...)
+	for len(w.buf) >= w.max {
+		if err := w.emit(w.buf[:w.max]); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[w.max:]
+	}
+	return len(p), nil
+}
+
+func (w *frameWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	err := w.emit(w.buf)
+	w.buf = nil
+	return err
+}
+
+func (w *frameWriter) emit(b []byte) error {
+	return w.send(wire.TypeRestoreData, wire.RestoreData{Data: b}.Marshal())
+}
+
+var _ io.Writer = (*frameWriter)(nil)

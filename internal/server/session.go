@@ -1,0 +1,321 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"mhdedup/internal/core"
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/wire"
+)
+
+// errSessionExpired aborts a detached session's in-flight PutFile when the
+// resume window runs out.
+var errSessionExpired = errors.New("server: session resume window expired")
+
+// ingestSession is the server half of one client backup session: a
+// core.Session on the shared engine, the ordered-application state (seq
+// numbers, pending command window) and the open-file feed.
+//
+// Ownership: exactly one connection handler owns a session while
+// `attached`; attach/detach/expire transitions go through the Server's
+// mutex, which is what makes handler access to the other fields safe
+// without per-field locking. Pending batches are discarded on detach —
+// the client replays every command above lastApplied on resume and the
+// need-lists are recomputed, so a half-received batch costs only its
+// bytes, never correctness.
+type ingestSession struct {
+	token uint64
+	srv   *Server
+	eng   *core.Session
+	ctx   context.Context
+	abort context.CancelFunc
+
+	// Guarded by srv.mu.
+	attached    bool
+	gone        bool
+	expireTimer *time.Timer
+
+	// Owned by the attached handler.
+	lastApplied uint64
+	pending     map[uint64]*pendingCmd
+	file        *openFile
+}
+
+// pendingCmd is one client command received but not yet applied. Commands
+// apply strictly in seq order; an Offer additionally waits until every
+// needed chunk arrived.
+type pendingCmd struct {
+	seq  uint64
+	kind uint8
+
+	begin wire.FileBegin
+	end   wire.FileEnd
+
+	offer   wire.Offer
+	need    []uint32 // offer indices whose bytes the client must send
+	data    [][]byte // per offer index: pinned cache bytes or received bytes
+	missing int      // needed chunks not yet received
+}
+
+// openFile is the feed of the file currently being reassembled: a pipe
+// into PutFileContext running on its own goroutine, plus the running
+// total and hash used to check the client's FileEnd claim.
+type openFile struct {
+	name string
+	pw   *io.PipeWriter
+	done chan error
+	hash *hashutil.Hasher
+	fed  uint64
+}
+
+// sessionFatal is an error that must be reported to the client as an
+// Error frame and ends the session (no resume).
+type sessionFatal struct {
+	msg wire.ErrorMsg
+}
+
+func (e *sessionFatal) Error() string { return e.msg.Error() }
+
+func fatalf(code uint16, format string, args ...any) error {
+	return &sessionFatal{msg: wire.ErrorMsg{Code: code, Msg: fmt.Sprintf(format, args...)}}
+}
+
+// handleFileBegin queues (or idempotently acks) a FileBegin command.
+func (ss *ingestSession) handleFileBegin(fb wire.FileBegin, send sender) error {
+	if fb.Seq <= ss.lastApplied {
+		return send(wire.TypeAck, wire.Ack{Seq: fb.Seq}.Marshal())
+	}
+	if err := ss.admit(fb.Seq); err != nil {
+		return err
+	}
+	ss.pending[fb.Seq] = &pendingCmd{seq: fb.Seq, kind: wire.TypeFileBegin, begin: fb}
+	return ss.applyReady(send)
+}
+
+// handleOffer computes the need-list for a batch of offered hashes,
+// pinning cache hits immediately so later eviction cannot invalidate the
+// answer, replies with the Need frame and queues the batch.
+func (ss *ingestSession) handleOffer(of wire.Offer, send sender) error {
+	if of.Seq <= ss.lastApplied {
+		// Replayed batch that was already applied before the reconnect:
+		// nothing is needed, just restate the ack.
+		return send(wire.TypeAck, wire.Ack{Seq: of.Seq}.Marshal())
+	}
+	if err := ss.admit(of.Seq); err != nil {
+		return err
+	}
+	pc := &pendingCmd{seq: of.Seq, kind: wire.TypeOffer, offer: of,
+		data: make([][]byte, len(of.Entries))}
+	for i, e := range of.Entries {
+		if data, ok := ss.srv.cache.get(e.Hash); ok && uint32(len(data)) == e.Size {
+			pc.data[i] = data
+			continue
+		}
+		pc.need = append(pc.need, uint32(i))
+	}
+	pc.missing = len(pc.need)
+	ss.pending[of.Seq] = pc
+	ss.srv.cChunksOffered.Add(int64(len(of.Entries)))
+	ss.srv.cChunksNeeded.Add(int64(len(pc.need)))
+	ss.srv.cChunksCacheHit.Add(int64(len(of.Entries) - len(pc.need)))
+	if err := send(wire.TypeNeed, wire.Need{Seq: of.Seq, Indices: pc.need}.Marshal()); err != nil {
+		return err
+	}
+	return ss.applyReady(send)
+}
+
+// handleChunkData verifies and stores a run of needed chunk bytes.
+func (ss *ingestSession) handleChunkData(cd wire.ChunkData, send sender) error {
+	if cd.Seq <= ss.lastApplied {
+		return nil // late data for an already-applied batch; harmless
+	}
+	pc, ok := ss.pending[cd.Seq]
+	if !ok || pc.kind != wire.TypeOffer {
+		return fatalf(wire.CodeProtocol, "chunk data for unknown offer seq %d", cd.Seq)
+	}
+	for j, chunk := range cd.Chunks {
+		pos := int(cd.Start) + j
+		if pos < 0 || pos >= len(pc.need) {
+			return fatalf(wire.CodeProtocol, "chunk data index %d outside need list (len %d)", pos, len(pc.need))
+		}
+		idx := pc.need[pos]
+		entry := pc.offer.Entries[idx]
+		if pc.data[idx] != nil {
+			return fatalf(wire.CodeProtocol, "duplicate chunk data for offer %d index %d", cd.Seq, idx)
+		}
+		if uint32(len(chunk)) != entry.Size {
+			return fatalf(wire.CodeIntegrity, "offer %d index %d: got %d bytes, offered %d", cd.Seq, idx, len(chunk), entry.Size)
+		}
+		if hashutil.SumBytes(chunk) != entry.Hash {
+			return fatalf(wire.CodeIntegrity, "offer %d index %d: chunk bytes do not hash to the offered address", cd.Seq, idx)
+		}
+		pc.data[idx] = chunk
+		pc.missing--
+		ss.srv.cache.put(entry.Hash, chunk)
+		ss.srv.cChunksReceived.Add(1)
+		ss.srv.cChunkBytesIn.Add(int64(len(chunk)))
+	}
+	return ss.applyReady(send)
+}
+
+// handleFileEnd queues a FileEnd command.
+func (ss *ingestSession) handleFileEnd(fe wire.FileEnd, send sender) error {
+	if fe.Seq <= ss.lastApplied {
+		return send(wire.TypeAck, wire.Ack{Seq: fe.Seq}.Marshal())
+	}
+	if err := ss.admit(fe.Seq); err != nil {
+		return err
+	}
+	ss.pending[fe.Seq] = &pendingCmd{seq: fe.Seq, kind: wire.TypeFileEnd, end: fe}
+	return ss.applyReady(send)
+}
+
+// admit enforces the per-session in-flight window and seq sanity — the
+// server's backpressure contract: at most Window unapplied commands.
+func (ss *ingestSession) admit(seq uint64) error {
+	if _, dup := ss.pending[seq]; dup {
+		return fatalf(wire.CodeProtocol, "duplicate command seq %d", seq)
+	}
+	if len(ss.pending) >= ss.srv.cfg.Window {
+		return fatalf(wire.CodeProtocol, "in-flight window exceeded (%d commands unapplied, window %d)",
+			len(ss.pending), ss.srv.cfg.Window)
+	}
+	if seq > ss.lastApplied+uint64(ss.srv.cfg.Window) {
+		return fatalf(wire.CodeProtocol, "command seq %d too far ahead of applied %d (window %d)",
+			seq, ss.lastApplied, ss.srv.cfg.Window)
+	}
+	return nil
+}
+
+// applyReady applies queued commands in seq order for as long as the next
+// one is complete, acking each. This is where the ordered stream the
+// engine requires is re-established from the windowed, pipelined wire
+// conversation.
+func (ss *ingestSession) applyReady(send sender) error {
+	for {
+		pc, ok := ss.pending[ss.lastApplied+1]
+		if !ok {
+			return nil
+		}
+		if pc.kind == wire.TypeOffer && pc.missing > 0 {
+			return nil
+		}
+		if err := ss.apply(pc); err != nil {
+			return err
+		}
+		delete(ss.pending, pc.seq)
+		ss.lastApplied = pc.seq
+		if err := send(wire.TypeAck, wire.Ack{Seq: pc.seq}.Marshal()); err != nil {
+			return err
+		}
+	}
+}
+
+// apply executes one complete command against the engine feed.
+func (ss *ingestSession) apply(pc *pendingCmd) error {
+	switch pc.kind {
+	case wire.TypeFileBegin:
+		if ss.file != nil {
+			return fatalf(wire.CodeProtocol, "FileBegin %q while %q is open", pc.begin.Name, ss.file.name)
+		}
+		pr, pw := io.Pipe()
+		f := &openFile{name: pc.begin.Name, pw: pw, done: make(chan error, 1), hash: hashutil.NewHasher()}
+		sess, ctx := ss.eng, ss.ctx
+		go func() {
+			err := sess.PutFileContext(ctx, f.name, pr)
+			// Unblock any writer still feeding the pipe, then publish.
+			pr.CloseWithError(errIngestDone{err})
+			f.done <- err
+		}()
+		ss.file = f
+		return nil
+
+	case wire.TypeOffer:
+		if ss.file == nil {
+			return fatalf(wire.CodeProtocol, "Offer %d outside a file", pc.seq)
+		}
+		for i, data := range pc.data {
+			if data == nil {
+				return fatalf(wire.CodeInternal, "offer %d index %d has no bytes at apply time", pc.seq, i)
+			}
+			if _, err := ss.file.pw.Write(data); err != nil {
+				return ss.feedFailure(err)
+			}
+			ss.file.hash.Write(data)
+			ss.file.fed += uint64(len(data))
+		}
+		return nil
+
+	case wire.TypeFileEnd:
+		if ss.file == nil {
+			return fatalf(wire.CodeProtocol, "FileEnd %d outside a file", pc.seq)
+		}
+		f := ss.file
+		ss.file = nil
+		f.pw.Close()
+		if err := <-f.done; err != nil {
+			return fatalf(wire.CodeInternal, "ingest of %q failed: %v", f.name, err)
+		}
+		if f.fed != pc.end.TotalBytes {
+			return fatalf(wire.CodeIntegrity, "file %q: reassembled %d bytes, client declared %d", f.name, f.fed, pc.end.TotalBytes)
+		}
+		if f.hash.Sum() != pc.end.Sum {
+			return fatalf(wire.CodeIntegrity, "file %q: reassembled stream does not hash to the declared sum", f.name)
+		}
+		ss.srv.cFilesIngested.Add(1)
+		return nil
+	}
+	return fatalf(wire.CodeInternal, "unapplicable command kind %d", pc.kind)
+}
+
+// feedFailure maps a pipe-write failure (the engine goroutine died) to the
+// engine's real error.
+func (ss *ingestSession) feedFailure(writeErr error) error {
+	var done errIngestDone
+	if errors.As(writeErr, &done) && done.err != nil {
+		return fatalf(wire.CodeInternal, "ingest of %q failed: %v", ss.file.name, done.err)
+	}
+	return fatalf(wire.CodeInternal, "ingest feed of %q failed: %v", ss.file.name, writeErr)
+}
+
+// errIngestDone carries PutFile's result through the pipe so a blocked
+// feed learns why the engine stopped reading.
+type errIngestDone struct{ err error }
+
+func (e errIngestDone) Error() string {
+	if e.err == nil {
+		return "server: ingest finished"
+	}
+	return "server: ingest failed: " + e.err.Error()
+}
+
+// closeRequested finalizes the session on an orderly Close: every command
+// must already be applied and no file may be open.
+func (ss *ingestSession) closeRequested() error {
+	if ss.file != nil {
+		return fatalf(wire.CodeProtocol, "Close with file %q still open", ss.file.name)
+	}
+	if len(ss.pending) != 0 {
+		return fatalf(wire.CodeProtocol, "Close with %d commands unapplied", len(ss.pending))
+	}
+	return nil
+}
+
+// abortOpenFile tears down the in-flight file feed (detach-expiry and
+// fatal-error paths): the engine side is cancelled via the session
+// context by the caller; here the pipe is broken so both ends unblock.
+func (ss *ingestSession) abortOpenFile(cause error) {
+	if ss.file == nil {
+		return
+	}
+	ss.file.pw.CloseWithError(cause)
+	// Drain the result so the engine goroutine's buffered send never
+	// blocks; the error itself is expected (cancelled context or pipe
+	// breakage) and already accounted.
+	go func(f *openFile) { <-f.done }(ss.file)
+	ss.file = nil
+}
