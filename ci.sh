@@ -1,7 +1,9 @@
 #!/bin/sh
 # CI gate: static checks, full build, the complete test suite under the
-# race detector, a dedicated crash-consistency smoke, and short fuzz
-# smokes of the decoder surfaces. This is the command the concurrency and
+# race detector, a dedicated crash-consistency smoke, a bench smoke that
+# emits and shape-checks the BENCH_ingest.json perf-trajectory artifact,
+# a live dedupd debug-endpoint smoke (/metrics.json, /healthz,
+# /events.json, pprof), and short fuzz smokes of the decoder surfaces. This is the command the concurrency and
 # robustness work is held to — `go test -race` covers the 8-goroutine
 # ingest stress test, the striped index and LRU hammer tests, the pipeline
 # shutdown/leak tests, and the kill-point persistence tests.
@@ -36,6 +38,40 @@ echo "== loopback server integration smoke (race) =="
 go test -race -count=1 \
     -run 'TestLoopbackBackupAndVerifiedRestore|TestSecondGenerationMovesFewBytes|TestKillConnectionResumeStoreEquality|TestDrainWaitsForInFlightSession' \
     ./internal/server
+
+echo "== bench smoke (perf-trajectory artifact) =="
+# A small seeded ingest+restore run must emit a BENCH_ingest.json with
+# the expected document shape: throughput, per-file latency percentiles,
+# the per-stage latency split and the engine's DER numbers.
+go run ./cmd/bench -out /tmp/BENCH_ingest.ci.json \
+    -machines 2 -days 2 -snapshot $((1<<20)) -edits 4
+for key in '"mb_per_s"' '"per_file_ms"' '"stage_latency_ms"' \
+    '"core.chunk_ns"' '"store.container_write_ns"' '"real_der"' '"p99_ms"'; do
+    grep -q "$key" /tmp/BENCH_ingest.ci.json || {
+        echo "bench smoke: $key missing from BENCH_ingest.json" >&2; exit 1; }
+done
+rm -f /tmp/BENCH_ingest.ci.json
+
+echo "== dedupd debug endpoint smoke =="
+# The server must serve /healthz, a histogram-bearing /metrics.json, the
+# event ring and pprof while running, and drain cleanly on SIGTERM.
+go build -o /tmp/dedupd.ci ./cmd/dedupd
+/tmp/dedupd.ci -addr 127.0.0.1:7471 -metrics-addr 127.0.0.1:7472 &
+DEDUPD_PID=$!
+trap 'kill "$DEDUPD_PID" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:7472/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS http://127.0.0.1:7472/healthz | grep -q ok
+curl -fsS http://127.0.0.1:7472/metrics.json | grep -q '"histograms"'
+curl -fsS http://127.0.0.1:7472/metrics.json | grep -q '"server.apply_ns"'
+curl -fsS http://127.0.0.1:7472/events.json | grep -q '"events"'
+curl -fsS http://127.0.0.1:7472/debug/pprof/cmdline >/dev/null
+kill -TERM "$DEDUPD_PID"
+wait "$DEDUPD_PID"
+trap - EXIT
+rm -f /tmp/dedupd.ci
 
 echo "== fuzz smokes (5s each) =="
 # Each target runs alone: `go test -fuzz` accepts only one matching fuzz

@@ -1,0 +1,243 @@
+// Command bench runs a fixed, reproducible ingest+restore workload
+// through a local engine and emits a JSON benchmark document
+// (BENCH_ingest.json by default) with throughput and per-stage latency
+// percentiles — the perf-trajectory artifact ci.sh smokes and humans
+// diff across commits.
+//
+// The workload is the synthetic disk-image backup generator (seeded, so
+// two runs over the same flags ingest identical bytes). Every file is
+// timed individually; the per-stage histograms (chunking, index lookup,
+// hook probe, manifest load, container I/O) come straight off the
+// process-wide metrics registry the engine hot paths record into.
+//
+//	bench -out BENCH_ingest.json
+//	bench -algo si-mhd -machines 4 -days 3 -snapshot $((8<<20))
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"mhdedup/dedup"
+	"mhdedup/internal/metrics"
+)
+
+func main() {
+	var o benchOptions
+	flag.StringVar(&o.out, "out", "BENCH_ingest.json", "output JSON path (- for stdout)")
+	flag.StringVar(&o.algo, "algo", "mhd", "engine: mhd or si-mhd")
+	flag.IntVar(&o.ecs, "ecs", 4096, "expected chunk size in bytes")
+	flag.IntVar(&o.sd, "sd", 64, "sample distance (hashes)")
+	flag.IntVar(&o.cache, "cache", 64, "manifest cache capacity")
+	flag.IntVar(&o.machines, "machines", 4, "workload machines")
+	flag.IntVar(&o.days, "days", 3, "workload days")
+	flag.Int64Var(&o.snapshot, "snapshot", 4<<20, "workload snapshot bytes per machine")
+	flag.IntVar(&o.edits, "edits", 20, "workload edits per day")
+	flag.Int64Var(&o.editSize, "edit-bytes", 24<<10, "workload mean edit size")
+	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
+	flag.BoolVar(&o.noRestore, "no-restore", false, "skip the restore pass")
+	flag.Parse()
+	if err := run(o); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+type benchOptions struct {
+	out       string
+	algo      string
+	ecs       int
+	sd        int
+	cache     int
+	machines  int
+	days      int
+	snapshot  int64
+	edits     int
+	editSize  int64
+	seed      int64
+	noRestore bool
+}
+
+// benchConfig is the reproducibility record: everything needed to re-run
+// the exact same workload.
+type benchConfig struct {
+	Algo          string `json:"algo"`
+	ECS           int    `json:"ecs"`
+	SD            int    `json:"sd"`
+	Machines      int    `json:"machines"`
+	Days          int    `json:"days"`
+	SnapshotBytes int64  `json:"snapshot_bytes"`
+	EditsPerDay   int    `json:"edits_per_day"`
+	EditBytes     int64  `json:"edit_bytes"`
+	Seed          int64  `json:"seed"`
+}
+
+// phaseResult is one timed phase: wall-clock throughput plus the
+// per-file latency distribution.
+type phaseResult struct {
+	Files     int                 `json:"files"`
+	Bytes     int64               `json:"bytes"`
+	Seconds   float64             `json:"seconds"`
+	MBPerS    float64             `json:"mb_per_s"`
+	PerFileMS metrics.DurationsMS `json:"per_file_ms"`
+}
+
+// benchDoc is the emitted document. The stage histograms carry the
+// paper-relevant split: is time going into chunking+hashing, into
+// metadata (lookup/hook/manifest), or into container I/O?
+type benchDoc struct {
+	Bench     string                         `json:"bench"`
+	Generated string                         `json:"generated"`
+	Config    benchConfig                    `json:"config"`
+	Ingest    phaseResult                    `json:"ingest"`
+	Restore   *phaseResult                   `json:"restore,omitempty"`
+	Stages    map[string]metrics.DurationsMS `json:"stage_latency_ms"`
+	Engine    struct {
+		RealDER       float64 `json:"real_der"`
+		DataOnlyDER   float64 `json:"data_only_der"`
+		MetaDataRatio float64 `json:"metadata_ratio"`
+		DiskAccesses  int64   `json:"disk_accesses"`
+	} `json:"engine"`
+}
+
+func run(o benchOptions) error {
+	algo := dedup.Algorithm(o.algo)
+	eng, err := dedup.New(algo, dedup.Options{
+		ECS:            o.ecs,
+		SD:             o.sd,
+		CacheManifests: o.cache,
+	})
+	if err != nil {
+		return err
+	}
+	cfg := dedup.DefaultWorkloadConfig()
+	cfg.Machines = o.machines
+	cfg.Days = o.days
+	cfg.SnapshotBytes = o.snapshot
+	cfg.EditsPerDay = o.edits
+	cfg.EditBytes = o.editSize
+	cfg.Seed = o.seed
+	w, err := dedup.NewWorkload(cfg)
+	if err != nil {
+		return err
+	}
+
+	hPut := metrics.GetHistogram("bench.put_file_ns")
+	hRestore := metrics.GetHistogram("bench.restore_file_ns")
+
+	// Ingest phase: serial, in stream order, each file timed.
+	var doc benchDoc
+	doc.Bench = "ingest"
+	doc.Generated = time.Now().UTC().Format(time.RFC3339)
+	doc.Config = benchConfig{
+		Algo: o.algo, ECS: o.ecs, SD: o.sd,
+		Machines: o.machines, Days: o.days, SnapshotBytes: o.snapshot,
+		EditsPerDay: o.edits, EditBytes: o.editSize, Seed: o.seed,
+	}
+	ingestStart := time.Now()
+	var inBytes int64
+	files := 0
+	for _, f := range w.Files() {
+		r, err := w.Open(f.Name)
+		if err != nil {
+			return err
+		}
+		putStart := time.Now()
+		if err := eng.PutFile(f.Name, r); err != nil {
+			return fmt.Errorf("ingest %s: %w", f.Name, err)
+		}
+		hPut.ObserveSince(putStart)
+		files++
+	}
+	if err := eng.Finish(); err != nil {
+		return err
+	}
+	ingestSecs := time.Since(ingestStart).Seconds()
+	rep := eng.Report()
+	inBytes = rep.InputBytes
+	doc.Ingest = phaseResult{
+		Files:     files,
+		Bytes:     inBytes,
+		Seconds:   ingestSecs,
+		MBPerS:    mbPerS(inBytes, ingestSecs),
+		PerFileMS: hPut.Snapshot().ToMS(),
+	}
+	doc.Engine.RealDER = rep.RealDER()
+	doc.Engine.DataOnlyDER = rep.DataOnlyDER()
+	doc.Engine.MetaDataRatio = rep.MetaDataRatio()
+	doc.Engine.DiskAccesses = rep.Disk.Accesses()
+
+	// Restore phase: every file rebuilt and discarded (byte counting only;
+	// correctness is the test suite's job, throughput is ours).
+	if !o.noRestore {
+		restoreStart := time.Now()
+		var outBytes int64
+		n := 0
+		for _, f := range w.Files() {
+			var cw countingWriter
+			rs := time.Now()
+			if err := eng.Restore(f.Name, &cw); err != nil {
+				return fmt.Errorf("restore %s: %w", f.Name, err)
+			}
+			hRestore.ObserveSince(rs)
+			outBytes += cw.n
+			n++
+		}
+		restoreSecs := time.Since(restoreStart).Seconds()
+		doc.Restore = &phaseResult{
+			Files:     n,
+			Bytes:     outBytes,
+			Seconds:   restoreSecs,
+			MBPerS:    mbPerS(outBytes, restoreSecs),
+			PerFileMS: hRestore.Snapshot().ToMS(),
+		}
+	}
+
+	// Per-stage latency off the process-wide registry (the engine hot
+	// paths recorded into these during the phases above).
+	doc.Stages = map[string]metrics.DurationsMS{}
+	for _, name := range []string{
+		"core.chunk_ns", "core.lookup_ns", "core.hook_probe_ns",
+		"core.manifest_load_ns", "store.container_write_ns", "store.container_read_ns",
+	} {
+		doc.Stages[name] = metrics.GetHistogram(name).Snapshot().ToMS()
+	}
+
+	var out io.Writer = os.Stdout
+	if o.out != "-" {
+		f, err := os.Create(o.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: ingest %.1f MB/s (p50 %.2f ms, p99 %.2f ms per file), real DER %.3f -> %s\n",
+		doc.Ingest.MBPerS, doc.Ingest.PerFileMS.P50MS, doc.Ingest.PerFileMS.P99MS,
+		doc.Engine.RealDER, o.out)
+	return nil
+}
+
+func mbPerS(bytes int64, secs float64) float64 {
+	if secs <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 20) / secs
+}
+
+// countingWriter discards restored bytes, counting them.
+type countingWriter struct{ n int64 }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

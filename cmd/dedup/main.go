@@ -35,6 +35,7 @@ import (
 
 	"mhdedup/dedup"
 	"mhdedup/internal/client"
+	"mhdedup/internal/events"
 	"mhdedup/internal/wire"
 )
 
@@ -59,6 +60,7 @@ func main() {
 	flag.StringVar(&o.resume, "resume", "", "resume from a store directory previously written with -save")
 	flag.StringVar(&o.scrub, "scrub", "", "verify a saved store, quarantine corrupt objects, and exit (no ingest)")
 	flag.StringVar(&o.remote, "remote", "", "back up to a dedupd server at host:port instead of a local engine")
+	flag.StringVar(&o.logLevel, "log-level", "warn", "structured event log level on stderr: debug, info, warn or error")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dedup:", err)
@@ -88,6 +90,7 @@ type runOptions struct {
 	resume   string
 	scrub    string
 	remote   string
+	logLevel string
 }
 
 // runScrub is the maintenance path: run crash recovery on a saved store,
@@ -238,6 +241,10 @@ func runRemote(o runOptions) error {
 	if err != nil {
 		return err
 	}
+	level, err := events.ParseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
 	cfg := client.Config{
 		Addr: o.remote,
 		Options: wire.EngineOptions{
@@ -245,6 +252,7 @@ func runRemote(o runOptions) error {
 			ECS:       uint32(o.ecs),
 			SD:        uint32(o.sd),
 		},
+		Events: events.New(events.Options{Level: level, Out: os.Stderr}),
 	}
 	ing, err := client.Connect(cfg)
 	if err != nil {

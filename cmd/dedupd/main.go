@@ -16,8 +16,15 @@
 // -store is set — persists the deduplicated store with the crash-safe
 // generation commit, then exits. A second signal forces immediate exit.
 //
-// -metrics-addr serves /metrics.json (operational counters plus engine
-// statistics) and /healthz ("ok", or 503 "draining" during shutdown).
+// -metrics-addr serves the debug endpoint set: /metrics.json (operational
+// counters, occupancy gauges, latency histogram snapshots and engine
+// statistics), /healthz ("ok", or 503 "draining" during shutdown),
+// /events.json (the recent structured event ring) and the standard
+// net/http/pprof profiles under /debug/pprof/.
+//
+// -log-level (debug|info|warn|error) and -slow-op (duration; operations
+// at or above it emit warn-level slow_op events) control the structured
+// event log written to stderr.
 package main
 
 import (
@@ -28,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync/atomic"
@@ -36,6 +44,7 @@ import (
 
 	"mhdedup/dedup"
 	"mhdedup/internal/core"
+	"mhdedup/internal/events"
 	"mhdedup/internal/metrics"
 	"mhdedup/internal/server"
 )
@@ -56,6 +65,8 @@ func main() {
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "close connections idle longer than this")
 	flag.DurationVar(&o.resumeTimeout, "resume-timeout", 2*time.Minute, "keep detached sessions resumable this long")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "bound on graceful drain before forcing shutdown")
+	flag.StringVar(&o.logLevel, "log-level", "info", "event log level: debug, info, warn or error")
+	flag.DurationVar(&o.slowOp, "slow-op", 100*time.Millisecond, "emit a warn slow_op event for operations at or above this duration (negative disables)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dedupd:", err)
@@ -78,10 +89,21 @@ type options struct {
 	idleTimeout   time.Duration
 	resumeTimeout time.Duration
 	drainTimeout  time.Duration
+	logLevel      string
+	slowOp        time.Duration
 }
 
 func run(o options) error {
 	logger := log.New(os.Stderr, "dedupd: ", log.LstdFlags)
+	level, err := events.ParseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	evlog := events.New(events.Options{
+		Level:           level,
+		Out:             os.Stderr,
+		SlowOpThreshold: o.slowOp,
+	})
 
 	eng, resumed, err := buildEngine(o)
 	if err != nil {
@@ -94,7 +116,7 @@ func run(o options) error {
 		IdleTimeout:     o.idleTimeout,
 		ResumeTimeout:   o.resumeTimeout,
 		ChunkCacheBytes: o.chunkCache,
-		Logf:            logger.Printf,
+		Events:          evlog,
 	})
 	if err != nil {
 		return err
@@ -110,13 +132,13 @@ func run(o options) error {
 	var draining atomic.Bool
 	var msrv *http.Server
 	if o.metricsAddr != "" {
-		msrv = metricsServer(o.metricsAddr, srv, eng, &draining)
+		msrv = metricsServer(o.metricsAddr, srv, eng, evlog, &draining)
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				logger.Printf("metrics server: %v", err)
 			}
 		}()
-		logger.Printf("metrics on http://%s/metrics.json", o.metricsAddr)
+		logger.Printf("debug endpoints on http://%s: /metrics.json /healthz /events.json /debug/pprof/", o.metricsAddr)
 	}
 
 	// Serve until the first SIGINT/SIGTERM, then drain; a second signal
@@ -189,20 +211,27 @@ func buildEngine(o options) (*core.Dedup, bool, error) {
 	return eng.(*core.Dedup), false, nil
 }
 
-// metricsServer exposes the operational counters and engine statistics
-// over HTTP: /metrics.json and /healthz.
-func metricsServer(addr string, srv *server.Server, eng *core.Dedup, draining *atomic.Bool) *http.Server {
+// metricsServer exposes the debug endpoint set over HTTP: /metrics.json
+// (counters + gauges + latency histogram snapshots + engine statistics),
+// /healthz (drain-aware), /events.json (the structured event ring) and
+// the standard pprof profiles under /debug/pprof/.
+func metricsServer(addr string, srv *server.Server, eng *core.Dedup, evlog *events.Log, draining *atomic.Bool) *http.Server {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
 		cacheBytes, cacheEntries := srv.CacheStats()
+		export := metrics.Default.ExportAll()
 		doc := struct {
-			Counters     map[string]int64 `json:"counters"`
-			Sessions     int              `json:"sessions"`
-			CacheBytes   int64            `json:"chunk_cache_bytes"`
-			CacheEntries int              `json:"chunk_cache_entries"`
-			Engine       metrics.Stats    `json:"engine"`
+			Counters     map[string]int64                     `json:"counters"`
+			Gauges       map[string]int64                     `json:"gauges,omitempty"`
+			Histograms   map[string]metrics.HistogramSnapshot `json:"histograms,omitempty"`
+			Sessions     int                                  `json:"sessions"`
+			CacheBytes   int64                                `json:"chunk_cache_bytes"`
+			CacheEntries int                                  `json:"chunk_cache_entries"`
+			Engine       metrics.Stats                        `json:"engine"`
 		}{
-			Counters:     metrics.Snapshot(),
+			Counters:     export.Counters,
+			Gauges:       export.Gauges,
+			Histograms:   export.Histograms,
 			Sessions:     srv.SessionCount(),
 			CacheBytes:   cacheBytes,
 			CacheEntries: cacheEntries,
@@ -213,6 +242,30 @@ func metricsServer(addr string, srv *server.Server, eng *core.Dedup, draining *a
 		enc.SetIndent("", "  ")
 		enc.Encode(doc)
 	})
+	mux.HandleFunc("/events.json", func(w http.ResponseWriter, r *http.Request) {
+		evs := evlog.Recent()
+		type line struct {
+			Time  string `json:"time"`
+			Level string `json:"level"`
+			Type  string `json:"type"`
+			Line  string `json:"line"`
+		}
+		out := make([]line, len(evs))
+		for i, e := range evs {
+			out[i] = line{
+				Time:  e.Time.Format(time.RFC3339Nano),
+				Level: e.Level.String(),
+				Type:  e.Type,
+				Line:  e.String(),
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Events []line `json:"events"`
+		}{Events: out})
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if draining.Load() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -220,5 +273,12 @@ func metricsServer(addr string, srv *server.Server, eng *core.Dedup, draining *a
 		}
 		fmt.Fprintln(w, "ok")
 	})
+	// The standard pprof profile set; an explicit wire-up because the
+	// server runs its own mux, not http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return &http.Server{Addr: addr, Handler: mux}
 }

@@ -40,6 +40,7 @@ import (
 
 	"mhdedup/dedup"
 	"mhdedup/internal/client"
+	"mhdedup/internal/events"
 )
 
 func main() {
@@ -55,6 +56,7 @@ func main() {
 	flag.StringVar(&o.del, "delete", "", "delete a file's recipe from the store")
 	flag.BoolVar(&o.gc, "gc", false, "reclaim unreferenced containers after deletions")
 	flag.StringVar(&o.remote, "remote", "", "restore from a dedupd server at host:port instead of -store")
+	flag.StringVar(&o.logLevel, "log-level", "warn", "structured event log level on stderr: debug, info, warn or error")
 	flag.Parse()
 	if err := run(o, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "restore:", err)
@@ -76,6 +78,7 @@ type restoreOptions struct {
 	del      string
 	gc       bool
 	remote   string
+	logLevel string
 }
 
 func run(o restoreOptions, w io.Writer) error {
@@ -187,7 +190,14 @@ func runRemote(o restoreOptions, w io.Writer) error {
 	if o.check || o.scrub || o.del != "" || o.gc {
 		return fmt.Errorf("-check, -scrub, -delete and -gc operate on a local -store, not -remote")
 	}
-	cfg := client.Config{Addr: o.remote}
+	level, err := events.ParseLevel(o.logLevel)
+	if err != nil {
+		return err
+	}
+	cfg := client.Config{
+		Addr:   o.remote,
+		Events: events.New(events.Options{Level: level, Out: os.Stderr}),
+	}
 	restore := func(name string, dst io.Writer) error {
 		_, err := client.Restore(cfg, name, o.verify, dst)
 		return err

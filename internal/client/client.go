@@ -20,7 +20,20 @@ import (
 	"net"
 	"time"
 
+	"mhdedup/internal/events"
+	"mhdedup/internal/metrics"
 	"mhdedup/internal/wire"
+)
+
+// Wire-negotiation latency histograms and reconnect counter on the
+// process-wide registry (values in nanoseconds).
+var (
+	// hOfferRTT is one offer→need round-trip: from the Offer frame write
+	// to the server's Need answer being in hand — the negotiation cost
+	// the hash-based protocol pays per batch.
+	hOfferRTT = metrics.GetHistogram("client.offer_rtt_ns")
+	// cReconnects counts successful resume reconnects.
+	cReconnects = metrics.Counter("client.reconnects")
 )
 
 // Config parameterizes a Client. Addr is required; zero fields take the
@@ -50,8 +63,9 @@ type Config struct {
 	// jitter); default 50ms.
 	RetryDelay time.Duration
 
-	// Logf receives progress lines; default discards.
-	Logf func(format string, args ...any)
+	// Events receives structured progress and retry events; default
+	// events.Nop() (discard).
+	Events *events.Log
 }
 
 func (c *Config) fillDefaults() error {
@@ -72,8 +86,8 @@ func (c *Config) fillDefaults() error {
 	if c.RetryDelay <= 0 {
 		c.RetryDelay = 50 * time.Millisecond
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Events == nil {
+		c.Events = events.Nop()
 	}
 	return nil
 }
@@ -153,7 +167,8 @@ func dialAndHello(cfg *Config, hello wire.Hello, stats *Stats) (*conn, wire.Hell
 		nc, err := cfg.Dial(cfg.Addr)
 		if err != nil {
 			lastErr = err
-			cfg.Logf("dial %s failed (attempt %d): %v", cfg.Addr, attempt+1, err)
+			cfg.Events.Warn("client.dial_retry",
+				events.F("addr", cfg.Addr), events.F("attempt", attempt+1), events.F("err", err))
 			continue
 		}
 		cn := &conn{c: nc, stats: stats, max: wire.DefaultMaxPayload}
@@ -187,7 +202,8 @@ func dialAndHello(cfg *Config, hello wire.Hello, stats *Stats) (*conn, wire.Hell
 			}
 			if em.Retryable {
 				lastErr = em
-				cfg.Logf("server refused (retryable, attempt %d): %v", attempt+1, em)
+				cfg.Events.Warn("client.refused_retry",
+					events.F("attempt", attempt+1), events.F("err", em))
 				continue
 			}
 			return nil, wire.HelloOK{}, fmt.Errorf("client: server refused session: %w", em)

@@ -3,8 +3,10 @@ package client
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"mhdedup/internal/chunker"
+	"mhdedup/internal/events"
 	"mhdedup/internal/hashutil"
 	"mhdedup/internal/wire"
 )
@@ -66,7 +68,8 @@ func Connect(cfg Config) (*Ingestor, error) {
 	if ing.win <= 0 {
 		ing.win = 1
 	}
-	ing.cfg.Logf("session %d open (window %d, max payload %d)", ing.token, ing.win, cn.max)
+	ing.cfg.Events.Info("client.session_open",
+		events.F("session", ing.token), events.F("window", ing.win), events.F("max_payload", cn.max))
 	return ing, nil
 }
 
@@ -217,8 +220,11 @@ func (c *Ingestor) issue(typ uint8, marshal func(seq uint64) []byte, chunks [][]
 }
 
 // transmit writes one command frame; for an Offer it then waits for the
-// server's Need answer and ships the requested chunk bytes.
+// server's Need answer and ships the requested chunk bytes. The
+// offer→need round-trip — the negotiation latency the hash protocol
+// pays per batch — is recorded in the client.offer_rtt_ns histogram.
 func (c *Ingestor) transmit(cmd *command) error {
+	start := time.Now()
 	if err := c.cn.write(cmd.typ, cmd.payload); err != nil {
 		return err
 	}
@@ -230,13 +236,17 @@ func (c *Ingestor) transmit(cmd *command) error {
 			return err
 		}
 	}
+	d := hOfferRTT.ObserveSince(start)
+	c.cfg.Events.SlowOp("offer_rtt", d,
+		events.F("session", c.token), events.F("seq", cmd.seq),
+		events.F("need", len(cmd.need)))
 	return c.sendNeeded(cmd)
 }
 
 // sendNeeded streams the chunks the server asked for as ChunkData runs
 // bounded by the frame payload cap.
 func (c *Ingestor) sendNeeded(cmd *command) error {
-	const perChunkOverhead = 4 // length prefix per chunk in ChunkData
+	const perChunkOverhead = 4   // length prefix per chunk in ChunkData
 	budget := int(c.cn.max) - 64 // header fields + margin
 	start := 0
 	for start < len(cmd.need) {
@@ -345,11 +355,14 @@ func (c *Ingestor) recover() error {
 		c.win = 1
 	}
 	c.stats.Reconnects++
+	cReconnects.Add(1)
 	// Retire everything the server applied before we lost the link.
 	for len(c.unacked) > 0 && c.unacked[0].seq <= ok.LastApplied {
 		c.unacked = c.unacked[1:]
 	}
-	c.cfg.Logf("session %d resumed: applied=%d, replaying %d commands", c.token, ok.LastApplied, len(c.unacked))
+	c.cfg.Events.Info("client.resume",
+		events.F("session", c.token), events.F("applied", ok.LastApplied),
+		events.F("replay", len(c.unacked)))
 	for _, cmd := range c.unacked {
 		cmd.need, cmd.needReady = nil, false
 		if err := c.transmit(cmd); err != nil {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mhdedup/internal/bloom"
 	"mhdedup/internal/chunker"
@@ -209,10 +210,12 @@ func (d *Dedup) loadManifest(name hashutil.Sum) (*store.Manifest, error) {
 	if m, ok := d.cache.Get(name); ok {
 		return m, nil
 	}
+	start := time.Now()
 	m, err := d.st.ReadManifest(name)
 	if err != nil {
 		return nil, err
 	}
+	hManifestLoadNS.ObserveSince(start)
 	d.stats.ManifestLoads.Add(1)
 	d.cacheInsert(m)
 	return m, nil
@@ -327,6 +330,7 @@ func (d *Dedup) nextChunk(f *fileState, ch chunker.Chunker) (pchunk, bool, error
 func (d *Dedup) pull(f *fileState, ch chunker.Chunker) (pchunk, bool, error) {
 	var data []byte
 	var h hashutil.Sum
+	start := time.Now()
 	if f.pipe != nil {
 		item := f.pipe.next()
 		if item.err == io.EOF || item.err == errPipelineClosed {
@@ -346,6 +350,7 @@ func (d *Dedup) pull(f *fileState, ch chunker.Chunker) (pchunk, bool, error) {
 		}
 		data, h = c.Data, hashutil.SumBytes(c.Data)
 	}
+	hChunkNS.ObserveSince(start)
 	d.stats.ChunksIn.Add(1)
 	d.stats.InputBytes.Add(int64(len(data)))
 	d.stats.ChunkedBytes.Add(int64(len(data)))
@@ -360,7 +365,10 @@ func (d *Dedup) pull(f *fileState, ch chunker.Chunker) (pchunk, bool, error) {
 // otherwise buffer as non-duplicate, flushing half the buffer via SHM when
 // it fills.
 func (d *Dedup) process(f *fileState, ch chunker.Chunker, pc pchunk) error {
-	if m, ok := d.lookupCached(pc.hash); ok {
+	lkStart := time.Now()
+	m, hit := d.lookupCached(pc.hash)
+	hLookupNS.ObserveSince(lkStart)
+	if hit {
 		done, err := d.tryExtend(f, ch, m, pc)
 		if err != nil {
 			return err
@@ -377,7 +385,10 @@ func (d *Dedup) process(f *fileState, ch chunker.Chunker, pc pchunk) error {
 	if d.sparseIdx != nil {
 		// SI-MHD: the in-RAM index answers the hook query with no disk
 		// access; only the manifest load touches the disk.
-		if target, ok := d.sparseIdx.get(pc.hash); ok {
+		prStart := time.Now()
+		target, ok := d.sparseIdx.get(pc.hash)
+		hHookProbeNS.ObserveSince(prStart)
+		if ok {
 			m, err := d.loadManifest(target)
 			if err != nil {
 				return err
@@ -391,15 +402,21 @@ func (d *Dedup) process(f *fileState, ch chunker.Chunker, pc pchunk) error {
 			}
 		}
 	} else {
+		prStart := time.Now()
 		mightExist := true
 		if d.filter != nil {
 			mightExist = d.filter.Test(pc.hash)
 		}
+		var targets []hashutil.Sum
+		var err error
 		if mightExist && d.st.HookExists(pc.hash) {
-			targets, err := d.st.ReadHook(pc.hash)
-			if err != nil {
-				return err
-			}
+			targets, err = d.st.ReadHook(pc.hash)
+		}
+		hHookProbeNS.ObserveSince(prStart)
+		if err != nil {
+			return err
+		}
+		if len(targets) > 0 {
 			m, err := d.loadManifest(targets[0])
 			if err != nil {
 				return err

@@ -1,0 +1,446 @@
+package server
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"mhdedup/internal/baseline"
+	"mhdedup/internal/client"
+	"mhdedup/internal/core"
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/simdisk"
+	"mhdedup/internal/store"
+	"mhdedup/internal/wire"
+)
+
+// Regression tests for the PR's four bug fixes:
+//
+//  1. resume-vs-expiry race: a resume-window timer that fired concurrently
+//     with a successful resume must not tear down the re-attached session;
+//  2. format-blind remote restore: a dedupd pointed at a store whose
+//     manifests are not FormatMHD must detect the format instead of
+//     misparsing manifests on the verified-restore path;
+//  3. frameWriter payload budget: tiny MaxPayload values drove the restore
+//     frame budget to zero (infinite emit loop); the budget is now derived
+//     from the real codec overhead and sub-minimum MaxPayload is rejected;
+//  4. Server.Close conn-snapshot race: a connection accepted between
+//     Close's snapshot and the listener shutting must be closed by Serve,
+//     not linger until IdleTimeout.
+
+// expectAck reads one frame and requires an Ack for seq.
+func expectAck(t *testing.T, read func() wire.Frame, seq uint64) {
+	t.Helper()
+	f := read()
+	if f.Type != wire.TypeAck {
+		t.Fatalf("expected Ack, got %s", wire.TypeName(f.Type))
+	}
+	ack, err := wire.UnmarshalAck(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Seq != seq {
+		t.Fatalf("Ack.Seq = %d, want %d", ack.Seq, seq)
+	}
+}
+
+// TestResumeSurvivesStaleExpiryTimer reproduces the resume-vs-expiry race
+// deterministically. The dangerous interleaving is: the resume-window
+// timer fires and blocks on srv.mu, a resume commits (attachSession), and
+// only then does the fired timer body run. Before the epoch fix that
+// stale firing tore down the freshly re-attached session — aborting its
+// in-flight file under a live connection. The test simulates the
+// fired-and-blocked timer by invoking expireTimerFired directly with the
+// epoch the timer was armed with, after the resume has committed.
+func TestResumeSurvivesStaleExpiryTimer(t *testing.T) {
+	srv, eng, addr := startServer(t, nil)
+
+	// Session with an in-flight file: FileBegin + one applied chunk batch.
+	c1, write1, read1 := rawConn(t, addr)
+	write1(wire.TypeHello, wire.Hello{Mode: wire.ModeIngest, Options: srv.Options()}.Marshal())
+	ok, err := wire.UnmarshalHelloOK(func() wire.Frame { return read1() }().Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	token := ok.SessionToken
+	data := ch('r', 2048)
+	sum := hashutil.SumBytes(data)
+	write1(wire.TypeFileBegin, wire.FileBegin{Seq: 1, Name: "race-file"}.Marshal())
+	expectAck(t, read1, 1)
+	write1(wire.TypeOffer, wire.Offer{Seq: 2, Entries: []wire.OfferEntry{{Hash: sum, Size: uint32(len(data))}}}.Marshal())
+	need, err := wire.UnmarshalNeed(read1().Payload)
+	if err != nil || len(need.Indices) != 1 {
+		t.Fatalf("need = %+v, %v", need, err)
+	}
+	write1(wire.TypeChunkData, wire.ChunkData{Seq: 2, Start: 0, Chunks: [][]byte{data}}.Marshal())
+	expectAck(t, read1, 2)
+
+	// Drop the connection; the server detaches the session and arms the
+	// expiry timer, capturing the detach epoch.
+	c1.Close()
+	var ss *ingestSession
+	var armedEpoch uint64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.mu.Lock()
+		ss = srv.sessions[token]
+		detached := ss != nil && !ss.attached
+		if detached {
+			armedEpoch = ss.epoch
+		}
+		srv.mu.Unlock()
+		if detached {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("session never detached after connection drop")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	// Resume on a fresh connection.
+	_, write2, read2 := rawConn(t, addr)
+	write2(wire.TypeHello, wire.Hello{Mode: wire.ModeIngest, ResumeToken: token}.Marshal())
+	ok2, err := wire.UnmarshalHelloOK(read2().Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2.LastApplied != 2 {
+		t.Fatalf("resume LastApplied = %d, want 2", ok2.LastApplied)
+	}
+
+	// The raced timer body runs now, with the epoch it was armed in.
+	// Pre-fix this expired the session; post-fix it must be a no-op.
+	srv.expireTimerFired(ss, armedEpoch)
+
+	if n := srv.SessionCount(); n != 1 {
+		t.Fatalf("session count after stale expiry fired = %d, want 1", n)
+	}
+	srv.mu.Lock()
+	gone, attached := ss.gone, ss.attached
+	srv.mu.Unlock()
+	if gone || !attached {
+		t.Fatalf("session gone=%v attached=%v after stale expiry, want live and attached", gone, attached)
+	}
+
+	// The in-flight file must still complete over the resumed connection.
+	write2(wire.TypeFileEnd, wire.FileEnd{Seq: 3, TotalBytes: uint64(len(data)), Sum: sum}.Marshal())
+	expectAck(t, read2, 3)
+	write2(wire.TypeClose, nil)
+	if f := read2(); f.Type != wire.TypeCloseOK {
+		t.Fatalf("expected CloseOK, got %s", wire.TypeName(f.Type))
+	}
+	if err := eng.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := eng.Restore("race-file", &buf); err != nil {
+		t.Fatalf("restore after raced resume: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatalf("restored %d bytes differ from the %d ingested", buf.Len(), len(data))
+	}
+}
+
+// TestResumeExpiryRaceStress hammers the real timer against real resumes
+// with a tiny resume window. Whenever a resume wins (HelloOK), the
+// session must stay alive well past the resume window — attached
+// sessions never expire. Run under -race this also exercises the
+// timer/attach mutex choreography.
+func TestResumeExpiryRaceStress(t *testing.T) {
+	const window = 10 * time.Millisecond
+	srv, _, addr := startServer(t, func(c *Config) { c.ResumeTimeout = window })
+	resumed := 0
+	for i := 0; i < 20; i++ {
+		c, write, read := rawConn(t, addr)
+		write(wire.TypeHello, wire.Hello{Mode: wire.ModeIngest, Options: srv.Options()}.Marshal())
+		ok, err := wire.UnmarshalHelloOK(read().Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		write(wire.TypeFileBegin, wire.FileBegin{Seq: 1, Name: "stress"}.Marshal())
+		expectAck(t, read, 1)
+		c.Close() // detach; expiry timer armed with the tiny window
+
+		// Race the resume against the expiry by aiming at the window edge.
+		time.Sleep(window - time.Duration(rand.Intn(4))*time.Millisecond)
+		c2, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wire.WriteFrame(c2, wire.TypeHello,
+			wire.Hello{Mode: wire.ModeIngest, ResumeToken: ok.SessionToken}.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+		c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, err := wire.ReadFrame(c2, wire.DefaultMaxPayload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch f.Type {
+		case wire.TypeError:
+			// The timer won: the session expired before the resume landed.
+			// That is a legal outcome; it must be NotFound, not a tear-down
+			// of someone else's state.
+			em, err := wire.UnmarshalError(f.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if em.Code != wire.CodeNotFound {
+				t.Fatalf("iteration %d: lost race gave code %d, want NotFound", i, em.Code)
+			}
+		case wire.TypeHelloOK:
+			// The resume won: the session must survive the (now stale)
+			// expiry timer by a comfortable margin.
+			resumed++
+			time.Sleep(3 * window)
+			srv.mu.Lock()
+			_, alive := srv.sessions[ok.SessionToken]
+			srv.mu.Unlock()
+			if !alive {
+				t.Fatalf("iteration %d: resumed session was torn down by a stale expiry timer", i)
+			}
+		default:
+			t.Fatalf("iteration %d: unexpected %s", i, wire.TypeName(f.Type))
+		}
+		c2.Close()
+	}
+	t.Logf("resume won %d/20 races", resumed)
+}
+
+// TestRemoteRestoreNonMHDFormatStore points a dedupd at a store written
+// by a non-MHD engine (baseline CDC, FormatBasic manifests) and restores
+// over the wire through the verifying path. Pre-fix, streamRestore
+// hardcoded FormatMHD, so the Verifier decoded the basic 36-byte manifest
+// records as 37-byte MHD records and the restore failed; post-fix the
+// format is detected from the store contents.
+func TestRemoteRestoreNonMHDFormatStore(t *testing.T) {
+	disk := simdisk.New()
+	cdc, err := baseline.NewCDCOnDisk(baseline.DefaultCDCConfig(), disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 96<<10)
+	rand.New(rand.NewSource(42)).Read(data)
+	if err := cdc.PutFile("image.raw", bytes.NewReader(data)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cdc.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if f, ok := store.DetectFormat(disk); !ok || f != store.FormatBasic {
+		t.Fatalf("precondition: DetectFormat = %v, %v; want FormatBasic, true", f, ok)
+	}
+
+	// Mount the foreign store under an MHD engine (what a dedupd resuming
+	// an older store does) and serve it.
+	eng, err := core.NewOnDisk(core.DefaultConfig(), disk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Engine: eng, Registry: metrics.NewRegistry(), Events: testEvents(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	var buf bytes.Buffer
+	res, err := client.Restore(client.Config{Addr: ln.Addr().String()}, "image.raw", true, &buf)
+	if err != nil {
+		t.Fatalf("verified remote restore from FormatBasic store: %v", err)
+	}
+	if res.Bytes != uint64(len(data)) || !bytes.Equal(buf.Bytes(), data) {
+		t.Fatalf("restored %d bytes differ from the %d ingested", res.Bytes, len(data))
+	}
+}
+
+// TestTinyMaxPayloadRejected pins the fillDefaults floor: MaxPayload
+// values that cannot fit the restore codec overhead plus data are
+// configuration errors, not runtime infinite loops.
+func TestTinyMaxPayloadRejected(t *testing.T) {
+	eng := newTestEngine(t)
+	for _, mp := range []uint32{1, restoreDataOverhead, 16, 512, minMaxPayload - 1} {
+		if _, err := New(Config{Engine: eng, MaxPayload: mp}); err == nil {
+			t.Errorf("New accepted MaxPayload=%d, want rejection below %d", mp, minMaxPayload)
+		}
+	}
+	for _, mp := range []uint32{0, minMaxPayload, wire.DefaultMaxPayload} {
+		if _, err := New(Config{Engine: eng, MaxPayload: mp, Registry: metrics.NewRegistry()}); err != nil {
+			t.Errorf("New rejected MaxPayload=%d: %v", mp, err)
+		}
+	}
+}
+
+// TestFrameWriterPayloadBudget checks the restore frame writer against the
+// real wire overhead across payload caps: every emitted RestoreData frame
+// must marshal within MaxPayload, and the reassembled stream must be
+// byte-identical. A zero budget must error out instead of looping.
+func TestFrameWriterPayloadBudget(t *testing.T) {
+	for _, tc := range []struct {
+		maxPayload uint32
+		writes     []int // sizes fed to Write
+	}{
+		{minMaxPayload, []int{1, minMaxPayload - restoreDataOverhead, 3000, 1}},
+		{minMaxPayload, []int{5000}},
+		{4096, []int{4096, 4096, 17}},
+		{wire.DefaultMaxPayload, []int{1 << 20}},
+	} {
+		var frames [][]byte
+		var input []byte
+		fw := &frameWriter{
+			send: func(typ uint8, payload []byte) error {
+				if typ != wire.TypeRestoreData {
+					t.Fatalf("frameWriter sent %s", wire.TypeName(typ))
+				}
+				frames = append(frames, payload)
+				return nil
+			},
+			max:  int(tc.maxPayload) - restoreDataOverhead,
+			hash: hashutil.NewHasher(),
+		}
+		src := rand.New(rand.NewSource(7))
+		for _, n := range tc.writes {
+			b := make([]byte, n)
+			src.Read(b)
+			input = append(input, b...)
+			if _, err := fw.Write(b); err != nil {
+				t.Fatalf("max_payload=%d: write %d bytes: %v", tc.maxPayload, n, err)
+			}
+		}
+		if err := fw.flush(); err != nil {
+			t.Fatalf("max_payload=%d: flush: %v", tc.maxPayload, err)
+		}
+		var got []byte
+		for i, p := range frames {
+			if len(p) > int(tc.maxPayload) {
+				t.Fatalf("max_payload=%d: frame %d payload is %d bytes, exceeds cap", tc.maxPayload, i, len(p))
+			}
+			rd, err := wire.UnmarshalRestoreData(p)
+			if err != nil {
+				t.Fatalf("max_payload=%d: frame %d: %v", tc.maxPayload, i, err)
+			}
+			got = append(got, rd.Data...)
+		}
+		if !bytes.Equal(got, input) {
+			t.Fatalf("max_payload=%d: reassembled %d bytes differ from %d written", tc.maxPayload, len(got), len(input))
+		}
+	}
+
+	// Defensive guard: a non-positive budget must fail fast, never spin.
+	fw := &frameWriter{send: func(uint8, []byte) error { return nil }, max: 0, hash: hashutil.NewHasher()}
+	done := make(chan error, 1)
+	go func() {
+		_, err := fw.Write([]byte("x"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("zero-budget Write returned nil, want error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("zero-budget Write did not return (infinite emit loop)")
+	}
+}
+
+// stagedListener is a net.Listener that, on Close, hands Serve exactly one
+// more connection before reporting closed — the deterministic re-creation
+// of a conn accepted in the window between Server.Close's connection
+// snapshot and the listener actually shutting.
+type stagedListener struct {
+	conns chan net.Conn
+	late  net.Conn
+	once  sync.Once
+	done  chan struct{}
+}
+
+func (l *stagedListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.conns:
+		return c, nil
+	case <-l.done:
+		select {
+		case c := <-l.conns:
+			return c, nil
+		default:
+			return nil, net.ErrClosed
+		}
+	}
+}
+
+func (l *stagedListener) Close() error {
+	l.once.Do(func() {
+		l.conns <- l.late // queued before done: Accept delivers it first
+		close(l.done)
+	})
+	return nil
+}
+
+func (l *stagedListener) Addr() net.Addr {
+	return &net.TCPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 0}
+}
+
+// TestCloseShutsLateAcceptedConn pins the Close conn-snapshot race fix:
+// a connection Serve accepts after Close has snapshotted s.conns is
+// invisible to Close and used to linger (pinning resources) until
+// IdleTimeout. Serve must now shut it immediately.
+func TestCloseShutsLateAcceptedConn(t *testing.T) {
+	eng := newTestEngine(t)
+	srv, err := New(Config{Engine: eng, Registry: metrics.NewRegistry(), Events: testEvents(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverSide, clientSide := net.Pipe()
+	defer clientSide.Close()
+	ln := &stagedListener{
+		conns: make(chan net.Conn, 1),
+		late:  serverSide,
+		done:  make(chan struct{}),
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	// Wait for Serve to adopt the listener before racing Close against it.
+	for {
+		srv.mu.Lock()
+		started := srv.ln != nil
+		srv.mu.Unlock()
+		if started {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	closeStart := time.Now()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(closeStart); d > 5*time.Second {
+		t.Fatalf("Close took %v, want prompt return", d)
+	}
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			t.Fatalf("Serve returned %v after Close, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	// The late-accepted connection must be closed by Serve, not held open
+	// until IdleTimeout (2 minutes by default — far beyond this deadline).
+	clientSide.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var b [1]byte
+	if _, err := clientSide.Read(b[:]); err == nil {
+		t.Fatal("late-accepted conn still open: read succeeded")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("late-accepted conn was never closed (read timed out)")
+	}
+}

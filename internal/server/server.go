@@ -11,6 +11,13 @@
 // detached sessions resumable for a grace window so clients survive
 // transient connection loss, and serves restores — optionally through the
 // verifying store path — back over the same protocol.
+//
+// Observability: session lifecycle transitions (attach, resume, detach,
+// expire, close, fail) are emitted as structured events through
+// Config.Events, per-frame-type handling latency and command-apply
+// latency are recorded in Config.Registry histograms, and operations
+// slower than the event log's slow-op threshold additionally emit a
+// warn-level slow_op event.
 package server
 
 import (
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"mhdedup/internal/core"
+	"mhdedup/internal/events"
 	"mhdedup/internal/exp"
 	"mhdedup/internal/hashutil"
 	"mhdedup/internal/metrics"
@@ -32,6 +40,19 @@ import (
 	"mhdedup/internal/store"
 	"mhdedup/internal/wire"
 )
+
+// minMaxPayload is the smallest MaxPayload a server accepts. Below this
+// the protocol cannot make progress: a restore frame must fit its
+// length-prefix overhead plus at least some data, and chunk negotiation
+// with sub-kilobyte frames is pathological.
+const minMaxPayload = 1024
+
+// restoreDataOverhead is the exact wire overhead RestoreData.Marshal adds
+// around the data bytes (one u32 length prefix). The restore frame
+// writer budgets payloads as MaxPayload - restoreDataOverhead; deriving
+// it here (rather than guessing a margin) keeps the budget positive for
+// every legal MaxPayload.
+const restoreDataOverhead = 4
 
 // Config parameterizes a Server. Zero fields take the documented
 // defaults.
@@ -46,7 +67,8 @@ type Config struct {
 	// Window caps un-applied commands per session — the backpressure
 	// contract mirrored to the client in HelloOK; default 8.
 	Window int
-	// MaxPayload caps frame payloads; default wire.DefaultMaxPayload.
+	// MaxPayload caps frame payloads; default wire.DefaultMaxPayload,
+	// minimum minMaxPayload (1024).
 	MaxPayload uint32
 	// IdleTimeout bounds how long a connection may sit between frames;
 	// default 2 minutes. Expiry closes the connection (retry-friendly:
@@ -62,11 +84,12 @@ type Config struct {
 	// hash negotiation; default 256 MiB. Zero disables the cache (every
 	// offered chunk is then needed — correct, just bandwidth-naive).
 	ChunkCacheBytes int64
-	// Registry receives the server's operational counters; default
-	// metrics.Default.
+	// Registry receives the server's operational counters, latency
+	// histograms and occupancy gauges; default metrics.Default.
 	Registry *metrics.Registry
-	// Logf, when set, receives one line per notable event.
-	Logf func(format string, args ...any)
+	// Events receives structured lifecycle and slow-op events; default
+	// events.Nop() (nothing retained, nothing written).
+	Events *events.Log
 }
 
 func (c *Config) fillDefaults() error {
@@ -81,6 +104,10 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.MaxPayload == 0 {
 		c.MaxPayload = wire.DefaultMaxPayload
+	}
+	if c.MaxPayload < minMaxPayload {
+		return fmt.Errorf("server: MaxPayload %d below minimum %d (frames must fit codec overhead plus data)",
+			c.MaxPayload, minMaxPayload)
 	}
 	if c.IdleTimeout == 0 {
 		c.IdleTimeout = 2 * time.Minute
@@ -97,8 +124,8 @@ func (c *Config) fillDefaults() error {
 	if c.Registry == nil {
 		c.Registry = metrics.Default
 	}
-	if c.Logf == nil {
-		c.Logf = func(string, ...any) {}
+	if c.Events == nil {
+		c.Events = events.Nop()
 	}
 	if c.MaxSessions < 1 || c.Window < 1 {
 		return fmt.Errorf("server: MaxSessions (%d) and Window (%d) must be positive", c.MaxSessions, c.Window)
@@ -118,6 +145,7 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	sessions map[uint64]*ingestSession
 	draining bool
+	closed   bool // Close() ran: late-accepted conns are shut immediately
 	connWG   sync.WaitGroup
 
 	// Hot operational counters (also registered in cfg.Registry).
@@ -135,6 +163,11 @@ type Server struct {
 	cRestores       *atomic.Int64
 	cRestoreBytes   *atomic.Int64
 	cErrors         *atomic.Int64
+
+	// Latency histograms (nanoseconds; also in cfg.Registry).
+	hFrame   map[uint8]*metrics.Histogram // per ingest frame type
+	hApply   *metrics.Histogram           // one engine-feed command apply
+	hRestore *metrics.Histogram           // one whole streamed restore
 }
 
 // New returns an unstarted server over cfg.Engine.
@@ -175,6 +208,17 @@ func New(cfg Config) (*Server, error) {
 	s.cRestores = r.Counter("server.restores")
 	s.cRestoreBytes = r.Counter("server.restore.bytes")
 	s.cErrors = r.Counter("server.errors")
+	s.hFrame = map[uint8]*metrics.Histogram{
+		wire.TypeFileBegin: r.Histogram("server.frame.file_begin_ns"),
+		wire.TypeOffer:     r.Histogram("server.frame.offer_ns"),
+		wire.TypeChunkData: r.Histogram("server.frame.chunk_data_ns"),
+		wire.TypeFileEnd:   r.Histogram("server.frame.file_end_ns"),
+	}
+	s.hApply = r.Histogram("server.apply_ns")
+	s.hRestore = r.Histogram("server.restore_ns")
+	r.SetGauge("server.sessions.live", func() int64 { return int64(s.SessionCount()) })
+	r.SetGauge("server.cache.bytes", func() int64 { b, _ := s.cache.stats(); return b })
+	r.SetGauge("server.cache.entries", func() int64 { _, n := s.cache.stats(); return int64(n) })
 	// Seed the token source so resume tokens from a previous process
 	// incarnation are never accidentally honored.
 	s.tokenSrc.Store(uint64(time.Now().UnixNano()))
@@ -206,6 +250,15 @@ func (s *Server) Serve(ln net.Listener) error {
 			return err
 		}
 		s.mu.Lock()
+		if s.closed {
+			// Close() already snapshotted s.conns: a connection accepted
+			// in the window between that snapshot and ln.Close() taking
+			// effect would never be closed and would pin connWG (hence
+			// Close) for up to IdleTimeout. Shut it here instead.
+			s.mu.Unlock()
+			c.Close()
+			continue
+		}
 		s.conns[c] = struct{}{}
 		s.connWG.Add(1)
 		s.mu.Unlock()
@@ -225,6 +278,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.draining = true
 	ln := s.ln
 	s.mu.Unlock()
+	s.cfg.Events.Info("server.drain")
 	if ln != nil {
 		ln.Close()
 	}
@@ -248,10 +302,14 @@ func (s *Server) Drain(ctx context.Context) error {
 }
 
 // Close hard-stops the server: the listener, every connection and every
-// session (in-flight ingests are cancelled).
+// session (in-flight ingests are cancelled). Connections that Accept
+// hands to Serve after the shutdown snapshot are closed by Serve itself
+// (it checks the closed flag), so Close never waits on a connection it
+// could not see.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.draining = true
+	s.closed = true
 	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
@@ -262,6 +320,8 @@ func (s *Server) Close() error {
 		sessions = append(sessions, ss)
 	}
 	s.mu.Unlock()
+	s.cfg.Events.Info("server.close",
+		events.F("conns", len(conns)), events.F("sessions", len(sessions)))
 	if ln != nil {
 		ln.Close()
 	}
@@ -381,7 +441,12 @@ func (s *Server) serveIngestConn(c net.Conn, hello wire.Hello,
 		s.detachSession(ss)
 		return
 	}
-	s.cfg.Logf("session %d attached (resume=%v, applied=%d)", ss.token, hello.ResumeToken != 0, ss.lastApplied)
+	if hello.ResumeToken != 0 {
+		s.cfg.Events.Info("session.resume",
+			events.F("session", ss.token), events.F("applied", ss.lastApplied))
+	} else {
+		s.cfg.Events.Info("session.attach", events.F("session", ss.token))
+	}
 
 	for {
 		f, err := read()
@@ -394,6 +459,7 @@ func (s *Server) serveIngestConn(c net.Conn, hello wire.Hello,
 			s.detachSession(ss)
 			return
 		}
+		start := time.Now()
 		var herr error
 		switch f.Type {
 		case wire.TypeFileBegin:
@@ -420,11 +486,17 @@ func (s *Server) serveIngestConn(c net.Conn, hello wire.Hello,
 			if herr = ss.closeRequested(); herr == nil {
 				s.expireSession(ss, false)
 				send(wire.TypeCloseOK, nil)
-				s.cfg.Logf("session %d closed (files=%d)", ss.token, s.cFilesIngested.Load())
+				s.cfg.Events.Info("session.close",
+					events.F("session", ss.token), events.F("applied", ss.lastApplied))
 				return
 			}
 		default:
 			herr = fatalf(wire.CodeProtocol, "unexpected %s frame on ingest session", wire.TypeName(f.Type))
+		}
+		if h := s.hFrame[f.Type]; h != nil {
+			d := h.ObserveSince(start)
+			s.cfg.Events.SlowOp("frame."+wire.TypeName(f.Type), d,
+				events.F("session", ss.token))
 		}
 		if herr != nil {
 			var sf *sessionFatal
@@ -432,7 +504,9 @@ func (s *Server) serveIngestConn(c net.Conn, hello wire.Hello,
 				s.cErrors.Add(1)
 				send(wire.TypeError, sf.msg.Marshal())
 				s.expireSession(ss, true)
-				s.cfg.Logf("session %d failed: %s", ss.token, sf.msg.Msg)
+				s.cfg.Events.Error("session.fail",
+					events.F("session", ss.token), events.F("code", sf.msg.Code),
+					events.F("msg", sf.msg.Msg))
 			} else {
 				// Send-path failure: the connection is gone; keep the
 				// session resumable.
@@ -458,10 +532,17 @@ func (s *Server) attachSession(hello wire.Hello) (*ingestSession, *wire.ErrorMsg
 			return nil, &wire.ErrorMsg{Code: wire.CodeBusy, Retryable: true,
 				Msg: fmt.Sprintf("session %d already has a live connection", hello.ResumeToken)}
 		}
+		// Disarm the resume-expiry timer. Stop()'s return value is
+		// deliberately not trusted to mean "nothing will run": the timer
+		// may already have fired and be blocked on s.mu right now. The
+		// epoch bump is what invalidates such an in-flight expiry — the
+		// timer captured the epoch it was armed in, and expireTimerFired
+		// no-ops on mismatch.
 		if ss.expireTimer != nil {
 			ss.expireTimer.Stop()
 			ss.expireTimer = nil
 		}
+		ss.epoch++
 		ss.attached = true
 		// A fresh connection replays commands above lastApplied;
 		// half-received batches from the dead connection are void.
@@ -495,18 +576,44 @@ func (s *Server) attachSession(hello wire.Hello) (*ingestSession, *wire.ErrorMsg
 
 // detachSession parks a session for resumption after its connection died:
 // pending state is dropped (the client replays), the in-flight file feed
-// stays open, and an expiry timer bounds how long that lasts.
+// stays open, and an expiry timer bounds how long that lasts. The timer
+// captures the detach epoch so a later resume invalidates it even if it
+// has already fired and is waiting on the mutex.
 func (s *Server) detachSession(ss *ingestSession) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if ss.gone || !ss.attached {
+		s.mu.Unlock()
 		return
 	}
 	ss.attached = false
 	ss.pending = make(map[uint64]*pendingCmd)
 	s.cSessionsActive.Add(-1)
-	ss.expireTimer = time.AfterFunc(s.cfg.ResumeTimeout, func() { s.expireSession(ss, true) })
-	s.cfg.Logf("session %d detached (resumable %v)", ss.token, s.cfg.ResumeTimeout)
+	ss.epoch++
+	epoch := ss.epoch
+	ss.expireTimer = time.AfterFunc(s.cfg.ResumeTimeout, func() { s.expireTimerFired(ss, epoch) })
+	s.mu.Unlock()
+	s.cfg.Events.Info("session.detach",
+		events.F("session", ss.token), events.F("resumable", s.cfg.ResumeTimeout))
+}
+
+// expireTimerFired is the resume-window expiry path. The epoch check is
+// the fix for the resume-vs-expiry race: time.AfterFunc may have fired
+// the timer just before a resume Stop()ped it, leaving this goroutine
+// blocked on s.mu while attachSession commits the resume. Without the
+// check it would then tear down — and abort the in-flight file of — a
+// session that has a live connection again. The timer only acts if the
+// session is still in the exact detach generation it was armed for.
+func (s *Server) expireTimerFired(ss *ingestSession, epoch uint64) {
+	s.mu.Lock()
+	if ss.gone || ss.attached || ss.epoch != epoch {
+		s.mu.Unlock()
+		s.cfg.Events.Debug("session.expire_stale",
+			events.F("session", ss.token), events.F("armed_epoch", epoch))
+		return
+	}
+	s.mu.Unlock()
+	s.cfg.Events.Info("session.expire", events.F("session", ss.token))
+	s.expireSession(ss, true)
 }
 
 // expireSession removes a session for good: on abort the in-flight file
@@ -524,6 +631,7 @@ func (s *Server) expireSession(ss *ingestSession, aborting bool) {
 		// Session teardown still proceeds here.
 	}
 	ss.gone = true
+	ss.epoch++ // invalidate any armed (or fired-and-blocked) expiry timer
 	if ss.expireTimer != nil {
 		ss.expireTimer.Stop()
 		ss.expireTimer = nil
@@ -590,6 +698,22 @@ func (s *Server) serveRestoreConn(read func() (wire.Frame, error), send sender,
 	}
 }
 
+// restoreStore builds the store view remote restores read through. The
+// manifest format is detected from the store contents — a dedupd can be
+// pointed at a store written by another tool or an older engine whose
+// manifests are not FormatMHD, and the verifying path decodes manifests,
+// so hardcoding FormatMHD here silently misparsed entries. When
+// detection is ambiguous the engine's own write format (FormatMHD) is
+// the only consistent choice.
+func (s *Server) restoreStore() *store.Store {
+	disk := s.cfg.Engine.Disk()
+	format, ok := store.DetectFormat(disk)
+	if !ok {
+		format = store.FormatMHD
+	}
+	return store.New(disk, format)
+}
+
 // streamRestore rebuilds one file through the engine's store — through
 // the verifying path when requested — and streams it as RestoreData
 // frames followed by RestoreEnd carrying the whole-file size and SHA-1.
@@ -597,8 +721,9 @@ func (s *Server) streamRestore(req wire.RestoreReq, send sender) error {
 	if !s.cfg.Engine.Disk().Exists(simdisk.FileManifest, req.Name) {
 		return fatalf(wire.CodeNotFound, "no such file %q", req.Name)
 	}
-	st := store.New(s.cfg.Engine.Disk(), store.FormatMHD)
-	fw := &frameWriter{send: send, max: int(s.cfg.MaxPayload) - 16, hash: hashutil.NewHasher()}
+	start := time.Now()
+	st := s.restoreStore()
+	fw := &frameWriter{send: send, max: int(s.cfg.MaxPayload) - restoreDataOverhead, hash: hashutil.NewHasher()}
 	var rerr error
 	if req.Verify {
 		// The PR 2 verified-restore path: every chunk range is re-hashed
@@ -616,6 +741,9 @@ func (s *Server) streamRestore(req wire.RestoreReq, send sender) error {
 	}
 	s.cRestores.Add(1)
 	s.cRestoreBytes.Add(int64(fw.total))
+	d := s.hRestore.ObserveSince(start)
+	s.cfg.Events.SlowOp("restore", d,
+		events.F("name", req.Name), events.F("bytes", fw.total))
 	end := wire.RestoreEnd{TotalBytes: fw.total, Sum: fw.hash.Sum()}
 	return send(wire.TypeRestoreEnd, end.Marshal())
 }
@@ -631,6 +759,12 @@ type frameWriter struct {
 }
 
 func (w *frameWriter) Write(p []byte) (int, error) {
+	if w.max <= 0 {
+		// Defensive: fillDefaults rejects MaxPayload below the floor, so
+		// this cannot happen through New; without the guard a non-positive
+		// budget turns the emit loop below into an infinite loop.
+		return 0, fmt.Errorf("server: restore frame budget %d is not positive", w.max)
+	}
 	w.hash.Write(p)
 	w.total += uint64(len(p))
 	w.buf = append(w.buf, p...)

@@ -7,10 +7,17 @@ import (
 	"time"
 
 	"mhdedup/internal/core"
+	"mhdedup/internal/events"
 	"mhdedup/internal/exp"
 	"mhdedup/internal/metrics"
 	"mhdedup/internal/wire"
 )
+
+// testEvents builds an event log that records everything (for lifecycle
+// assertions via Recent/Types) and mirrors each line into t.Logf.
+func testEvents(t *testing.T) *events.Log {
+	return events.New(events.Options{Level: events.LevelDebug, Logf: t.Logf})
+}
 
 // newTestEngine builds a small MHD engine for server tests.
 func newTestEngine(t *testing.T) *core.Dedup {
@@ -31,7 +38,7 @@ func startServer(t *testing.T, mut func(*Config)) (*Server, *core.Dedup, string)
 	cfg := Config{
 		Engine:   eng,
 		Registry: metrics.NewRegistry(), // private: don't pollute Default across tests
-		Logf:     t.Logf,
+		Events:   testEvents(t),
 	}
 	if mut != nil {
 		mut(&cfg)

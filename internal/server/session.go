@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"mhdedup/internal/core"
+	"mhdedup/internal/events"
 	"mhdedup/internal/hashutil"
 	"mhdedup/internal/wire"
 )
@@ -38,6 +39,14 @@ type ingestSession struct {
 	attached    bool
 	gone        bool
 	expireTimer *time.Timer
+	// epoch is the attach/detach generation counter. Every transition
+	// (resume, detach, teardown) increments it; the resume-expiry timer
+	// captures the epoch it was armed in and its firing is honored only
+	// while the session is still in that exact generation. This closes
+	// the race where a timer fires, blocks on srv.mu, a resume commits,
+	// and the stale expiry then aborts the re-attached session's
+	// in-flight file under a live connection.
+	epoch uint64
 
 	// Owned by the attached handler.
 	lastApplied uint64
@@ -204,7 +213,16 @@ func (ss *ingestSession) applyReady(send sender) error {
 		if pc.kind == wire.TypeOffer && pc.missing > 0 {
 			return nil
 		}
-		if err := ss.apply(pc); err != nil {
+		// Time the apply: this is where the handler feeds the engine pipe
+		// and where a slow engine (or a stalled FileEnd waiting on
+		// PutFileContext) shows up as an applyReady stall.
+		start := time.Now()
+		err := ss.apply(pc)
+		d := ss.srv.hApply.ObserveSince(start)
+		ss.srv.cfg.Events.SlowOp("apply", d,
+			events.F("session", ss.token), events.F("seq", pc.seq),
+			events.F("frame", wire.TypeName(pc.kind)))
+		if err != nil {
 			return err
 		}
 		delete(ss.pending, pc.seq)
