@@ -44,13 +44,23 @@ echo "== bench smoke (perf-trajectory artifact) =="
 # the expected document shape: throughput, per-file latency percentiles,
 # the per-stage latency split and the engine's DER numbers.
 go run ./cmd/bench -out /tmp/BENCH_ingest.ci.json \
+    -restore-out /tmp/BENCH_restore.ci.json -restore-workers 8 \
     -machines 2 -days 2 -snapshot $((1<<20)) -edits 4
 for key in '"mb_per_s"' '"per_file_ms"' '"stage_latency_ms"' \
     '"core.chunk_ns"' '"store.container_write_ns"' '"real_der"' '"p99_ms"'; do
     grep -q "$key" /tmp/BENCH_ingest.ci.json || {
         echo "bench smoke: $key missing from BENCH_ingest.json" >&2; exit 1; }
 done
-rm -f /tmp/BENCH_ingest.ci.json
+# The restore stage is a differential gate, not just a perf artifact: the
+# parallel pipeline's combined output hash must equal the serial reference
+# path's (bench exits non-zero on mismatch; the grep double-checks the
+# emitted document says so).
+for key in '"hash_match": true' '"coalesce_ratio"' '"read_latency_ms"' \
+    '"speedup"' '"serial_sha1"' '"parallel_sha1"'; do
+    grep -q "$key" /tmp/BENCH_restore.ci.json || {
+        echo "bench smoke: $key missing from BENCH_restore.json" >&2; exit 1; }
+done
+rm -f /tmp/BENCH_ingest.ci.json /tmp/BENCH_restore.ci.json
 
 echo "== dedupd debug endpoint smoke =="
 # The server must serve /healthz, a histogram-bearing /metrics.json, the

@@ -20,10 +20,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 
 	"mhdedup/dedup"
+	"mhdedup/internal/hashutil"
 	"mhdedup/internal/metrics"
+	"mhdedup/internal/simdisk"
+	"mhdedup/internal/store"
 )
 
 func main() {
@@ -40,6 +44,10 @@ func main() {
 	flag.Int64Var(&o.editSize, "edit-bytes", 24<<10, "workload mean edit size")
 	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
 	flag.BoolVar(&o.noRestore, "no-restore", false, "skip the restore pass")
+	flag.StringVar(&o.restoreOut, "restore-out", "BENCH_restore.json", "restore-stage JSON path (- for stdout, empty to skip)")
+	flag.IntVar(&o.restoreWorkers, "restore-workers", 8, "parallel restore worker count for the restore stage")
+	flag.Int64Var(&o.restoreWindow, "restore-window", 8<<20, "restore reorder-buffer budget in bytes")
+	flag.DurationVar(&o.readDelay, "read-delay", 150*time.Microsecond, "simulated per-read device latency during the restore stage")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -60,6 +68,11 @@ type benchOptions struct {
 	editSize  int64
 	seed      int64
 	noRestore bool
+
+	restoreOut     string
+	restoreWorkers int
+	restoreWindow  int64
+	readDelay      time.Duration
 }
 
 // benchConfig is the reproducibility record: everything needed to re-run
@@ -224,6 +237,166 @@ func run(o benchOptions) error {
 	fmt.Fprintf(os.Stderr, "bench: ingest %.1f MB/s (p50 %.2f ms, p99 %.2f ms per file), real DER %.3f -> %s\n",
 		doc.Ingest.MBPerS, doc.Ingest.PerFileMS.P50MS, doc.Ingest.PerFileMS.P99MS,
 		doc.Engine.RealDER, o.out)
+
+	if o.restoreOut != "" {
+		if err := runRestoreStage(o, eng, doc.Config); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// restoreDoc is the restore-stage artifact (BENCH_restore.json): the
+// same store restored twice — once through the serial reference path,
+// once through the batched parallel pipeline — with a hard equality
+// gate on the combined output hashes. A simulated per-read device
+// latency (-read-delay) is applied during both passes so the parallel
+// speedup reflects overlapped I/O waits, the regime the pipeline
+// exists for, rather than pure-RAM memcpy contention.
+type restoreDoc struct {
+	Bench       string      `json:"bench"`
+	Generated   string      `json:"generated"`
+	Config      benchConfig `json:"config"`
+	ReadDelayUS float64     `json:"read_delay_us"`
+	Workers     int         `json:"workers"`
+	WindowBytes int64       `json:"window_bytes"`
+
+	Serial   phaseResult `json:"serial"`
+	Parallel phaseResult `json:"parallel"`
+	Speedup  float64     `json:"speedup"`
+
+	// Plan shape from the parallel pass: refs in, coalesced reads out.
+	Refs          int     `json:"refs"`
+	Reads         int     `json:"reads"`
+	CoalesceRatio float64 `json:"coalesce_ratio"`
+
+	// Per-read container latency through the pipeline (includes the
+	// simulated device delay).
+	ReadLatencyMS metrics.DurationsMS `json:"read_latency_ms"`
+
+	SerialSHA1   string `json:"serial_sha1"`
+	ParallelSHA1 string `json:"parallel_sha1"`
+	HashMatch    bool   `json:"hash_match"`
+}
+
+// runRestoreStage restores every ingested file twice — serial reference
+// path, then the batched parallel pipeline — hashes both output streams
+// (file name + content, in sorted name order) and emits the comparison
+// document. A hash mismatch is a hard error: the bench doubles as a
+// differential correctness gate that ci.sh greps for.
+func runRestoreStage(o benchOptions, eng dedup.Engine, cfg benchConfig) error {
+	disk := eng.Disk()
+	format, ok := store.DetectFormat(disk)
+	if !ok {
+		format = store.FormatMHD
+	}
+	st := store.New(disk, format)
+	names := disk.Names(simdisk.FileManifest)
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("restore stage: store has no file manifests")
+	}
+
+	// Simulated device latency per container read, for both passes, so
+	// serial-vs-parallel compares like against like. Cleared afterwards.
+	disk.SetReadDelay(o.readDelay)
+	defer disk.SetReadDelay(0)
+
+	hSerial := metrics.GetHistogram("bench.restore_serial_ns")
+	hParallel := metrics.GetHistogram("bench.restore_parallel_ns")
+
+	// Serial reference pass.
+	serialHash := hashutil.NewHasher()
+	var serialBytes int64
+	serialStart := time.Now()
+	for _, name := range names {
+		serialHash.Write([]byte(name))
+		var cw countingWriter
+		t0 := time.Now()
+		if err := st.RestoreFile(name, io.MultiWriter(serialHash, &cw)); err != nil {
+			return fmt.Errorf("serial restore %s: %w", name, err)
+		}
+		hSerial.ObserveSince(t0)
+		serialBytes += cw.n
+	}
+	serialSecs := time.Since(serialStart).Seconds()
+
+	// Parallel pipeline pass.
+	ropts := store.RestoreOptions{Workers: o.restoreWorkers, WindowBytes: o.restoreWindow}
+	parallelHash := hashutil.NewHasher()
+	var parallelBytes int64
+	var refs, reads int
+	parallelStart := time.Now()
+	for _, name := range names {
+		parallelHash.Write([]byte(name))
+		var cw countingWriter
+		t0 := time.Now()
+		stats, err := st.RestoreFileStats(name, io.MultiWriter(parallelHash, &cw), ropts)
+		if err != nil {
+			return fmt.Errorf("parallel restore %s: %w", name, err)
+		}
+		hParallel.ObserveSince(t0)
+		parallelBytes += cw.n
+		refs += stats.Refs
+		reads += stats.Reads
+	}
+	parallelSecs := time.Since(parallelStart).Seconds()
+
+	var doc restoreDoc
+	doc.Bench = "restore"
+	doc.Generated = time.Now().UTC().Format(time.RFC3339)
+	doc.Config = cfg
+	doc.ReadDelayUS = float64(o.readDelay.Nanoseconds()) / 1e3
+	doc.Workers = o.restoreWorkers
+	doc.WindowBytes = o.restoreWindow
+	doc.Serial = phaseResult{
+		Files:     len(names),
+		Bytes:     serialBytes,
+		Seconds:   serialSecs,
+		MBPerS:    mbPerS(serialBytes, serialSecs),
+		PerFileMS: hSerial.Snapshot().ToMS(),
+	}
+	doc.Parallel = phaseResult{
+		Files:     len(names),
+		Bytes:     parallelBytes,
+		Seconds:   parallelSecs,
+		MBPerS:    mbPerS(parallelBytes, parallelSecs),
+		PerFileMS: hParallel.Snapshot().ToMS(),
+	}
+	if parallelSecs > 0 {
+		doc.Speedup = serialSecs / parallelSecs
+	}
+	doc.Refs = refs
+	doc.Reads = reads
+	if reads > 0 {
+		doc.CoalesceRatio = float64(refs) / float64(reads)
+	}
+	doc.ReadLatencyMS = metrics.GetHistogram("store.restore_read_ns").Snapshot().ToMS()
+	doc.SerialSHA1 = serialHash.Sum().Hex()
+	doc.ParallelSHA1 = parallelHash.Sum().Hex()
+	doc.HashMatch = doc.SerialSHA1 == doc.ParallelSHA1
+
+	var out io.Writer = os.Stdout
+	if o.restoreOut != "-" {
+		f, err := os.Create(o.restoreOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: restore serial %.1f MB/s, workers=%d %.1f MB/s (%.2fx), coalesce %.2fx, hash match %v -> %s\n",
+		doc.Serial.MBPerS, doc.Workers, doc.Parallel.MBPerS, doc.Speedup,
+		doc.CoalesceRatio, doc.HashMatch, o.restoreOut)
+	if !doc.HashMatch {
+		return fmt.Errorf("restore stage: parallel output hash %s != serial %s",
+			doc.ParallelSHA1, doc.SerialSHA1)
+	}
 	return nil
 }
 

@@ -62,6 +62,8 @@ func main() {
 	flag.IntVar(&o.maxSessions, "max-sessions", 16, "maximum concurrent ingest sessions")
 	flag.IntVar(&o.window, "window", 8, "per-session in-flight command window")
 	flag.Int64Var(&o.chunkCache, "chunk-cache-bytes", 256<<20, "wire chunk byte cache budget (0 disables)")
+	flag.IntVar(&o.restoreWorkers, "restore-workers", 4, "concurrent container reads per restore stream (1 = synchronous pipeline)")
+	flag.Int64Var(&o.restoreWindow, "restore-window-bytes", 8<<20, "restore reorder-buffer budget in bytes")
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 2*time.Minute, "close connections idle longer than this")
 	flag.DurationVar(&o.resumeTimeout, "resume-timeout", 2*time.Minute, "keep detached sessions resumable this long")
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "bound on graceful drain before forcing shutdown")
@@ -83,9 +85,11 @@ type options struct {
 	sd            int
 	cache         int
 	noBloom       bool
-	maxSessions   int
-	window        int
-	chunkCache    int64
+	maxSessions    int
+	window         int
+	chunkCache     int64
+	restoreWorkers int
+	restoreWindow  int64
 	idleTimeout   time.Duration
 	resumeTimeout time.Duration
 	drainTimeout  time.Duration
@@ -110,13 +114,15 @@ func run(o options) error {
 		return err
 	}
 	srv, err := server.New(server.Config{
-		Engine:          eng,
-		MaxSessions:     o.maxSessions,
-		Window:          o.window,
-		IdleTimeout:     o.idleTimeout,
-		ResumeTimeout:   o.resumeTimeout,
-		ChunkCacheBytes: o.chunkCache,
-		Events:          evlog,
+		Engine:             eng,
+		MaxSessions:        o.maxSessions,
+		Window:             o.window,
+		IdleTimeout:        o.idleTimeout,
+		ResumeTimeout:      o.resumeTimeout,
+		ChunkCacheBytes:    o.chunkCache,
+		RestoreWorkers:     o.restoreWorkers,
+		RestoreWindowBytes: o.restoreWindow,
+		Events:             evlog,
 	})
 	if err != nil {
 		return err

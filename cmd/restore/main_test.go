@@ -211,3 +211,92 @@ func TestCheckFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestRestoreWorkersMatchesSerial is the CLI-level differential check:
+// -workers 8 (with a reorder window small enough to make the pipeline
+// constantly recycle buffers) must write byte-identical output to the
+// legacy serial path (-workers 0), for single-file and -all restores,
+// plain and verified.
+func TestRestoreWorkersMatchesSerial(t *testing.T) {
+	storeDir, files := buildStore(t)
+	for _, verify := range []bool{false, true} {
+		serialDir, parallelDir := t.TempDir(), t.TempDir()
+		if err := run(restoreOptions{storeDir: storeDir, all: true, out: serialDir, verify: verify, workers: 0}, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		if err := run(restoreOptions{storeDir: storeDir, all: true, out: parallelDir, verify: verify,
+			workers: 8, window: 4 << 10}, io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		for name := range files {
+			rel := filepath.FromSlash(name)
+			serial, err := os.ReadFile(filepath.Join(serialDir, rel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := os.ReadFile(filepath.Join(parallelDir, rel))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(serial, parallel) {
+				t.Errorf("verify=%v: %s differs between -workers 0 and -workers 8", verify, name)
+			}
+			if !bytes.Equal(serial, files[name]) {
+				t.Errorf("verify=%v: %s differs from original", verify, name)
+			}
+		}
+	}
+	out := filepath.Join(t.TempDir(), "one.out")
+	if err := run(restoreOptions{storeDir: storeDir, file: "m0/a", out: out, workers: 8, window: 1}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, files["m0/a"]) {
+		t.Error("-workers 8 single-file restore differs from original")
+	}
+}
+
+func TestRestoreRejectsNegativeWorkers(t *testing.T) {
+	storeDir, _ := buildStore(t)
+	err := run(restoreOptions{storeDir: storeDir, list: true, workers: -1}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-workers") {
+		t.Fatalf("negative -workers accepted: %v", err)
+	}
+}
+
+// TestRestoreListAndAllDeterministic pins the reporting order: -list
+// output and the per-file lines of -all must be sorted and identical
+// across runs, so diffs of restore logs (and the differential harness
+// built on them) never churn on map iteration order.
+func TestRestoreListAndAllDeterministic(t *testing.T) {
+	storeDir, _ := buildStore(t)
+	var prev string
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		if err := run(restoreOptions{storeDir: storeDir, list: true}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+		if !sort.StringsAreSorted(lines) {
+			t.Fatalf("-list output not sorted: %q", lines)
+		}
+		if i > 0 && buf.String() != prev {
+			t.Fatalf("-list output changed between runs:\n%s\nvs\n%s", prev, buf.String())
+		}
+		prev = buf.String()
+	}
+	prev = ""
+	for i := 0; i < 3; i++ {
+		var buf bytes.Buffer
+		if err := run(restoreOptions{storeDir: storeDir, all: true, out: t.TempDir(), workers: 2}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && buf.String() != prev {
+			t.Fatalf("-all report changed between runs:\n%s\nvs\n%s", prev, buf.String())
+		}
+		prev = buf.String()
+	}
+}

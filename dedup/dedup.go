@@ -299,6 +299,11 @@ type Store struct {
 	st  *store.Store
 	dir string
 
+	// ropts selects the restore engine: the zero value keeps the serial
+	// per-ref reference path; Workers ≥ 1 routes Restore/VerifyRestore
+	// through the batched pipeline (see SetRestoreOptions).
+	ropts RestoreOptions
+
 	// verMu guards ver and serializes whole VerifyRestore calls —
 	// store.Verifier is not safe for concurrent use.
 	verMu sync.Mutex
@@ -352,11 +357,34 @@ func (s *Store) Files() []string {
 	return names
 }
 
+// RestoreOptions tunes the batched restore pipeline: Workers concurrent
+// container readers feeding an in-order emitter through a reorder buffer
+// bounded by WindowBytes, with adjacent/overlapping recipe ranges
+// coalesced (bridging container gaps up to CoalesceGap) into minimal
+// reads. The zero value selects the serial per-ref reference path;
+// Workers of 1 runs the planned/coalesced pipeline synchronously;
+// Workers > 1 reads in parallel. Output is bit-identical in every mode.
+type RestoreOptions = store.RestoreOptions
+
+// SetRestoreOptions selects the restore engine used by Restore and
+// VerifyRestore. It is safe to call between restores; in-flight restores
+// finish with the options they started with.
+func (s *Store) SetRestoreOptions(o RestoreOptions) {
+	s.mu.Lock()
+	s.ropts = o
+	s.mu.Unlock()
+}
+
 // Restore rebuilds one file into w. Concurrent Restores are fine;
 // mutations (Delete, Sweep, Scrub) wait until in-flight restores finish.
+// With SetRestoreOptions{Workers ≥ 1} the batched pipeline is used; the
+// bytes written are identical either way.
 func (s *Store) Restore(name string, w io.Writer) error {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.ropts.Workers >= 1 {
+		return s.st.RestoreFileOpts(name, w, s.ropts)
+	}
 	return s.st.RestoreFile(name, w)
 }
 
@@ -400,6 +428,9 @@ func (s *Store) VerifyRestore(name string, w io.Writer) error {
 	defer s.verMu.Unlock()
 	if s.ver == nil {
 		s.ver = store.NewVerifier(s.st, store.VerifyOpts{})
+	}
+	if s.ropts.Workers >= 1 {
+		return s.ver.RestoreFileOpts(name, w, s.ropts)
 	}
 	return s.ver.RestoreFile(name, w)
 }

@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sort"
 
 	"mhdedup/internal/analysis"
 	"mhdedup/internal/metrics"
@@ -276,6 +277,9 @@ func (s *Suite) RecipeCompression(ecs int) (string, error) {
 		disk := eng.Disk()
 		var plain, compressed int64
 		names := disk.Names(simdisk.FileManifest)
+		// Names returns map order; sort so the per-file walk (and the
+		// disk-read sequence it charges) is reproducible run to run.
+		sort.Strings(names)
 		for _, name := range names {
 			raw, err := disk.Read(simdisk.FileManifest, name)
 			if err != nil {

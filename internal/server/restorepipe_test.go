@@ -1,0 +1,56 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"mhdedup/internal/client"
+)
+
+// TestRestoreStreamParallelPipelineBitIdentical drives the server's
+// restore streaming through the batched parallel pipeline at its most
+// hostile setting — 8 concurrent container readers over a 4 KiB reorder
+// window, so nearly every read waits on admission — and demands the
+// framed stream deliver bit-identical bytes, plain and verified. The
+// RestoreData frames must arrive in order no matter how the reads
+// complete; the client's size/whole-file-hash check would catch any
+// reordering or corruption.
+func TestRestoreStreamParallelPipelineBitIdentical(t *testing.T) {
+	srv, _, addr := startServer(t, func(c *Config) {
+		c.RestoreWorkers = 8
+		c.RestoreWindowBytes = 4 << 10
+	})
+
+	files := map[string][]byte{}
+	ing, err := client.Connect(clientConfig(srv, addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := genData(21, 1<<20)
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("img-%d", i)
+		data := mutate(base, int64(22+i), 8, 4096)
+		files[name] = data
+		if err := ing.PutFile(name, bytes.NewReader(data)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ing.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, verify := range []bool{false, true} {
+		for name, want := range files {
+			var got bytes.Buffer
+			res, err := client.Restore(clientConfig(srv, addr), name, verify, &got)
+			if err != nil {
+				t.Fatalf("verify=%v %s: %v", verify, name, err)
+			}
+			if res.Bytes != uint64(len(want)) || !bytes.Equal(got.Bytes(), want) {
+				t.Fatalf("verify=%v %s: restored %d bytes, differ=%v",
+					verify, name, res.Bytes, !bytes.Equal(got.Bytes(), want))
+			}
+		}
+	}
+}

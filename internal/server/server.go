@@ -84,6 +84,15 @@ type Config struct {
 	// hash negotiation; default 256 MiB. Zero disables the cache (every
 	// offered chunk is then needed — correct, just bandwidth-naive).
 	ChunkCacheBytes int64
+	// RestoreWorkers is how many concurrent container reads each restore
+	// stream fans out to through the batched restore pipeline; default 4.
+	// 1 runs the planned/coalesced pipeline synchronously. Frames are
+	// always emitted in order regardless (the pipeline's emitter is
+	// in-order by construction).
+	RestoreWorkers int
+	// RestoreWindowBytes bounds each restore's reorder buffer; default
+	// 8 MiB (store.DefaultRestoreWindowBytes).
+	RestoreWindowBytes int64
 	// Registry receives the server's operational counters, latency
 	// histograms and occupancy gauges; default metrics.Default.
 	Registry *metrics.Registry
@@ -120,6 +129,18 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.ChunkCacheBytes == 0 {
 		c.ChunkCacheBytes = 256 << 20
+	}
+	if c.RestoreWorkers == 0 {
+		c.RestoreWorkers = 4
+	}
+	if c.RestoreWorkers < 1 {
+		return fmt.Errorf("server: RestoreWorkers must be positive, got %d", c.RestoreWorkers)
+	}
+	if c.RestoreWindowBytes == 0 {
+		c.RestoreWindowBytes = store.DefaultRestoreWindowBytes
+	}
+	if c.RestoreWindowBytes < 0 {
+		return fmt.Errorf("server: RestoreWindowBytes must be positive, got %d", c.RestoreWindowBytes)
 	}
 	if c.Registry == nil {
 		c.Registry = metrics.Default
@@ -711,12 +732,18 @@ func (s *Server) restoreStore() *store.Store {
 	if !ok {
 		format = store.FormatMHD
 	}
-	return store.New(disk, format)
+	st := store.New(disk, format)
+	st.SetEventLog(s.cfg.Events)
+	return st
 }
 
 // streamRestore rebuilds one file through the engine's store — through
 // the verifying path when requested — and streams it as RestoreData
 // frames followed by RestoreEnd carrying the whole-file size and SHA-1.
+// The rebuild runs through the batched restore pipeline: up to
+// cfg.RestoreWorkers container reads proceed out of order while the
+// pipeline's in-order emitter feeds the frameWriter, so RestoreData
+// frames always carry the file's bytes in order.
 func (s *Server) streamRestore(req wire.RestoreReq, send sender) error {
 	if !s.cfg.Engine.Disk().Exists(simdisk.FileManifest, req.Name) {
 		return fatalf(wire.CodeNotFound, "no such file %q", req.Name)
@@ -724,14 +751,15 @@ func (s *Server) streamRestore(req wire.RestoreReq, send sender) error {
 	start := time.Now()
 	st := s.restoreStore()
 	fw := &frameWriter{send: send, max: int(s.cfg.MaxPayload) - restoreDataOverhead, hash: hashutil.NewHasher()}
+	ropts := store.RestoreOptions{Workers: s.cfg.RestoreWorkers, WindowBytes: s.cfg.RestoreWindowBytes}
 	var rerr error
 	if req.Verify {
 		// The PR 2 verified-restore path: every chunk range is re-hashed
 		// against the content address its manifest vouches for, and the
 		// bytes streamed are the ones that hashed clean.
-		rerr = store.NewVerifier(st, store.VerifyOpts{}).RestoreFile(req.Name, fw)
+		rerr = store.NewVerifier(st, store.VerifyOpts{}).RestoreFileOpts(req.Name, fw, ropts)
 	} else {
-		rerr = st.RestoreFile(req.Name, fw)
+		rerr = st.RestoreFileOpts(req.Name, fw, ropts)
 	}
 	if rerr != nil {
 		return fatalf(wire.CodeInternal, "restore %q: %v", req.Name, rerr)

@@ -1,0 +1,63 @@
+package simdisk
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestReadDelayAppliesOutsideLock: the simulated device latency must add
+// at least the configured delay per read, and — because the sleep happens
+// after the disk mutex is released — concurrent reads must overlap their
+// waits instead of serializing them. That overlap is what lets the restore
+// pipeline's parallel speedup show up on the simulated device.
+func TestReadDelayAppliesOutsideLock(t *testing.T) {
+	d := New()
+	if err := d.Create(Data, "obj", make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+
+	const delay = 20 * time.Millisecond
+	d.SetReadDelay(delay)
+
+	start := time.Now()
+	if _, err := d.Read(Data, "obj"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < delay {
+		t.Fatalf("single read took %v, want >= %v", took, delay)
+	}
+
+	// 8 concurrent reads: if the delay were served under the lock they
+	// would take >= 8*delay; overlapping waits keep the wall clock well
+	// under that. Allow generous scheduler slack (4x one delay).
+	const readers = 8
+	start = time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := d.ReadRange(Data, "obj", 0, 512); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if took := time.Since(start); took >= readers*delay {
+		t.Fatalf("%d concurrent reads took %v — delays serialized under the lock (single delay %v)",
+			readers, took, delay)
+	} else if took < delay {
+		t.Fatalf("concurrent reads took %v, below one delay %v", took, delay)
+	}
+
+	// Negative clears; reads are fast again.
+	d.SetReadDelay(-1)
+	start = time.Now()
+	if _, err := d.Read(Data, "obj"); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took >= delay {
+		t.Fatalf("read after clearing delay took %v", took)
+	}
+}

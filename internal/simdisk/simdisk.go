@@ -16,6 +16,8 @@ package simdisk
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Category classifies stored objects the way the paper's analysis does.
@@ -140,6 +142,15 @@ type Disk struct {
 	// re-read heals. Called with the disk lock held; must not call back
 	// into the Disk.
 	readTransform func(Category, string, []byte) []byte
+
+	// readDelay (nanoseconds), when non-zero, is slept by every
+	// Read/ReadRange *after* the disk lock is released: it models
+	// per-read device latency (seek/flash access) on a device that still
+	// accepts concurrent requests, the way an NVMe queue or a RAID spreads
+	// reads. Concurrent readers overlap their delays, a serial reader pays
+	// them back to back — exactly the asymmetry the parallel restore
+	// pipeline exists to exploit, and what the restore benchmark measures.
+	readDelay atomic.Int64
 }
 
 // New returns an empty simulated disk.
@@ -234,8 +245,35 @@ func (d *Disk) Delete(cat Category, name string) error {
 	return nil
 }
 
+// SetReadDelay installs a per-read latency of delay (zero clears it):
+// every Read/ReadRange sleeps that long after releasing the disk lock, so
+// concurrent readers overlap their waits while a serial reader pays them
+// back to back. Restore benchmarks use it to model a real device's read
+// latency; the default is zero (pure RAM, as the paper's accounting
+// assumes).
+func (d *Disk) SetReadDelay(delay time.Duration) {
+	if delay < 0 {
+		delay = 0
+	}
+	d.readDelay.Store(int64(delay))
+}
+
+// sleepRead pays the configured per-read latency. Called outside the
+// lock.
+func (d *Disk) sleepRead() {
+	if delay := d.readDelay.Load(); delay > 0 {
+		time.Sleep(time.Duration(delay))
+	}
+}
+
 // Read returns a copy of the object's content.
 func (d *Disk) Read(cat Category, name string) ([]byte, error) {
+	out, err := d.readLocked(cat, name)
+	d.sleepRead()
+	return out, err
+}
+
+func (d *Disk) readLocked(cat Category, name string) ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.check(OpRead, cat, name); err != nil {
@@ -259,6 +297,12 @@ func (d *Disk) Read(cat Category, name string) ([]byte, error) {
 // primitive HHR uses to reload part of an old DiskChunk, and counts as one
 // disk access like Read.
 func (d *Disk) ReadRange(cat Category, name string, off, length int64) ([]byte, error) {
+	out, err := d.readRangeLocked(cat, name, off, length)
+	d.sleepRead()
+	return out, err
+}
+
+func (d *Disk) readRangeLocked(cat Category, name string, off, length int64) ([]byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if err := d.check(OpRead, cat, name); err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mhdedup/internal/events"
 	"mhdedup/internal/hashutil"
 	"mhdedup/internal/metrics"
 	"mhdedup/internal/simdisk"
@@ -39,6 +40,10 @@ type Store struct {
 	disk   *simdisk.Disk
 	format Format
 	seq    atomic.Uint64
+
+	// ev, when set via SetEventLog, receives restore-pipeline slow-op and
+	// summary events. Nil (the default) discards them.
+	ev *events.Log
 }
 
 // New returns a Store over disk using the given manifest format.
@@ -218,9 +223,12 @@ func (s *Store) ReadFileManifest(file string) (*FileManifest, error) {
 }
 
 // RestoreFile rebuilds an input file by following its FileManifest and
-// writes the bytes to w. It is the read path of every algorithm and the
-// foundation of the round-trip correctness tests. Restores performed after
-// deduplication statistics have been snapshotted do not perturb them.
+// writes the bytes to w: one synchronous container read per recipe ref.
+// It is the serial reference implementation the batched pipeline
+// (RestoreFileOpts, restorepipe.go) is differentially tested against, and
+// the foundation of the round-trip correctness tests. Restores performed
+// after deduplication statistics have been snapshotted do not perturb
+// them.
 func (s *Store) RestoreFile(file string, w io.Writer) error {
 	fm, err := s.ReadFileManifest(file)
 	if err != nil {

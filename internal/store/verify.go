@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"mhdedup/internal/hashutil"
 	"mhdedup/internal/simdisk"
@@ -80,13 +81,22 @@ type containerVerdict struct {
 
 // Verifier indexes every manifest's content claims and verifies container
 // bytes against them on demand, memoizing verdicts. It is built once per
-// maintenance pass or verified-restore session; it is not safe for
-// concurrent use.
+// maintenance pass or verified-restore session. Its exported methods are
+// meant to be driven from one goroutine at a time; internally, the
+// claims index is immutable after construction and the verdict memo is
+// mutex-guarded, which is what lets RestoreFileOpts fan planned reads out
+// to concurrent pipeline workers over one shared Verifier.
 type Verifier struct {
 	s    *Store
 	opts VerifyOpts
 
-	cover    map[string][]coverEntry
+	// cover is immutable after NewVerifier returns — concurrent pipeline
+	// readers consult it without locking.
+	cover map[string][]coverEntry
+
+	// vmu guards verdicts: the only Verifier state the pipeline's
+	// concurrent readers mutate.
+	vmu      sync.Mutex
 	verdicts map[string]*containerVerdict
 
 	// serveName/serveData/serveBad/serveErr cache the most recently
@@ -223,7 +233,9 @@ func (v *Verifier) verifyData(container string) ([]byte, []Mismatch, error) {
 			break
 		}
 	}
+	v.vmu.Lock()
 	v.verdicts[container] = &containerVerdict{bad: bad, err: err}
+	v.vmu.Unlock()
 	return data, bad, err
 }
 
@@ -232,7 +244,10 @@ func (v *Verifier) verifyData(container string) ([]byte, []Mismatch, error) {
 // The verdict is memoized. A nil, nil return means every claim checked
 // out.
 func (v *Verifier) VerifyContainer(container string) ([]Mismatch, error) {
-	if verdict, ok := v.verdicts[container]; ok {
+	v.vmu.Lock()
+	verdict, ok := v.verdicts[container]
+	v.vmu.Unlock()
+	if ok {
 		return verdict.bad, verdict.err
 	}
 	_, bad, err := v.verifyData(container)
@@ -282,6 +297,68 @@ func (v *Verifier) RestoreFile(file string, w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// RestoreFileOpts rebuilds one file into w with end-to-end verification
+// through the batched restore pipeline: the recipe is planned into
+// coalesced container reads (restoreplan.go) and fetched by up to
+// opts.Workers concurrent readers, but every byte written to w is still
+// sliced from a container read that hash-verified clean, uncovered ranges
+// are still refused, and the emitter writes strictly in output order — the
+// same guarantees as the serial RestoreFile, differentially pinned against
+// it. Concurrent planned reads share this Verifier safely (the claims
+// index is immutable; the verdict memo is locked); whole RestoreFileOpts
+// calls should still be serialized by the caller.
+func (v *Verifier) RestoreFileOpts(file string, w io.Writer, opts RestoreOptions) error {
+	raw, err := readRetry(v.s.disk, simdisk.FileManifest, file, v.opts.retries())
+	if err != nil {
+		return fmt.Errorf("store: restore %q: %w", file, err)
+	}
+	fm, err := DecodeFileManifest(file, raw)
+	if err != nil {
+		return fmt.Errorf("store: restore %q: %w", file, err)
+	}
+	plan, err := planRestore(fm, opts.gap())
+	if err != nil {
+		return err
+	}
+	_, err = v.s.runRestorePipeline(plan, v.readPlannedVerified, w, opts)
+	return err
+}
+
+// readPlannedVerified fetches one planned read with the verified-restore
+// guarantees: every segment the read serves must be vouched for by a
+// manifest claim, the container is (re)read and re-hashed against all its
+// claims with bounded retry on this very read, and a persistent mismatch
+// overlapping any served segment fails the read. The returned slice
+// aliases the buffer that hashed clean — verification and serving are one
+// read, exactly as in the serial path. Safe for concurrent use.
+func (v *Verifier) readPlannedVerified(pr *plannedRead) ([]byte, error) {
+	cname := pr.container.Hex()
+	for _, seg := range pr.segs {
+		if v.coverageGap(cname, pr.start+seg.off, seg.size) {
+			return nil, fmt.Errorf("range [%d,+%d) of container %s is not vouched for by any manifest",
+				pr.start+seg.off, seg.size, pr.container.Short())
+		}
+	}
+	data, bad, err := v.verifyData(cname)
+	if err != nil {
+		return nil, fmt.Errorf("container %s unreadable: %w", pr.container.Short(), err)
+	}
+	for _, seg := range pr.segs {
+		for _, mm := range bad {
+			if overlaps(mm.Start, mm.Size, pr.start+seg.off, seg.size) {
+				return nil, fmt.Errorf("corrupt data: %s", mm)
+			}
+		}
+	}
+	if pr.start < 0 || pr.start+pr.length > int64(len(data)) {
+		// Unreachable when every segment is covered (a covering claim past
+		// the buffer's end lands in bad), but guard the slice anyway.
+		return nil, fmt.Errorf("read %s[%d+%d] outside container (%d bytes)",
+			pr.container.Short(), pr.start, pr.length, len(data))
+	}
+	return data[pr.start : pr.start+pr.length], nil
 }
 
 // servingData returns a container's verified bytes for serving, caching
