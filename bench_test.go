@@ -8,10 +8,12 @@ package mhdedup
 // `go run ./cmd/experiments -scale standard` for the full-scale tables.
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"testing"
 
+	"mhdedup/internal/chunker"
 	"mhdedup/internal/core"
 	"mhdedup/internal/exp"
 	"mhdedup/internal/trace"
@@ -303,5 +305,56 @@ func BenchmarkRestoreMHD(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// BenchmarkChunkers measures the per-byte reference chunker scans against
+// their block-processed fast paths (bit-identical cut sequences, pinned by
+// the conformance harness in internal/chunker) over synthetic snapshot
+// bytes. MB/s is the headline; the fast paths are the system-wide default.
+func BenchmarkChunkers(b *testing.B) {
+	cfg := trace.Default()
+	cfg.Machines = 1
+	cfg.Days = 1
+	cfg.SnapshotBytes = 8 << 20
+	ds, err := trace.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var data []byte
+	if err := ds.EachFile(func(info trace.FileInfo, r io.Reader) error {
+		buf, err := io.ReadAll(r)
+		data = append(data, buf...)
+		return err
+	}); err != nil {
+		b.Fatal(err)
+	}
+	p := chunker.Params{ECS: 4096}
+	for _, impl := range []struct {
+		name string
+		mk   func(r io.Reader, p chunker.Params) (chunker.Chunker, error)
+	}{
+		{"RabinReference", func(r io.Reader, p chunker.Params) (chunker.Chunker, error) { return chunker.NewRabin(r, p) }},
+		{"RabinFast", func(r io.Reader, p chunker.Params) (chunker.Chunker, error) { return chunker.NewFastRabin(r, p) }},
+		{"GearReference", func(r io.Reader, p chunker.Params) (chunker.Chunker, error) { return chunker.NewFastCDC(r, p) }},
+		{"GearFast", func(r io.Reader, p chunker.Params) (chunker.Chunker, error) { return chunker.NewFastGear(r, p) }},
+	} {
+		b.Run(impl.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				c, err := impl.mk(bytes.NewReader(data), p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for {
+					if _, err := c.Next(); err != nil {
+						if err == io.EOF {
+							break
+						}
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }

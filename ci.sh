@@ -51,6 +51,14 @@ for key in '"mb_per_s"' '"per_file_ms"' '"stage_latency_ms"' \
     grep -q "$key" /tmp/BENCH_ingest.ci.json || {
         echo "bench smoke: $key missing from BENCH_ingest.json" >&2; exit 1; }
 done
+# The chunking stage is a differential gate like the restore stage: the
+# block-processed fast chunkers must emit the exact cut sequence of the
+# per-byte reference scans (bench exits non-zero on divergence; the grep
+# double-checks the emitted document says so).
+for key in '"chunk_mb_per_s"' '"cuts_identical": true'; do
+    grep -q "$key" /tmp/BENCH_ingest.ci.json || {
+        echo "bench smoke: $key missing from BENCH_ingest.json" >&2; exit 1; }
+done
 # The restore stage is a differential gate, not just a perf artifact: the
 # parallel pipeline's combined output hash must equal the serial reference
 # path's (bench exits non-zero on mismatch; the grep double-checks the
@@ -90,5 +98,6 @@ go test -run '^$' -fuzz 'FuzzEncodeDecodeName' -fuzztime 5s ./internal/simdisk
 go test -run '^$' -fuzz 'FuzzDecodeManifest$' -fuzztime 5s ./internal/store
 go test -run '^$' -fuzz 'FuzzDecodeFileManifest' -fuzztime 5s ./internal/store
 go test -run '^$' -fuzz 'FuzzWireDecode' -fuzztime 5s ./internal/wire
+go test -run '^$' -fuzz 'FuzzChunkerParity' -fuzztime 5s ./internal/chunker
 
 echo "CI OK"

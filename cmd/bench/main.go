@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"mhdedup/dedup"
+	"mhdedup/internal/chunker"
 	"mhdedup/internal/hashutil"
 	"mhdedup/internal/metrics"
 	"mhdedup/internal/simdisk"
@@ -106,6 +108,7 @@ type benchDoc struct {
 	Bench     string                         `json:"bench"`
 	Generated string                         `json:"generated"`
 	Config    benchConfig                    `json:"config"`
+	Chunking  *chunkingDoc                   `json:"chunking,omitempty"`
 	Ingest    phaseResult                    `json:"ingest"`
 	Restore   *phaseResult                   `json:"restore,omitempty"`
 	Stages    map[string]metrics.DurationsMS `json:"stage_latency_ms"`
@@ -115,6 +118,131 @@ type benchDoc struct {
 		MetaDataRatio float64 `json:"metadata_ratio"`
 		DiskAccesses  int64   `json:"disk_accesses"`
 	} `json:"engine"`
+}
+
+// chunkFamilyDoc is one chunker family's reference-vs-fast comparison.
+// cuts_identical is the differential gate: both implementations must emit
+// the exact same cut sequence over the workload bytes, or the bench aborts
+// (mirroring the restore stage's hash_match gate).
+type chunkFamilyDoc struct {
+	Chunks        int     `json:"chunks"`
+	CutsIdentical bool    `json:"cuts_identical"`
+	RefMBPerS     float64 `json:"reference_mb_per_s"`
+	FastMBPerS    float64 `json:"chunk_mb_per_s"`
+	Speedup       float64 `json:"speedup"`
+}
+
+// chunkingDoc is the chunking-stage artifact inside BENCH_ingest.json: the
+// block-processed fast paths measured against their per-byte reference
+// scans over real workload bytes.
+type chunkingDoc struct {
+	Bytes int64          `json:"bytes"`
+	ECS   int            `json:"ecs"`
+	Rabin chunkFamilyDoc `json:"rabin"`
+	Gear  chunkFamilyDoc `json:"gear"`
+}
+
+// runChunkingStage chunks the first workload file with the reference and
+// block-processed implementation of each chunker family, measuring MB/s and
+// hard-failing if the cut sequences differ.
+func runChunkingStage(w *dedup.Workload, ecs int) (*chunkingDoc, error) {
+	files := w.Files()
+	if len(files) == 0 {
+		return nil, nil
+	}
+	r, err := w.Open(files[0].Name)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		return nil, err
+	}
+	data := buf.Bytes()
+	if len(data) == 0 {
+		return nil, nil
+	}
+	p := chunker.Params{ECS: ecs}
+
+	// Repeat passes over the buffer until enough bytes are scanned for the
+	// timing to be stable; the first pass's cut sequence is the comparison
+	// record (later passes are identical by determinism).
+	measure := func(mk func(io.Reader) (chunker.Chunker, error)) ([]int, float64, error) {
+		passes := int((64 << 20) / len(data))
+		if passes < 1 {
+			passes = 1
+		}
+		if passes > 64 {
+			passes = 64
+		}
+		var cuts []int
+		start := time.Now()
+		for pass := 0; pass < passes; pass++ {
+			c, err := mk(bytes.NewReader(data))
+			if err != nil {
+				return nil, 0, err
+			}
+			for {
+				ch, err := c.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, 0, err
+				}
+				if pass == 0 {
+					cuts = append(cuts, len(ch.Data))
+				}
+			}
+		}
+		secs := time.Since(start).Seconds()
+		return cuts, mbPerS(int64(len(data))*int64(passes), secs), nil
+	}
+
+	family := func(name string, mkRef, mkFast func(io.Reader) (chunker.Chunker, error)) (chunkFamilyDoc, error) {
+		refCuts, refMBs, err := measure(mkRef)
+		if err != nil {
+			return chunkFamilyDoc{}, fmt.Errorf("%s reference: %w", name, err)
+		}
+		fastCuts, fastMBs, err := measure(mkFast)
+		if err != nil {
+			return chunkFamilyDoc{}, fmt.Errorf("%s fast: %w", name, err)
+		}
+		identical := len(refCuts) == len(fastCuts)
+		if identical {
+			for i := range refCuts {
+				if refCuts[i] != fastCuts[i] {
+					identical = false
+					break
+				}
+			}
+		}
+		if !identical {
+			return chunkFamilyDoc{}, fmt.Errorf("chunking stage: %s fast path cut sequence diverges from reference (%d vs %d chunks) — refusing to emit bench numbers", name, len(fastCuts), len(refCuts))
+		}
+		return chunkFamilyDoc{
+			Chunks:        len(refCuts),
+			CutsIdentical: true,
+			RefMBPerS:     refMBs,
+			FastMBPerS:    fastMBs,
+			Speedup:       fastMBs / refMBs,
+		}, nil
+	}
+
+	doc := &chunkingDoc{Bytes: int64(len(data)), ECS: ecs}
+	doc.Rabin, err = family("rabin",
+		func(r io.Reader) (chunker.Chunker, error) { return chunker.NewRabin(r, p) },
+		func(r io.Reader) (chunker.Chunker, error) { return chunker.NewFastRabin(r, p) })
+	if err != nil {
+		return nil, err
+	}
+	doc.Gear, err = family("gear",
+		func(r io.Reader) (chunker.Chunker, error) { return chunker.NewFastCDC(r, p) },
+		func(r io.Reader) (chunker.Chunker, error) { return chunker.NewFastGear(r, p) })
+	if err != nil {
+		return nil, err
+	}
+	return doc, nil
 }
 
 func run(o benchOptions) error {
@@ -151,6 +279,19 @@ func run(o benchOptions) error {
 		Machines: o.machines, Days: o.days, SnapshotBytes: o.snapshot,
 		EditsPerDay: o.edits, EditBytes: o.editSize, Seed: o.seed,
 	}
+	// Chunking stage: reference vs block-processed scan over workload
+	// bytes, with cut-for-cut identity as a hard gate.
+	chunking, err := runChunkingStage(w, o.ecs)
+	if err != nil {
+		return err
+	}
+	doc.Chunking = chunking
+	if chunking != nil {
+		fmt.Fprintf(os.Stderr, "bench: chunking rabin %.0f -> %.0f MB/s (%.2fx), gear %.0f -> %.0f MB/s (%.2fx), cuts identical\n",
+			chunking.Rabin.RefMBPerS, chunking.Rabin.FastMBPerS, chunking.Rabin.Speedup,
+			chunking.Gear.RefMBPerS, chunking.Gear.FastMBPerS, chunking.Gear.Speedup)
+	}
+
 	ingestStart := time.Now()
 	var inBytes int64
 	files := 0

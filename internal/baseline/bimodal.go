@@ -111,7 +111,7 @@ type bigChunk struct {
 // PutFile deduplicates one input file: big-chunk pass first, then selective
 // re-chunking at transition points.
 func (d *Bimodal) PutFile(name string, r io.Reader) error {
-	big, err := chunker.NewRabin(r, chunker.Params{ECS: d.cfg.ECS * d.cfg.SD, Poly: d.cfg.Poly})
+	big, err := chunker.NewCDC(r, chunker.Params{ECS: d.cfg.ECS * d.cfg.SD, Poly: d.cfg.Poly})
 	if err != nil {
 		return err
 	}

@@ -100,7 +100,7 @@ func (d *CDC) Disk() *simdisk.Disk { return d.disk }
 
 // PutFile deduplicates one input file chunk by chunk.
 func (d *CDC) PutFile(name string, r io.Reader) error {
-	ch, err := chunker.NewRabin(r, chunker.Params{ECS: d.cfg.ECS, Poly: d.cfg.Poly})
+	ch, err := chunker.NewCDC(r, chunker.Params{ECS: d.cfg.ECS, Poly: d.cfg.Poly})
 	if err != nil {
 		return err
 	}

@@ -87,7 +87,7 @@ func (d *ExtremeBinning) Disk() *simdisk.Disk { return d.disk }
 // by design: all chunk hashes are computed first to find the
 // representative, then the file is deduplicated against (at most) one bin.
 func (d *ExtremeBinning) PutFile(name string, r io.Reader) error {
-	ch, err := chunker.NewRabin(r, chunker.Params{ECS: d.cfg.ECS, Poly: d.cfg.Poly})
+	ch, err := chunker.NewCDC(r, chunker.Params{ECS: d.cfg.ECS, Poly: d.cfg.Poly})
 	if err != nil {
 		return err
 	}

@@ -121,7 +121,7 @@ func (d *FBC) Disk() *simdisk.Disk { return d.disk }
 
 // PutFile deduplicates one input file.
 func (d *FBC) PutFile(name string, r io.Reader) error {
-	big, err := chunker.NewRabin(r, chunker.Params{ECS: d.cfg.ECS * d.cfg.SD, Poly: d.cfg.Poly})
+	big, err := chunker.NewCDC(r, chunker.Params{ECS: d.cfg.ECS * d.cfg.SD, Poly: d.cfg.Poly})
 	if err != nil {
 		return err
 	}

@@ -125,7 +125,7 @@ func (d *Sparse) segmentTarget() int64 {
 // PutFile deduplicates one input file segment by segment. Segments do not
 // span files (files are the paper's stream boundaries for restore).
 func (d *Sparse) PutFile(name string, r io.Reader) error {
-	ch, err := chunker.NewRabin(r, chunker.Params{ECS: d.cfg.ECS, Poly: d.cfg.Poly})
+	ch, err := chunker.NewCDC(r, chunker.Params{ECS: d.cfg.ECS, Poly: d.cfg.Poly})
 	if err != nil {
 		return err
 	}

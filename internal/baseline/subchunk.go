@@ -117,7 +117,7 @@ func (d *SubChunk) Disk() *simdisk.Disk { return d.disk }
 
 // PutFile deduplicates one input file.
 func (d *SubChunk) PutFile(name string, r io.Reader) error {
-	big, err := chunker.NewRabin(r, chunker.Params{ECS: d.cfg.ECS * d.cfg.SD, Poly: d.cfg.Poly})
+	big, err := chunker.NewCDC(r, chunker.Params{ECS: d.cfg.ECS * d.cfg.SD, Poly: d.cfg.Poly})
 	if err != nil {
 		return err
 	}

@@ -62,6 +62,14 @@ type Params struct {
 	// WindowSize is the sliding-window width; zero defaults to
 	// rabin.DefaultWindowSize.
 	WindowSize int
+
+	// Reference selects the per-byte reference implementations (Rabin,
+	// FastCDC) in the NewCDC/NewGear factories instead of the
+	// block-processed fast paths (FastRabin, FastGear). The two paths emit
+	// bit-identical cut sequences — pinned by the conformance harness and
+	// the golden vectors under testdata/ — so Reference exists for
+	// differential testing and benchmarking, not because outputs differ.
+	Reference bool
 }
 
 // withDefaults returns p with zero fields filled in and validates it.
@@ -122,9 +130,24 @@ func newReadFiller(r io.Reader) *readFiller {
 // next returns the next byte. ok is false when the stream is exhausted or
 // failed; check err() afterwards.
 func (f *readFiller) next() (byte, bool) {
+	blk := f.peek()
+	if len(blk) == 0 {
+		return 0, false
+	}
+	f.pos++
+	return blk[0], true
+}
+
+// peek returns the unread buffered bytes, refilling from the reader when the
+// buffer is drained. An empty result means the stream is exhausted or
+// failed; check finalErr afterwards. The returned slice is valid until the
+// next peek and must be released with consume — the block-processed
+// chunkers scan it in place and copy out only the bytes of the chunk they
+// emit.
+func (f *readFiller) peek() []byte {
 	if f.pos >= f.n {
 		if f.err != nil {
-			return 0, false
+			return nil
 		}
 		f.pos, f.n = 0, 0
 		for f.n == 0 {
@@ -136,12 +159,15 @@ func (f *readFiller) next() (byte, bool) {
 			}
 		}
 		if f.n == 0 {
-			return 0, false
+			return nil
 		}
 	}
-	b := f.buf[f.pos]
-	f.pos++
-	return b, true
+	return f.buf[f.pos:f.n]
+}
+
+// consume marks n bytes of the last peek as read.
+func (f *readFiller) consume(n int) {
+	f.pos += n
 }
 
 // finalErr converts the sticky error for Next: io.EOF stays io.EOF, other
@@ -151,4 +177,26 @@ func (f *readFiller) finalErr() error {
 		return io.EOF
 	}
 	return f.err
+}
+
+// NewCDC returns the LBFS Rabin content-defined chunker over r: the
+// block-processed FastRabin by default, the per-byte reference Rabin when
+// p.Reference is set. Both emit bit-identical chunks; the engines and the
+// re-chunking primitives construct through this factory so one Params knob
+// flips the whole system between paths.
+func NewCDC(r io.Reader, p Params) (Chunker, error) {
+	if p.Reference {
+		return NewRabin(r, p)
+	}
+	return NewFastRabin(r, p)
+}
+
+// NewGear returns the gear-hash (FastCDC-algorithm) chunker over r: the
+// block-processed FastGear by default, the per-byte reference FastCDC when
+// p.Reference is set. Both emit bit-identical chunks.
+func NewGear(r io.Reader, p Params) (Chunker, error) {
+	if p.Reference {
+		return NewFastCDC(r, p)
+	}
+	return NewFastGear(r, p)
 }

@@ -1,0 +1,154 @@
+package chunker
+
+// Chunk-size distribution invariants, table-tested across every
+// content-defined chunker (reference and block-processed), Params defaults
+// and explicit corners, and pathological inputs. Two properties are
+// load-bearing for the rest of the system: no chunk may ever leave
+// [Min, Max] (container sizing, recipe encoding and the wire protocol's
+// payload budgets all assume it), and the achieved mean on random data must
+// land near ECS (the paper's metadata model scales with N ≈ bytes/ECS).
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// allChunkers is every content-defined chunker under its public
+// constructor, reference and fast.
+var allChunkers = []struct {
+	name string
+	mk   mkChunker
+}{
+	{"rabin", func(r io.Reader, p Params) (Chunker, error) { return NewRabin(r, p) }},
+	{"fastrabin", func(r io.Reader, p Params) (Chunker, error) { return NewFastRabin(r, p) }},
+	{"fastcdc", func(r io.Reader, p Params) (Chunker, error) { return NewFastCDC(r, p) }},
+	{"fastgear", func(r io.Reader, p Params) (Chunker, error) { return NewFastGear(r, p) }},
+	{"tttd", func(r io.Reader, p Params) (Chunker, error) { return NewTTTD(r, p) }},
+}
+
+// TestChunkSizeBoundsAllChunkers: every chunker × Params corners ×
+// {random, all-zero, all-0xFF, periodic} inputs — every non-final chunk in
+// [Min, Max], the final chunk in (0, Max], and the chunks reassemble.
+func TestChunkSizeBoundsAllChunkers(t *testing.T) {
+	params := []Params{
+		{ECS: 1024},
+		{ECS: 4096},
+		{ECS: 1024, Min: 256, Max: 1536},
+		{ECS: 512, Min: 512, Max: 2048},
+		{ECS: 1024, Max: 1024},
+		{ECS: 64, Min: 8, Max: 256, WindowSize: 8},
+	}
+	for _, impl := range allChunkers {
+		for pi, p := range params {
+			pd, err := p.withDefaults()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kind := range []string{"random", "zeros", "ff", "periodic"} {
+				data := streamData(kind, int64(pi)+50, 512<<10)
+				c, err := impl.mk(bytes.NewReader(data), p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				chunks, err := chunkAll(c)
+				if err != nil {
+					t.Fatalf("%s/params%d/%s: %v", impl.name, pi, kind, err)
+				}
+				for i, ch := range chunks {
+					if len(ch.Data) > pd.Max || len(ch.Data) == 0 {
+						t.Fatalf("%s/params%d/%s: chunk %d size %d outside (0, Max=%d]",
+							impl.name, pi, kind, i, len(ch.Data), pd.Max)
+					}
+					if i < len(chunks)-1 && len(ch.Data) < pd.Min {
+						t.Fatalf("%s/params%d/%s: non-final chunk %d size %d below Min %d",
+							impl.name, pi, kind, i, len(ch.Data), pd.Min)
+					}
+				}
+				if !bytes.Equal(reassemble(chunks), data) {
+					t.Fatalf("%s/params%d/%s: chunks do not reassemble", impl.name, pi, kind)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkMeanNearECSAllChunkers: on random data the achieved mean chunk
+// size must land within [ECS/2, 2·ECS] for every chunker at the default
+// Min/Max, across the paper's ECS sweep.
+func TestChunkMeanNearECSAllChunkers(t *testing.T) {
+	data := streamData("random", 59, 4<<20)
+	for _, impl := range allChunkers {
+		for _, ecs := range []int{512, 1024, 4096, 8192} {
+			c, err := impl.mk(bytes.NewReader(data), Params{ECS: ecs})
+			if err != nil {
+				t.Fatal(err)
+			}
+			chunks, err := chunkAll(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mean := float64(len(data)) / float64(len(chunks))
+			if mean < float64(ecs)/2 || mean > float64(ecs)*2 {
+				t.Errorf("%s ECS=%d: mean chunk size %.0f outside [ECS/2, 2·ECS]",
+					impl.name, ecs, mean)
+			}
+		}
+	}
+}
+
+// TestFastCDCSmallECSClamp pins the degenerate-ECS clamp semantics that
+// topMask documents: for ECS ≤ 7 the loose mask's bits(ECS)−2 would reach
+// zero, and an unclamped zero mask would cut unconditionally at len == ECS
+// — fixed-size partitioning in disguise. The clamp keeps one high bit, so
+// past ECS cuts stay content-defined with probability 1/2 per byte. The
+// distribution consequences this test pins, for both the reference and
+// block-processed gear chunkers:
+//
+//   - sizes stay within (0, Max], non-final chunks ≥ Min;
+//   - the mean lands a little above ECS (between ECS/2 and 3·ECS), not at
+//     Max (which a too-strict mask would cause) and not rigidly at ECS
+//     (which the unclamped mask would cause);
+//   - chunk lengths past ECS actually vary — the content-defined behavior
+//     the clamp exists to preserve.
+func TestFastCDCSmallECSClamp(t *testing.T) {
+	for _, ecs := range []int{4, 6, 7} { // bits(ECS) = 2 → bits−2 ≤ 0 clamps
+		p := Params{ECS: ecs, Min: 1, Max: 4 * ecs, WindowSize: 1}
+		data := streamData("random", int64(ecs)*13, 128<<10)
+		for _, impl := range []struct {
+			name string
+			mk   mkChunker
+		}{
+			{"fastcdc", func(r io.Reader, pp Params) (Chunker, error) { return NewFastCDC(r, pp) }},
+			{"fastgear", func(r io.Reader, pp Params) (Chunker, error) { return NewFastGear(r, pp) }},
+		} {
+			c, err := impl.mk(bytes.NewReader(data), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chunks, err := chunkAll(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizesPastECS := map[int]int{}
+			for i, ch := range chunks {
+				if len(ch.Data) > p.Max || len(ch.Data) == 0 {
+					t.Fatalf("%s ECS=%d: chunk %d size %d outside (0, %d]",
+						impl.name, ecs, i, len(ch.Data), p.Max)
+				}
+				if len(ch.Data) >= ecs {
+					sizesPastECS[len(ch.Data)]++
+				}
+			}
+			mean := float64(len(data)) / float64(len(chunks))
+			if mean < float64(ecs)/2 || mean > float64(ecs)*3 {
+				t.Errorf("%s ECS=%d: mean %.1f outside [ECS/2, 3·ECS] — clamp semantics drifted",
+					impl.name, ecs, mean)
+			}
+			if len(sizesPastECS) < 2 {
+				t.Errorf("%s ECS=%d: only %d distinct sizes ≥ ECS (%v) — loose-region cuts degenerated to fixed-size",
+					impl.name, ecs, len(sizesPastECS), sizesPastECS)
+			}
+		}
+	}
+}

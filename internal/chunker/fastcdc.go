@@ -31,36 +31,46 @@ type FastCDC struct {
 // polynomial field (reused as a seed when set).
 const gearTableSeed = 0x3DA3358B4DC173
 
-// NewFastCDC returns a FastCDC chunker over r with the given parameters.
-// Params.Poly, when non-zero, seeds the gear table (the Rabin polynomial
-// itself is not used — FastCDC has no polynomial arithmetic).
-func NewFastCDC(r io.Reader, p Params) (*FastCDC, error) {
-	p, err := p.withDefaults()
-	if err != nil {
-		return nil, err
-	}
+// gearTable builds the 256-entry gear table for p. Factored out so FastCDC
+// and the block-processed FastGear derive byte-identical tables — the
+// foundation of their cut-point identity.
+func gearTable(p Params) [256]uint64 {
 	seed := int64(gearTableSeed)
 	if p.Poly != 0 {
 		seed = int64(p.Poly)
 	}
-	c := &FastCDC{p: p, src: newReadFiller(r)}
+	var tab [256]uint64
 	rng := rand.New(rand.NewSource(seed))
-	for i := range c.gear {
-		c.gear[i] = rng.Uint64()
+	for i := range tab {
+		tab[i] = rng.Uint64()
 	}
-	// Normalized chunking: bits(ECS)+2 mask bits before the target size,
-	// bits(ECS)−2 after. FastCDC spreads mask bits across the word; the
-	// gear hash's upper bits carry the entropy, so take them from the top.
+	return tab
+}
+
+// gearMasks returns the normalized-chunking masks for p: bits(ECS)+2 mask
+// bits before the target size, bits(ECS)−2 after. FastCDC spreads mask bits
+// across the word; the gear hash's upper bits carry the entropy, so both
+// masks take them from the top. Shared by FastCDC and FastGear.
+func gearMasks(p Params) (strict, loose uint64) {
 	bits := 0
 	for n := p.ECS; n > 1; n >>= 1 {
 		bits++
 	}
-	c.maskStrict = topMask(bits + 2)
-	c.maskLoose = topMask(bits - 2)
-	return c, nil
+	return topMask(bits + 2), topMask(bits - 2)
 }
 
-// topMask returns a mask with n high bits set (clamped to [1,63]).
+// topMask returns a mask with n high bits set, clamped to [1,63].
+//
+// The low clamp is a deliberate semantic choice for degenerate ECS values
+// (bits(ECS) ≤ 2, i.e. ECS ≤ 7): unclamped, the loose mask's bits(ECS)−2
+// would reach zero, and a zero mask means h&mask == 0 at every byte — the
+// chunker would cut unconditionally at len == ECS, degenerating to
+// fixed-size partitioning past the target with no boundary-shift
+// resilience. Clamping to one high bit keeps even the loose region
+// content-defined (a cut with probability 1/2 per byte), at the cost of a
+// mean slightly above ECS for such tiny targets. TestFastCDCSmallECSClamp
+// pins this: sizes stay within [Min, Max] and the loose mask never has
+// more bits set than the strict one.
 func topMask(n int) uint64 {
 	if n < 1 {
 		n = 1
@@ -69,6 +79,20 @@ func topMask(n int) uint64 {
 		n = 63
 	}
 	return ^uint64(0) << (64 - uint(n))
+}
+
+// NewFastCDC returns a FastCDC chunker over r with the given parameters.
+// Params.Poly, when non-zero, seeds the gear table (the Rabin polynomial
+// itself is not used — FastCDC has no polynomial arithmetic).
+func NewFastCDC(r io.Reader, p Params) (*FastCDC, error) {
+	p, err := p.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	c := &FastCDC{p: p, src: newReadFiller(r)}
+	c.gear = gearTable(p)
+	c.maskStrict, c.maskLoose = gearMasks(p)
+	return c, nil
 }
 
 // Next returns the next chunk, or io.EOF after the last one.

@@ -160,3 +160,29 @@ func BenchmarkFastCDCChunk1M(b *testing.B) {
 		}
 	}
 }
+
+func BenchmarkFastGearChunk1M(b *testing.B) {
+	data := randomData(1, 1<<20)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		c, _ := NewFastGear(bytes.NewReader(data), Params{ECS: 4096})
+		for {
+			if _, err := c.Next(); err != nil {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkFastRabinChunk1M(b *testing.B) {
+	data := randomData(1, 1<<20)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		c, _ := NewFastRabin(bytes.NewReader(data), Params{ECS: 4096})
+		for {
+			if _, err := c.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

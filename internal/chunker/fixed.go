@@ -35,7 +35,13 @@ func (c *Fixed) Next() (Chunk, error) {
 		chunk := Chunk{Data: buf[:n:n], Off: c.off}
 		c.off += int64(n)
 		if err != nil {
-			c.err = io.EOF
+			// A short read ending in EOF is the normal final chunk; any
+			// other error must surface on the next call, not be masked as
+			// end-of-stream.
+			if err == io.ErrUnexpectedEOF || err == io.EOF {
+				err = io.EOF
+			}
+			c.err = err
 		}
 		return chunk, nil
 	}

@@ -62,10 +62,12 @@ func (c *Rabin) Next() (Chunk, error) {
 
 // Split divides data into CDC chunks in one call. Offsets are relative to
 // data[0]. It is the re-chunking primitive used by Bimodal, SubChunk and
-// HHR, and by construction produces the same cuts as streaming the same
-// bytes through NewRabin.
+// HHR, and produces the same cuts as streaming the same bytes through
+// NewRabin — it runs the block-processed FastRabin by default (reference
+// Rabin when p.Reference is set), which the conformance harness proves
+// cut-point identical.
 func Split(data []byte, p Params) ([]Chunk, error) {
-	c, err := NewRabin(bytes.NewReader(data), p)
+	c, err := NewCDC(bytes.NewReader(data), p)
 	if err != nil {
 		return nil, err
 	}

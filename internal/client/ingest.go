@@ -377,15 +377,18 @@ func (c *Ingestor) recover() error {
 
 // newChunker builds the chunker matching the negotiated engine options —
 // the same cut points the server's engine will re-produce when it
-// re-chunks the reassembled stream.
+// re-chunks the reassembled stream. The client always uses the
+// block-processed fast path: it is bit-identical to the reference scan
+// (pinned by the conformance harness), so it matches the server's cuts
+// regardless of which implementation the server side selected.
 func newChunker(r io.Reader, o wire.EngineOptions) (chunker.Chunker, error) {
 	p := chunker.Params{ECS: int(o.ECS)}
 	switch {
 	case o.TTTD:
 		return chunker.NewTTTD(r, p)
 	case o.FastCDC:
-		return chunker.NewFastCDC(r, p)
+		return chunker.NewGear(r, p)
 	default:
-		return chunker.NewRabin(r, p)
+		return chunker.NewCDC(r, p)
 	}
 }

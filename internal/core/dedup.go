@@ -277,9 +277,9 @@ func (d *Dedup) putFile(ctx context.Context, name string, r io.Reader) error {
 	case d.cfg.TTTD:
 		ch, err = chunker.NewTTTD(r, d.cfg.chunkerParams())
 	case d.cfg.FastCDC:
-		ch, err = chunker.NewFastCDC(r, d.cfg.chunkerParams())
+		ch, err = chunker.NewGear(r, d.cfg.chunkerParams())
 	default:
-		ch, err = chunker.NewRabin(r, d.cfg.chunkerParams())
+		ch, err = chunker.NewCDC(r, d.cfg.chunkerParams())
 	}
 	if err != nil {
 		return err

@@ -1,6 +1,9 @@
 package rabin
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // DefaultWindowSize is the sliding-window width in bytes used by the
 // chunkers. 48 bytes is the LBFS value; the fingerprint then depends on the
@@ -15,13 +18,29 @@ type Window struct {
 	poly    Poly
 	size    int
 	shift   uint // deg(poly) − 8: position of the top byte of the digest
-	modTab  [256]Poly
-	outTab  [256]Poly
+	tabs    *windowTabs
 	window  []byte
 	pos     int
 	digest  Poly
 	written int
 }
+
+// windowTabs holds the byte-at-a-time reduction tables. They are a pure
+// function of (poly, size), so they are built once and shared by every
+// Window over the same pair — the engine constructs a chunker per file, and
+// rebuilding the tables (256 × size slow polynomial reductions) per file
+// used to cost about as much as scanning a megabyte.
+type windowTabs struct {
+	modTab [256]Poly
+	outTab [256]Poly
+}
+
+type windowTabKey struct {
+	poly Poly
+	size int
+}
+
+var tabCache sync.Map // windowTabKey → *windowTabs
 
 // NewWindow returns a Window over the given irreducible polynomial with the
 // given window size in bytes. Size must be positive; poly must have degree
@@ -40,23 +59,31 @@ func NewWindow(poly Poly, size int) (*Window, error) {
 		shift:  uint(deg - 8),
 		window: make([]byte, size),
 	}
-	// modTab[b] reduces a digest whose top byte is b: it is (b · x^deg) mod
-	// poly, with the b·x^deg term itself included so the caller can XOR the
-	// whole top byte away in one operation.
-	for b := 0; b < 256; b++ {
-		v := Poly(b) << uint(deg)
-		w.modTab[b] = v.modSlow(poly) | v
-	}
-	// outTab[b] is the contribution of byte b once it has been shifted
-	// through the entire window: (b · x^(8·size)) mod poly. XORing it out
-	// removes the oldest byte from the digest.
-	for b := 0; b < 256; b++ {
-		h := Poly(0)
-		h = w.appendByteSlow(h, byte(b))
-		for i := 0; i < size-1; i++ {
-			h = w.appendByteSlow(h, 0)
+	key := windowTabKey{poly: poly, size: size}
+	if tabs, ok := tabCache.Load(key); ok {
+		w.tabs = tabs.(*windowTabs)
+	} else {
+		tabs := &windowTabs{}
+		// modTab[b] reduces a digest whose top byte is b: it is (b · x^deg)
+		// mod poly, with the b·x^deg term itself included so the caller can
+		// XOR the whole top byte away in one operation.
+		for b := 0; b < 256; b++ {
+			v := Poly(b) << uint(deg)
+			tabs.modTab[b] = v.modSlow(poly) | v
 		}
-		w.outTab[b] = h
+		// outTab[b] is the contribution of byte b once it has been shifted
+		// through the entire window: (b · x^(8·size)) mod poly. XORing it
+		// out removes the oldest byte from the digest.
+		for b := 0; b < 256; b++ {
+			h := Poly(0)
+			h = w.appendByteSlow(h, byte(b))
+			for i := 0; i < size-1; i++ {
+				h = w.appendByteSlow(h, 0)
+			}
+			tabs.outTab[b] = h
+		}
+		actual, _ := tabCache.LoadOrStore(key, tabs)
+		w.tabs = actual.(*windowTabs)
 	}
 	w.Reset()
 	return w, nil
@@ -95,15 +122,141 @@ func (w *Window) Roll(b byte) Poly {
 	if w.pos == w.size {
 		w.pos = 0
 	}
-	w.digest ^= w.outTab[out]
+	w.digest ^= w.tabs.outTab[out]
 	// Append b: shift the digest up a byte; the former top byte now sits at
 	// x^deg..x^(deg+7) and modTab (which includes that term) cancels it and
 	// adds its residue, keeping deg(digest) < deg(poly).
 	top := byte(w.digest >> w.shift)
 	w.digest = (w.digest << 8) | Poly(b)
-	w.digest ^= w.modTab[top]
+	w.digest ^= w.tabs.modTab[top]
 	w.written++
 	return w.digest
+}
+
+// RollBlock rolls every byte of blk through the window. It is equivalent to
+// calling Roll once per byte, but hoists the table pointers and window state
+// into locals so the per-byte cost in the loop is the two lookups and two
+// XORs with no method-call or field-load overhead — the block-processed
+// chunking hot path uses it to warm the window across a buffered slice.
+//
+// Rolling maintains the invariant digest == fingerprint(ring contents), so
+// when blk is at least a full window the final state depends only on the
+// last Size() bytes — RollBlock then resets and rolls just those.
+func (w *Window) RollBlock(blk []byte) {
+	w.written += len(blk)
+	if len(blk) >= w.size {
+		w.Reset()
+		w.written -= w.size // rollRing re-adds the bytes it rolls
+		blk = blk[len(blk)-w.size:]
+	}
+	w.rollRing(blk)
+}
+
+// rollRing is the ring-maintaining per-byte roll over a slice, state
+// hoisted into locals.
+func (w *Window) rollRing(blk []byte) {
+	digest := w.digest
+	pos := w.pos
+	size := w.size
+	shift := w.shift
+	win := w.window
+	mod := &w.tabs.modTab
+	out := &w.tabs.outTab
+	for _, b := range blk {
+		o := win[pos]
+		win[pos] = b
+		pos++
+		if pos == size {
+			pos = 0
+		}
+		digest ^= out[o]
+		top := byte(digest >> shift)
+		digest = (digest << 8) | Poly(b)
+		digest ^= mod[top]
+	}
+	w.digest = digest
+	w.pos = pos
+	w.written += len(blk)
+}
+
+// RollFind rolls bytes of blk through the window until the fingerprint
+// masked by mask equals mask. It returns how many bytes were consumed and
+// whether a match stopped the scan; on a match the matching byte is
+// included in the count and the window state is exactly as if Roll had been
+// called byte-by-byte up to and including it.
+//
+// This is the chunking hot loop, structured in two phases. The first
+// Size() bytes evict bytes rolled before this call, which live only in the
+// ring buffer. From index Size() on, the evicted byte is blk[i−Size()] —
+// the ring drops out of the loop entirely (no stores, no wrap test; just
+// the two table lookups, two XORs and the mask test per byte) and is
+// reconstructed from the slice tail on exit.
+func (w *Window) RollFind(blk []byte, mask Poly) (n int, found bool) {
+	digest := w.digest
+	pos := w.pos
+	size := w.size
+	shift := w.shift
+	win := w.window
+	mod := &w.tabs.modTab
+	out := &w.tabs.outTab
+
+	// Phase 1: ring-maintained roll over the first min(Size, len) bytes.
+	nA := size
+	if nA > len(blk) {
+		nA = len(blk)
+	}
+	for i := 0; i < nA; i++ {
+		b := blk[i]
+		o := win[pos]
+		win[pos] = b
+		pos++
+		if pos == size {
+			pos = 0
+		}
+		digest ^= out[o]
+		top := byte(digest >> shift)
+		digest = (digest << 8) | Poly(b)
+		digest ^= mod[top]
+		if digest&mask == mask {
+			w.digest = digest
+			w.pos = pos
+			w.written += i + 1
+			return i + 1, true
+		}
+	}
+	if nA == len(blk) {
+		w.digest = digest
+		w.pos = pos
+		w.written += nA
+		return nA, false
+	}
+
+	// Phase 2: ring-free roll; the evicted byte comes from the slice.
+	consumed := len(blk)
+	found = false
+	tail := blk[size:]
+	lead := blk[:len(tail)] // evicted byte for tail[j] is lead[j]; equal lengths for bounds-check elimination
+	for j, b := range tail {
+		digest ^= out[lead[j]]
+		top := byte(digest >> shift)
+		digest = (digest << 8) | Poly(b)
+		digest ^= mod[top]
+		if digest&mask == mask {
+			consumed = size + j + 1
+			found = true
+			break
+		}
+	}
+	if consumed > size {
+		// Rebuild the ring to hold the last Size() bytes rolled, oldest
+		// first, which is the pos==0 rotation.
+		copy(win, blk[consumed-size:consumed])
+		pos = 0
+	}
+	w.digest = digest
+	w.pos = pos
+	w.written += consumed
+	return consumed, found
 }
 
 // Fingerprint returns the fingerprint of the bytes currently in the window
