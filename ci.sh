@@ -1,6 +1,7 @@
 #!/bin/sh
 # CI gate: static checks, full build, the complete test suite under the
-# race detector, a dedicated crash-consistency smoke, a bench smoke that
+# race detector, dedicated crash-consistency and WAL kill-every-point
+# smokes, a race-enabled sustained-write soak, a bench smoke that
 # emits and shape-checks the BENCH_ingest.json perf-trajectory artifact,
 # a live dedupd debug-endpoint smoke (/metrics.json, /healthz,
 # /events.json, pprof), and short fuzz smokes of the decoder surfaces. This is the command the concurrency and
@@ -30,14 +31,29 @@ echo "== crash-consistency smoke (10 seeds, race) =="
 # above already ran 100.
 go test -race -short -count=1 -run 'TestCrashConsistency' ./internal/store
 
+echo "== WAL crash smoke (kill-every-point, race) =="
+# Kill the durable store at every log-append, group-commit and compaction
+# injection point (torn final frames half the time), plus inside Recover
+# itself over a table of debris layouts, and demand the remount equal some
+# acknowledged prefix of the mutation history — never a hybrid. -short
+# runs one seed; the full suite above already ran the 100+-run matrix.
+go test -race -short -count=1 \
+    -run 'TestWALKillEveryPoint|TestRecoverIdempotentDebris' ./internal/simdisk
+
 echo "== loopback server integration smoke (race) =="
 # The wire-service acceptance gate: a near-duplicate second backup must
 # move <15% of its raw bytes over loopback and restore bit-identically
 # through the verifying path, and a connection killed mid-ingest must
 # resume into a store object-identical to an uninterrupted run's.
 go test -race -count=1 \
-    -run 'TestLoopbackBackupAndVerifiedRestore|TestSecondGenerationMovesFewBytes|TestKillConnectionResumeStoreEquality|TestDrainWaitsForInFlightSession' \
+    -run 'TestLoopbackBackupAndVerifiedRestore|TestSecondGenerationMovesFewBytes|TestKillConnectionResumeStoreEquality|TestDrainWaitsForInFlightSession|TestServerCheckpointSurvivesKill|TestOverloadShedding' \
     ./internal/server
+
+echo "== sustained-write soak (race) =="
+# Concurrent ingest + verified restores against a live durable store while
+# group commits, background compaction and online scrub churn underneath,
+# then a reopen verifying every acked file bit-exact.
+go test -race -count=1 -run 'TestSustainedWriteSoak' ./internal/server
 
 echo "== bench smoke (perf-trajectory artifact) =="
 # A small seeded ingest+restore run must emit a BENCH_ingest.json with
@@ -56,6 +72,14 @@ done
 # per-byte reference scans (bench exits non-zero on divergence; the grep
 # double-checks the emitted document says so).
 for key in '"chunk_mb_per_s"' '"cuts_identical": true'; do
+    grep -q "$key" /tmp/BENCH_ingest.ci.json || {
+        echo "bench smoke: $key missing from BENCH_ingest.json" >&2; exit 1; }
+done
+# The WAL stage gates log-enabled ingest: a group commit per file, then a
+# reopen that replays the whole log and restores every file against the
+# ingested hash (bench exits non-zero on divergence or an empty replay).
+for key in '"wal_mb_per_s"' '"group_commits"' '"replayed_records"' \
+    '"commit_latency_ms"' '"hash_match": true'; do
     grep -q "$key" /tmp/BENCH_ingest.ci.json || {
         echo "bench smoke: $key missing from BENCH_ingest.json" >&2; exit 1; }
 done

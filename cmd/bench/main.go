@@ -46,6 +46,7 @@ func main() {
 	flag.Int64Var(&o.editSize, "edit-bytes", 24<<10, "workload mean edit size")
 	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
 	flag.BoolVar(&o.noRestore, "no-restore", false, "skip the restore pass")
+	flag.BoolVar(&o.noWAL, "no-wal", false, "skip the WAL-enabled ingest stage")
 	flag.StringVar(&o.restoreOut, "restore-out", "BENCH_restore.json", "restore-stage JSON path (- for stdout, empty to skip)")
 	flag.IntVar(&o.restoreWorkers, "restore-workers", 8, "parallel restore worker count for the restore stage")
 	flag.Int64Var(&o.restoreWindow, "restore-window", 8<<20, "restore reorder-buffer budget in bytes")
@@ -70,6 +71,7 @@ type benchOptions struct {
 	editSize  int64
 	seed      int64
 	noRestore bool
+	noWAL     bool
 
 	restoreOut     string
 	restoreWorkers int
@@ -111,6 +113,7 @@ type benchDoc struct {
 	Chunking  *chunkingDoc                   `json:"chunking,omitempty"`
 	Ingest    phaseResult                    `json:"ingest"`
 	Restore   *phaseResult                   `json:"restore,omitempty"`
+	WAL       *walDoc                        `json:"wal,omitempty"`
 	Stages    map[string]metrics.DurationsMS `json:"stage_latency_ms"`
 	Engine    struct {
 		RealDER       float64 `json:"real_der"`
@@ -245,6 +248,141 @@ func runChunkingStage(w *dedup.Workload, ecs int) (*chunkingDoc, error) {
 	return doc, nil
 }
 
+// walDoc is the durability-stage artifact inside BENCH_ingest.json: the
+// same workload ingested again through a write-ahead-logged store with a
+// group commit per file (the barrier a server acks through), so the
+// throughput gate covers log-enabled ingest. The stage doubles as a
+// correctness gate: the store is reopened without compaction — forcing a
+// full log replay — and every file is restored and hashed against the
+// bytes that went in.
+type walDoc struct {
+	Files   int     `json:"files"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+	// WALMBPerS vs BaselineMBPerS is the cost of durability: the same
+	// serial ingest with and without a group-committed fsync per file.
+	WALMBPerS      float64 `json:"wal_mb_per_s"`
+	BaselineMBPerS float64 `json:"baseline_mb_per_s"`
+	OverheadRatio  float64 `json:"overhead_ratio"`
+
+	GroupCommits    int64 `json:"group_commits"`
+	LogRecords      int64 `json:"log_records"`
+	LogBytes        int64 `json:"log_bytes"`
+	ReplayedRecords int64 `json:"replayed_records"`
+
+	CommitLatencyMS metrics.DurationsMS `json:"commit_latency_ms"`
+
+	IngestSHA1  string `json:"ingest_sha1"`
+	RestoreSHA1 string `json:"restore_sha1"`
+	HashMatch   bool   `json:"hash_match"`
+}
+
+// runWALStage ingests the workload through a durable store (Put + Commit
+// per file), closes it WITHOUT compacting, reopens it so the mount comes
+// entirely from generation + log replay, and hash-checks every restored
+// file. A hash mismatch or an empty replay is a hard error.
+func runWALStage(o benchOptions, baselineMBPerS float64) (*walDoc, error) {
+	dir, err := os.MkdirTemp("", "bench-wal-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	algo := dedup.Algorithm(o.algo)
+	opts := dedup.Options{ECS: o.ecs, SD: o.sd, CacheManifests: o.cache}
+	// Background maintenance off: the stage measures the synchronous
+	// ingest+commit path, not a compaction schedule.
+	dopt := dedup.DurabilityOptions{FlushInterval: -1}
+	eng, dur, _, err := dedup.ResumeDurable(algo, opts, dir, dopt)
+	if err != nil {
+		return nil, err
+	}
+	w, err := dedup.NewWorkload(workloadConfig(o))
+	if err != nil {
+		return nil, err
+	}
+
+	hCommit := metrics.GetHistogram("bench.wal_commit_ns")
+	ingestHash := hashutil.NewHasher()
+	doc := &walDoc{BaselineMBPerS: baselineMBPerS}
+
+	start := time.Now()
+	for _, f := range w.Files() {
+		r, err := w.Open(f.Name)
+		if err != nil {
+			return nil, err
+		}
+		ingestHash.Write([]byte(f.Name))
+		if err := eng.PutFile(f.Name, io.TeeReader(r, ingestHash)); err != nil {
+			return nil, fmt.Errorf("wal ingest %s: %w", f.Name, err)
+		}
+		t0 := time.Now()
+		if err := dur.Commit(); err != nil {
+			return nil, fmt.Errorf("wal commit after %s: %w", f.Name, err)
+		}
+		hCommit.ObserveSince(t0)
+		doc.Files++
+	}
+	if err := eng.Finish(); err != nil {
+		return nil, err
+	}
+	if err := dur.Commit(); err != nil {
+		return nil, err
+	}
+	doc.Seconds = time.Since(start).Seconds()
+	doc.Bytes = eng.Report().InputBytes
+	doc.WALMBPerS = mbPerS(doc.Bytes, doc.Seconds)
+	if baselineMBPerS > 0 {
+		doc.OverheadRatio = doc.WALMBPerS / baselineMBPerS
+	}
+	st := dur.WAL().Stats()
+	doc.GroupCommits = st.Syncs
+	doc.LogRecords = st.DurableRecords
+	doc.LogBytes = st.DurableBytes
+	doc.CommitLatencyMS = hCommit.Snapshot().ToMS()
+	// Close without Compact: the log stays on disk and the reopen below
+	// must rebuild the entire store state by replaying it.
+	if err := dur.Close(); err != nil {
+		return nil, err
+	}
+
+	eng2, dur2, rep, err := dedup.ResumeDurable(algo, opts, dir, dopt)
+	if err != nil {
+		return nil, fmt.Errorf("wal reopen: %w", err)
+	}
+	defer dur2.Close()
+	doc.ReplayedRecords = rep.Records
+	if rep.Records == 0 {
+		return nil, fmt.Errorf("wal stage: reopen replayed no records — the ingest never reached the log")
+	}
+	restoreHash := hashutil.NewHasher()
+	for _, f := range w.Files() {
+		restoreHash.Write([]byte(f.Name))
+		if err := eng2.Restore(f.Name, restoreHash); err != nil {
+			return nil, fmt.Errorf("wal restore %s after replay: %w", f.Name, err)
+		}
+	}
+	doc.IngestSHA1 = ingestHash.Sum().Hex()
+	doc.RestoreSHA1 = restoreHash.Sum().Hex()
+	doc.HashMatch = doc.IngestSHA1 == doc.RestoreSHA1
+	if !doc.HashMatch {
+		return nil, fmt.Errorf("wal stage: restored hash %s != ingested %s after log replay",
+			doc.RestoreSHA1, doc.IngestSHA1)
+	}
+	return doc, nil
+}
+
+func workloadConfig(o benchOptions) dedup.WorkloadConfig {
+	cfg := dedup.DefaultWorkloadConfig()
+	cfg.Machines = o.machines
+	cfg.Days = o.days
+	cfg.SnapshotBytes = o.snapshot
+	cfg.EditsPerDay = o.edits
+	cfg.EditBytes = o.editSize
+	cfg.Seed = o.seed
+	return cfg
+}
+
 func run(o benchOptions) error {
 	algo := dedup.Algorithm(o.algo)
 	eng, err := dedup.New(algo, dedup.Options{
@@ -255,14 +393,7 @@ func run(o benchOptions) error {
 	if err != nil {
 		return err
 	}
-	cfg := dedup.DefaultWorkloadConfig()
-	cfg.Machines = o.machines
-	cfg.Days = o.days
-	cfg.SnapshotBytes = o.snapshot
-	cfg.EditsPerDay = o.edits
-	cfg.EditBytes = o.editSize
-	cfg.Seed = o.seed
-	w, err := dedup.NewWorkload(cfg)
+	w, err := dedup.NewWorkload(workloadConfig(o))
 	if err != nil {
 		return err
 	}
@@ -349,6 +480,19 @@ func run(o benchOptions) error {
 			MBPerS:    mbPerS(outBytes, restoreSecs),
 			PerFileMS: hRestore.Snapshot().ToMS(),
 		}
+	}
+
+	// WAL stage: the same workload ingested through a write-ahead-logged
+	// store with a group commit per file, replay-mounted and hash-gated.
+	if !o.noWAL {
+		walStage, err := runWALStage(o, doc.Ingest.MBPerS)
+		if err != nil {
+			return err
+		}
+		doc.WAL = walStage
+		fmt.Fprintf(os.Stderr, "bench: wal ingest %.1f MB/s (%.2fx of baseline), %d group commits, %d records replayed, hash match %v\n",
+			walStage.WALMBPerS, walStage.OverheadRatio, walStage.GroupCommits,
+			walStage.ReplayedRecords, walStage.HashMatch)
 	}
 
 	// Per-stage latency off the process-wide registry (the engine hot

@@ -69,6 +69,14 @@ func main() {
 	flag.DurationVar(&o.drainTimeout, "drain-timeout", time.Minute, "bound on graceful drain before forcing shutdown")
 	flag.StringVar(&o.logLevel, "log-level", "info", "event log level: debug, info, warn or error")
 	flag.DurationVar(&o.slowOp, "slow-op", 100*time.Millisecond, "emit a warn slow_op event for operations at or above this duration (negative disables)")
+	flag.BoolVar(&o.noWAL, "no-wal", false, "disable the write-ahead log; persist only at drain (legacy behavior)")
+	flag.DurationVar(&o.checkpointInterval, "checkpoint-interval", 30*time.Second, "fold the write-ahead log into a fresh generation at least this often (negative disables age-triggered compaction)")
+	flag.DurationVar(&o.logFlushInterval, "log-flush-interval", 200*time.Millisecond, "background group-commit cadence for the write-ahead log")
+	flag.Int64Var(&o.compactLogBytes, "compact-log-bytes", 64<<20, "fold the log into a fresh generation once it exceeds this many bytes (negative disables)")
+	flag.Int64Var(&o.shedLogBytes, "shed-log-bytes", 0, "shed new work once the durable log exceeds this many bytes (0 = 8x compact-log-bytes, negative disables)")
+	flag.Int64Var(&o.shedPendingBytes, "shed-pending-bytes", 32<<20, "shed new work once un-fsynced log bytes exceed this (negative disables)")
+	flag.DurationVar(&o.scrubInterval, "scrub-interval", 0, "verify every stored file from a consistent snapshot this often (0 disables)")
+	flag.DurationVar(&o.maintenanceP99, "maintenance-p99", 50*time.Millisecond, "back background compaction/scrub off while the interval ingest p99 exceeds this (0 disables pacing)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "dedupd:", err)
@@ -77,24 +85,33 @@ func main() {
 }
 
 type options struct {
-	addr          string
-	metricsAddr   string
-	storeDir      string
-	algo          string
-	ecs           int
-	sd            int
-	cache         int
-	noBloom       bool
+	addr           string
+	metricsAddr    string
+	storeDir       string
+	algo           string
+	ecs            int
+	sd             int
+	cache          int
+	noBloom        bool
 	maxSessions    int
 	window         int
 	chunkCache     int64
 	restoreWorkers int
 	restoreWindow  int64
-	idleTimeout   time.Duration
-	resumeTimeout time.Duration
-	drainTimeout  time.Duration
-	logLevel      string
-	slowOp        time.Duration
+	idleTimeout    time.Duration
+	resumeTimeout  time.Duration
+	drainTimeout   time.Duration
+	logLevel       string
+	slowOp         time.Duration
+
+	noWAL              bool
+	checkpointInterval time.Duration
+	logFlushInterval   time.Duration
+	compactLogBytes    int64
+	shedLogBytes       int64
+	shedPendingBytes   int64
+	scrubInterval      time.Duration
+	maintenanceP99     time.Duration
 }
 
 func run(o options) error {
@@ -109,11 +126,11 @@ func run(o options) error {
 		SlowOpThreshold: o.slowOp,
 	})
 
-	eng, resumed, err := buildEngine(o)
+	eng, dur, resumed, err := buildEngine(o, evlog)
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
+	cfg := server.Config{
 		Engine:             eng,
 		MaxSessions:        o.maxSessions,
 		Window:             o.window,
@@ -123,7 +140,13 @@ func run(o options) error {
 		RestoreWorkers:     o.restoreWorkers,
 		RestoreWindowBytes: o.restoreWindow,
 		Events:             evlog,
-	})
+	}
+	if dur != nil {
+		// Assigned conditionally: a typed-nil *Durability inside the
+		// interface would defeat the server's nil check.
+		cfg.Durability = dur
+	}
+	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -134,6 +157,11 @@ func run(o options) error {
 	opts := srv.Options()
 	logger.Printf("listening on %s (%s ECS=%d SD=%d, resumed=%v, max sessions %d, window %d)",
 		ln.Addr(), opts.Algorithm, opts.ECS, opts.SD, resumed, o.maxSessions, o.window)
+	if dur != nil {
+		dur.Start()
+		logger.Printf("write-ahead log on (checkpoint %v, flush %v, compact at %d MiB)",
+			o.checkpointInterval, o.logFlushInterval, o.compactLogBytes>>20)
+	}
 
 	var draining atomic.Bool
 	var msrv *http.Server
@@ -175,7 +203,18 @@ func run(o options) error {
 	if err := eng.Finish(); err != nil {
 		return fmt.Errorf("finish: %w", err)
 	}
-	if o.storeDir != "" {
+	switch {
+	case dur != nil:
+		// The log already holds everything; fold it so the directory
+		// restarts from a bare generation, then stop the machinery.
+		if err := dur.Compact(); err != nil {
+			return fmt.Errorf("final compaction: %w", err)
+		}
+		if err := dur.Close(); err != nil {
+			return fmt.Errorf("close log: %w", err)
+		}
+		logger.Printf("store compacted to %s", o.storeDir)
+	case o.storeDir != "":
 		if err := dedup.SaveStore(eng, o.storeDir); err != nil {
 			return fmt.Errorf("save store: %w", err)
 		}
@@ -189,10 +228,13 @@ func run(o options) error {
 
 // buildEngine constructs (or resumes) the shared engine. Only MHD and
 // SI-MHD are session-capable, so those are the only algorithms served.
-func buildEngine(o options) (*core.Dedup, bool, error) {
+// With a store directory and the WAL enabled (the default) the engine is
+// mounted through dedup.ResumeDurable, so every mutation is journaled and
+// the returned Durability handle drives checkpoints and admission control.
+func buildEngine(o options, evlog *events.Log) (*core.Dedup, *dedup.Durability, bool, error) {
 	algo := dedup.Algorithm(o.algo)
 	if algo != dedup.MHD && algo != dedup.SIMHD {
-		return nil, false, fmt.Errorf("algorithm %q is not servable (need %s or %s)", o.algo, dedup.MHD, dedup.SIMHD)
+		return nil, nil, false, fmt.Errorf("algorithm %q is not servable (need %s or %s)", o.algo, dedup.MHD, dedup.SIMHD)
 	}
 	opts := dedup.Options{
 		ECS:            o.ecs,
@@ -201,20 +243,53 @@ func buildEngine(o options) (*core.Dedup, bool, error) {
 		DisableBloom:   o.noBloom,
 		IngestWorkers:  o.maxSessions,
 	}
+	resumed := false
 	if o.storeDir != "" {
 		if _, err := os.Stat(o.storeDir); err == nil {
-			eng, err := dedup.Resume(algo, opts, o.storeDir)
-			if err != nil {
-				return nil, false, fmt.Errorf("resume %s: %w", o.storeDir, err)
-			}
-			return eng.(*core.Dedup), true, nil
+			resumed = true
 		}
+	}
+	if o.storeDir != "" && !o.noWAL {
+		dopt := dedup.DurabilityOptions{
+			FlushInterval:    o.logFlushInterval,
+			CompactLogBytes:  o.compactLogBytes,
+			CompactInterval:  o.checkpointInterval,
+			ShedPendingBytes: o.shedPendingBytes,
+			ShedLogBytes:     o.shedLogBytes,
+			ScrubInterval:    o.scrubInterval,
+			Events:           evlog,
+		}
+		if o.maintenanceP99 > 0 {
+			// Same name server.New resolves, so maintenance paces itself
+			// by the live ingest apply latency.
+			dopt.PaceHistogram = metrics.Default.Histogram("server.apply_ns")
+			dopt.P99Budget = o.maintenanceP99
+		}
+		eng, dur, rep, err := dedup.ResumeDurable(algo, opts, o.storeDir, dopt)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("open durable store %s: %w", o.storeDir, err)
+		}
+		if rep.Records > 0 || rep.Truncated {
+			evlog.Info("wal.replayed",
+				events.F("records", rep.Records),
+				events.F("bytes", rep.Bytes),
+				events.F("segments", rep.Segments),
+				events.F("torn_tail", rep.Truncated))
+		}
+		return eng.(*core.Dedup), dur, resumed, nil
+	}
+	if resumed {
+		eng, err := dedup.Resume(algo, opts, o.storeDir)
+		if err != nil {
+			return nil, nil, false, fmt.Errorf("resume %s: %w", o.storeDir, err)
+		}
+		return eng.(*core.Dedup), nil, true, nil
 	}
 	eng, err := dedup.New(algo, opts)
 	if err != nil {
-		return nil, false, err
+		return nil, nil, false, err
 	}
-	return eng.(*core.Dedup), false, nil
+	return eng.(*core.Dedup), nil, false, nil
 }
 
 // metricsServer exposes the debug endpoint set over HTTP: /metrics.json

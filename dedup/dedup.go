@@ -346,6 +346,12 @@ func OpenStore(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A durable server run leaves acknowledged work in the write-ahead
+	// log until compaction folds it; replay its surviving prefix so those
+	// ingests are restorable here too.
+	if _, err := simdisk.ReplayWAL(dir, disk); err != nil {
+		return nil, err
+	}
 	// Restore follows FileManifests and raw chunk ranges only, but
 	// verification and scrubbing must decode every manifest, so the format
 	// is sniffed up front (an ambiguous store still mounts; its manifests
@@ -481,6 +487,12 @@ func (s *Store) Scrub(opts VerifyOpts) (ScrubReport, error) {
 // is supported for the algorithms whose detection state lives on disk:
 // MHD, SIMHD and CDC. Statistics start fresh — the Report covers the new
 // session's ingest only; restore covers all files ever stored.
+//
+// If the directory carries a write-ahead log from a durable server run
+// (see ResumeDurable), its surviving records are replayed on top of the
+// loaded generation, so nothing a durable run acknowledged is lost. The
+// resumed engine itself is NOT durable — new work persists at the next
+// SaveStore, which also supersedes and clears the old log.
 func Resume(a Algorithm, opt Options, dir string) (Engine, error) {
 	// As in OpenStore: roll back any interrupted save first, so the session
 	// resumes from the last consistent generation, never a hybrid.
@@ -489,6 +501,15 @@ func Resume(a Algorithm, opt Options, dir string) (Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if _, err := simdisk.ReplayWAL(dir, disk); err != nil {
+		return nil, err
+	}
+	return resumeOnDisk(a, opt, disk)
+}
+
+// resumeOnDisk rebuilds an engine's detection state over an already-mounted
+// disk (shared by Resume and ResumeDurable).
+func resumeOnDisk(a Algorithm, opt Options, disk *simdisk.Disk) (Engine, error) {
 	if opt.ECS == 0 {
 		opt.ECS = 4096
 	}
@@ -530,6 +551,43 @@ func Resume(a Algorithm, opt Options, dir string) (Engine, error) {
 	default:
 		return nil, fmt.Errorf("dedup: resume is not supported for %q (its detection state is not reconstructible from disk)", a)
 	}
+}
+
+// Durability is a handle to a store directory's continuous-durability
+// machinery (see ResumeDurable): Commit group-commits the write-ahead log
+// (the acknowledgement barrier a server acks through), Compact folds the
+// log into a fresh generation, Overloaded answers admission control, and
+// Start runs background flushing, compaction and online scrubbing paced
+// by an ingest-latency budget.
+type Durability = store.Durable
+
+// DurabilityOptions tunes a Durability; see store.DurableOptions.
+type DurabilityOptions = store.DurableOptions
+
+// WALReplayReport describes what log replay applied and discarded while
+// opening a durable store.
+type WALReplayReport = simdisk.WALReplayReport
+
+// ResumeDurable opens (or creates) dir as a continuously-durable store and
+// returns an engine over it plus the Durability handle. Unlike Resume, the
+// mounted disk carries a write-ahead log: every object mutation the engine
+// performs is journaled, Commit makes everything so far crash-durable in
+// one group-committed fsync, and a later ResumeDurable (or Resume, or
+// OpenStore) replays whatever the log holds on top of the newest committed
+// generation — so a crash loses at most the records after the last Commit,
+// never an acknowledged one. Supported for the Resume-capable algorithms
+// (MHD, SIMHD, CDC); dir may be empty or absent (a fresh store).
+func ResumeDurable(a Algorithm, opt Options, dir string, dopt DurabilityOptions) (Engine, *Durability, WALReplayReport, error) {
+	dur, rep, err := store.OpenDurable(dir, dopt)
+	if err != nil {
+		return nil, nil, rep, err
+	}
+	eng, err := resumeOnDisk(a, opt, dur.Disk())
+	if err != nil {
+		dur.Close()
+		return nil, nil, rep, err
+	}
+	return eng, dur, rep, nil
 }
 
 // GCStats reports what a Sweep reclaimed.

@@ -342,6 +342,20 @@ func (c *Ingestor) recover() error {
 	if c.recoverBudget <= 0 {
 		return fmt.Errorf("client: giving up after %d reconnects without progress", c.cfg.RetryAttempts)
 	}
+	// Back off before re-dialing, growing with each fruitless attempt: an
+	// overloaded server sheds with retryable frames precisely so clients
+	// get out of its way — reconnecting immediately would replay the shed
+	// command into the same refusal and burn the whole budget in
+	// milliseconds. The first recovery is immediate (plain connection
+	// blips should heal fast); only repeats without an Ack in between
+	// pay the wait.
+	if attempt := c.cfg.RetryAttempts - c.recoverBudget; attempt > 0 {
+		delay := c.cfg.RetryDelay << uint(attempt-1)
+		if max := 2 * time.Second; delay > max {
+			delay = max
+		}
+		time.Sleep(delay)
+	}
 	c.recoverBudget--
 	c.cn.close()
 	hello := wire.Hello{Mode: wire.ModeIngest, ResumeToken: c.token}

@@ -135,6 +135,56 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return s
 }
 
+// BucketCounts returns the cumulative per-bucket counts (bucket b ≥ 1
+// holds values in [2^(b-1), 2^b)). Two successive calls bracket an
+// interval: DeltaP99 over their difference yields the p99 of just the
+// observations in between — the signal the maintenance scheduler paces
+// itself by, where the lifetime P99 of Snapshot would be too sluggish to
+// notice a fresh latency regression.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, histBuckets)
+	for i := range out {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// DeltaP99 returns the p99 upper bound of the observations recorded
+// between two cumulative bucket snapshots (prev taken before cur), and
+// the number of those observations. A nil/short prev is treated as all
+// zeros (the interval since the histogram's birth). Zero observations
+// return (0, 0).
+func DeltaP99(cur, prev []int64) (p99 int64, n int64) {
+	var delta [histBuckets]int64
+	var total int64
+	for i := 0; i < histBuckets && i < len(cur); i++ {
+		d := cur[i]
+		if i < len(prev) {
+			d -= prev[i]
+		}
+		if d < 0 {
+			d = 0 // racing Observe between loads; clamp, never go negative
+		}
+		delta[i] = d
+		total += d
+	}
+	if total == 0 {
+		return 0, 0
+	}
+	rank := int64(0.99 * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += delta[i]
+		if cum >= rank {
+			return bucketUpper(i), total
+		}
+	}
+	return bucketUpper(histBuckets - 1), total
+}
+
 // DurationsMS converts a nanosecond-valued snapshot to milliseconds with
 // fractional precision — the human-facing rendering used by bench output.
 type DurationsMS struct {

@@ -93,6 +93,14 @@ type Config struct {
 	// RestoreWindowBytes bounds each restore's reorder buffer; default
 	// 8 MiB (store.DefaultRestoreWindowBytes).
 	RestoreWindowBytes int64
+	// Durability, when non-nil, is the store's continuous-durability
+	// hook: Commit is awaited before each FileEnd is acknowledged (so an
+	// ack means the whole file is on stable storage — group-committed,
+	// N sessions share one fsync), and Overloaded gates admission: while
+	// it reports true, new sessions and new files are refused with
+	// retryable Overloaded frames instead of queued in RAM. Nil keeps
+	// the legacy persist-at-drain behavior.
+	Durability Durability
 	// Registry receives the server's operational counters, latency
 	// histograms and occupancy gauges; default metrics.Default.
 	Registry *metrics.Registry
@@ -184,11 +192,23 @@ type Server struct {
 	cRestores       *atomic.Int64
 	cRestoreBytes   *atomic.Int64
 	cErrors         *atomic.Int64
+	cShed           *atomic.Int64
 
 	// Latency histograms (nanoseconds; also in cfg.Registry).
 	hFrame   map[uint8]*metrics.Histogram // per ingest frame type
 	hApply   *metrics.Histogram           // one engine-feed command apply
 	hRestore *metrics.Histogram           // one whole streamed restore
+	hCommit  *metrics.Histogram           // one durability group commit
+}
+
+// Durability is the hook a continuously-durable store plugs into the
+// server (store.Durable implements it). Commit returns once every engine
+// mutation made before the call is on stable storage; Overloaded reports —
+// with a human-readable reason — that the durability machinery is behind
+// budget and new work should be shed with retryable errors.
+type Durability interface {
+	Commit() error
+	Overloaded() (reason string, overloaded bool)
 }
 
 // New returns an unstarted server over cfg.Engine.
@@ -229,6 +249,7 @@ func New(cfg Config) (*Server, error) {
 	s.cRestores = r.Counter("server.restores")
 	s.cRestoreBytes = r.Counter("server.restore.bytes")
 	s.cErrors = r.Counter("server.errors")
+	s.cShed = r.Counter("server.shed")
 	s.hFrame = map[uint8]*metrics.Histogram{
 		wire.TypeFileBegin: r.Histogram("server.frame.file_begin_ns"),
 		wire.TypeOffer:     r.Histogram("server.frame.offer_ns"),
@@ -237,6 +258,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.hApply = r.Histogram("server.apply_ns")
 	s.hRestore = r.Histogram("server.restore_ns")
+	s.hCommit = r.Histogram("server.commit_ns")
 	r.SetGauge("server.sessions.live", func() int64 { return int64(s.SessionCount()) })
 	r.SetGauge("server.cache.bytes", func() int64 { b, _ := s.cache.stats(); return b })
 	r.SetGauge("server.cache.entries", func() int64 { _, n := s.cache.stats(); return int64(n) })
@@ -520,6 +542,17 @@ func (s *Server) serveIngestConn(c net.Conn, hello wire.Hello,
 				events.F("session", ss.token))
 		}
 		if herr != nil {
+			var sh *sessionShed
+			if errors.As(herr, &sh) {
+				// Overload shedding: report why (retryable), then park the
+				// session resumable — the client backs off, reconnects with
+				// its resume token and replays; no acknowledged work is at
+				// risk and no queue grows while the server is behind.
+				s.cErrors.Add(1)
+				send(wire.TypeError, sh.msg.Marshal())
+				s.detachSession(ss)
+				return
+			}
 			var sf *sessionFatal
 			if errors.As(herr, &sf) {
 				s.cErrors.Add(1)
@@ -574,6 +607,17 @@ func (s *Server) attachSession(hello wire.Hello) (*ingestSession, *wire.ErrorMsg
 	}
 	if s.draining {
 		return nil, &wire.ErrorMsg{Code: wire.CodeDraining, Retryable: true, Msg: "server is draining"}
+	}
+	if s.cfg.Durability != nil {
+		// Admission control: refuse NEW sessions while the durability
+		// machinery is behind budget (resumes are always honored — they
+		// hold resources already, and bouncing them only adds retries).
+		if reason, over := s.cfg.Durability.Overloaded(); over {
+			s.cShed.Add(1)
+			s.cfg.Events.Warn("server.shed", events.F("at", "attach"), events.F("reason", reason))
+			return nil, &wire.ErrorMsg{Code: wire.CodeOverloaded, Retryable: true,
+				Msg: "server overloaded: " + reason}
+		}
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		return nil, &wire.ErrorMsg{Code: wire.CodeBusy, Retryable: true,

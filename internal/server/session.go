@@ -93,10 +93,37 @@ func fatalf(code uint16, format string, args ...any) error {
 	return &sessionFatal{msg: wire.ErrorMsg{Code: code, Msg: fmt.Sprintf(format, args...)}}
 }
 
-// handleFileBegin queues (or idempotently acks) a FileBegin command.
+// sessionShed is an overload refusal: reported to the client as a
+// retryable Overloaded frame, after which the session is parked resumable
+// (unlike sessionFatal, which ends it). The client backs off and replays.
+type sessionShed struct {
+	msg wire.ErrorMsg
+}
+
+func (e *sessionShed) Error() string { return e.msg.Error() }
+
+func shedf(format string, args ...any) error {
+	return &sessionShed{msg: wire.ErrorMsg{Code: wire.CodeOverloaded, Retryable: true,
+		Msg: fmt.Sprintf(format, args...)}}
+}
+
+// handleFileBegin queues (or idempotently acks) a FileBegin command. A
+// file boundary is also the shed point: while the durability layer is
+// behind budget, starting another file would only grow the un-fsynced
+// backlog, so the session is parked with a retryable Overloaded frame
+// instead (replayed commands are never shed — their work is done).
 func (ss *ingestSession) handleFileBegin(fb wire.FileBegin, send sender) error {
 	if fb.Seq <= ss.lastApplied {
 		return send(wire.TypeAck, wire.Ack{Seq: fb.Seq}.Marshal())
+	}
+	if d := ss.srv.cfg.Durability; d != nil {
+		if reason, over := d.Overloaded(); over {
+			ss.srv.cShed.Add(1)
+			ss.srv.cfg.Events.Warn("server.shed",
+				events.F("at", "file_begin"), events.F("session", ss.token),
+				events.F("reason", reason))
+			return shedf("overloaded, retry later: %s", reason)
+		}
 	}
 	if err := ss.admit(fb.Seq); err != nil {
 		return err
@@ -283,6 +310,19 @@ func (ss *ingestSession) apply(pc *pendingCmd) error {
 		}
 		if f.hash.Sum() != pc.end.Sum {
 			return fatalf(wire.CodeIntegrity, "file %q: reassembled stream does not hash to the declared sum", f.name)
+		}
+		// Durability barrier: the FileEnd ack this apply unlocks is the
+		// server's promise that the file survives a crash, so it is not
+		// sent until the file's log records are group-committed. N
+		// sessions reaching this point concurrently share one fsync.
+		if d := ss.srv.cfg.Durability; d != nil {
+			start := time.Now()
+			if err := d.Commit(); err != nil {
+				return fatalf(wire.CodeInternal, "file %q ingested but not durable: %v", f.name, err)
+			}
+			dur := ss.srv.hCommit.ObserveSince(start)
+			ss.srv.cfg.Events.SlowOp("commit", dur,
+				events.F("session", ss.token), events.F("file", f.name))
 		}
 		ss.srv.cFilesIngested.Add(1)
 		return nil

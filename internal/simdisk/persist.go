@@ -129,6 +129,18 @@ func (d *Disk) SaveDir(dir string) error {
 		return err
 	}
 
+	// The commit folds the attached write-ahead log: every record —
+	// durable segment or buffered batch — describes state the generation
+	// now contains (we hold d.mu, so no mutation interleaved with the
+	// save), so the log restarts empty. This IS online compaction. A
+	// crash inside is safe: leftover segments replay idempotently on top
+	// of the committed generation.
+	if d.wal != nil && d.wal.sameStore(dir) {
+		if err := d.wal.compacted(); err != nil {
+			return err
+		}
+	}
+
 	// Post-commit cleanup: older generations and any legacy flat layout
 	// are now garbage. A crash in here is harmless — the marker already
 	// names the new generation — but the kill hook still covers it so the
@@ -222,26 +234,37 @@ func (d *Disk) writeGeneration(dir, tmpDir, genName string, gen int) error {
 }
 
 // cleanupAfterCommit removes everything except the committed generation and
-// the marker: older/newer generation dirs, stray temp dirs, and legacy flat
-// category dirs.
+// the marker: older/newer generation dirs, stray temp dirs, legacy flat
+// category dirs, and — when no attached WAL owns it — the wal/ directory.
+// That last one matters: a generation commit supersedes the whole log, and
+// a stale log left behind by an earlier durable run would otherwise replay
+// on top of this generation and resurrect objects deleted since (deletes
+// are unlogged when no WAL is attached).
 func (d *Disk) cleanupAfterCommit(dir, keep string) error {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil // the committed state is safe; cleanup is best-effort
 	}
+	walOwned := d.wal != nil && d.wal.sameStore(dir)
 	for _, e := range entries {
 		name := e.Name()
 		if name == keep || name == markerFile {
 			continue
 		}
-		legacy := false
-		for _, sub := range categoryDirs {
-			if name == sub {
-				legacy = true
+		if name == walDirName {
+			if walOwned {
+				continue // just reset by compacted(); it is the live log
 			}
-		}
-		if !legacy && !strings.HasPrefix(name, genPrefix) && name != markerFile+".tmp" {
-			continue
+		} else {
+			legacy := false
+			for _, sub := range categoryDirs {
+				if name == sub {
+					legacy = true
+				}
+			}
+			if !legacy && !strings.HasPrefix(name, genPrefix) && name != markerFile+".tmp" {
+				continue
+			}
 		}
 		if err := d.removePoint(filepath.Join(dir, name)); err != nil {
 			if errors.Is(err, ErrKilled) {
@@ -514,14 +537,36 @@ type RecoverReport struct {
 	// RepairedMarker is true when MANIFEST.json was missing or disagreed
 	// with the mounted generation and was rewritten.
 	RepairedMarker bool
+	// WALTrimmed lists write-ahead-log repairs ("truncate:<seg>" for a
+	// torn tail trimmed to its valid prefix, "remove:<seg>" for a segment
+	// discarded entirely).
+	WALTrimmed []string
+}
+
+// recoverHook, when non-nil, is consulted before each repair Recover
+// performs — the crash-inside-recovery injection seam of the idempotence
+// tests. A non-nil return aborts recovery at that point, as a crash would.
+var recoverHook func(step string) error
+
+// recoverPoint consults recoverHook for one repair step.
+func recoverPoint(step string) error {
+	if recoverHook != nil {
+		return recoverHook(step)
+	}
+	return nil
 }
 
 // Recover inspects a store directory for the debris of an interrupted
-// SaveDir and repairs it: partial gen-*.tmp directories and uncommitted or
-// superseded generations are rolled back, and the commit marker is
-// rewritten if it was torn or lost, so the directory afterwards holds
-// exactly the last consistent generation. Legacy flat-layout directories
-// and empty/missing directories are left untouched. Recover is idempotent.
+// SaveDir (or an interrupted log write) and repairs it: partial gen-*.tmp
+// directories and uncommitted or superseded generations are rolled back,
+// the commit marker is rewritten if it was torn or lost, and the
+// write-ahead log's torn tail is trimmed on disk (post-corruption segments
+// removed), so the directory afterwards holds exactly the last consistent
+// generation plus the log's valid prefix. Legacy flat-layout directories
+// and empty/missing directories are left untouched (their wal/ debris, if
+// any, is still repaired). Recover is idempotent and re-entrant: running
+// it twice — or crashing at any point inside it and running it again —
+// converges on the same store.
 func Recover(dir string) (RecoverReport, error) {
 	var rep RecoverReport
 	gen, genDir, legacy, err := selectGeneration(dir)
@@ -529,58 +574,71 @@ func Recover(dir string) (RecoverReport, error) {
 		return rep, err
 	}
 	rep.Generation, rep.Legacy = gen, legacy
-	if genDir == "" || legacy {
-		return rep, nil
-	}
-	keep := filepath.Base(genDir)
+	if genDir != "" && !legacy {
+		keep := filepath.Base(genDir)
 
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return rep, err
-	}
-	for _, e := range entries {
-		name := e.Name()
-		if name == keep || name == markerFile {
-			continue
-		}
-		stale := name == markerFile+".tmp" || strings.HasSuffix(name, ".tmp")
-		if n, ok := genNumber(name); ok && n != gen {
-			stale = true
-		}
-		if !stale {
-			continue
-		}
-		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
-			return rep, fmt.Errorf("simdisk: recover: %w", err)
-		}
-		rep.RolledBack = append(rep.RolledBack, name)
-	}
-
-	// Re-point the marker if it is missing, torn, or names a generation
-	// other than the one that validated.
-	m, _, markerErr := readMarker(dir)
-	if markerErr != nil || m == nil || m.Generation != gen {
-		gm, err := readGenManifest(genDir)
-		if err != nil {
-			return rep, fmt.Errorf("simdisk: recover: %w", err)
-		}
-		raw, err := json.Marshal(gm)
+		entries, err := os.ReadDir(dir)
 		if err != nil {
 			return rep, err
 		}
-		tmp := filepath.Join(dir, markerFile+".tmp")
-		if err := writeFileSync(tmp, raw); err != nil {
-			return rep, fmt.Errorf("simdisk: recover: %w", err)
+		for _, e := range entries {
+			name := e.Name()
+			if name == keep || name == markerFile || name == walDirName {
+				continue
+			}
+			stale := name == markerFile+".tmp" || strings.HasSuffix(name, ".tmp")
+			if n, ok := genNumber(name); ok && n != gen {
+				stale = true
+			}
+			if !stale {
+				continue
+			}
+			if err := recoverPoint("remove:" + name); err != nil {
+				return rep, err
+			}
+			if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+				return rep, fmt.Errorf("simdisk: recover: %w", err)
+			}
+			rep.RolledBack = append(rep.RolledBack, name)
 		}
-		if err := os.Rename(tmp, filepath.Join(dir, markerFile)); err != nil {
-			return rep, fmt.Errorf("simdisk: recover: %w", err)
+
+		// Re-point the marker if it is missing, torn, or names a
+		// generation other than the one that validated.
+		m, _, markerErr := readMarker(dir)
+		if markerErr != nil || m == nil || m.Generation != gen {
+			gm, err := readGenManifest(genDir)
+			if err != nil {
+				return rep, fmt.Errorf("simdisk: recover: %w", err)
+			}
+			raw, err := json.Marshal(gm)
+			if err != nil {
+				return rep, err
+			}
+			if err := recoverPoint("marker"); err != nil {
+				return rep, err
+			}
+			tmp := filepath.Join(dir, markerFile+".tmp")
+			if err := writeFileSync(tmp, raw); err != nil {
+				return rep, fmt.Errorf("simdisk: recover: %w", err)
+			}
+			if err := os.Rename(tmp, filepath.Join(dir, markerFile)); err != nil {
+				return rep, fmt.Errorf("simdisk: recover: %w", err)
+			}
+			if err := syncDir(dir); err != nil {
+				return rep, fmt.Errorf("simdisk: recover: %w", err)
+			}
+			rep.RepairedMarker = true
 		}
-		if err := syncDir(dir); err != nil {
-			return rep, fmt.Errorf("simdisk: recover: %w", err)
-		}
-		rep.RepairedMarker = true
+		sort.Strings(rep.RolledBack)
 	}
-	sort.Strings(rep.RolledBack)
+
+	// Write-ahead-log debris: trim the torn tail so the on-disk log is
+	// exactly its valid prefix before anyone appends after it.
+	sum, werr := recoverWAL(dir, recoverHook)
+	rep.WALTrimmed = sum.Trimmed
+	if werr != nil {
+		return rep, werr
+	}
 	return rep, nil
 }
 

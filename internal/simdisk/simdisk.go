@@ -151,6 +151,12 @@ type Disk struct {
 	// them back to back — exactly the asymmetry the parallel restore
 	// pipeline exists to exploit, and what the restore benchmark measures.
 	readDelay atomic.Int64
+
+	// wal, when non-nil, journals every successful Create/Write/Delete as
+	// a delta record (see wal.go). Appends happen under d.mu, which is
+	// what guarantees log order == mutation order; durability is deferred
+	// to WAL.Sync (group commit).
+	wal *WAL
 }
 
 // New returns an empty simulated disk.
@@ -181,6 +187,25 @@ func (d *Disk) SetReadTransform(fn func(cat Category, name string, data []byte) 
 	d.readTransform = fn
 }
 
+// SetWAL attaches w as the disk's write-ahead delta log: every successful
+// Create/Write/Delete from here on is journaled as a delta record, and a
+// SaveDir into the WAL's own store directory folds the log into the new
+// generation (compaction). Pass nil to detach. The WAL must belong to the
+// directory the disk is persisted into; attach it right after
+// LoadDir+ReplayWAL, before any mutation.
+func (d *Disk) SetWAL(w *WAL) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.wal = w
+}
+
+// WAL returns the attached write-ahead log, or nil.
+func (d *Disk) WAL() *WAL {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.wal
+}
+
 func (d *Disk) check(op Op, cat Category, name string) error {
 	if cat < 0 || cat >= numCategories {
 		return fmt.Errorf("simdisk: invalid category %d", int(cat))
@@ -209,6 +234,9 @@ func (d *Disk) Create(cat Category, name string, data []byte) error {
 	d.objects[cat][name] = append([]byte(nil), data...)
 	d.counters.Creates[cat]++
 	d.counters.BytesWritten[cat] += int64(len(data))
+	if d.wal != nil {
+		d.wal.Append(WALRecord{Op: WALSet, Cat: cat, Name: name, Data: data})
+	}
 	return nil
 }
 
@@ -226,6 +254,9 @@ func (d *Disk) Write(cat Category, name string, data []byte) error {
 	d.objects[cat][name] = append([]byte(nil), data...)
 	d.counters.Writes[cat]++
 	d.counters.BytesWritten[cat] += int64(len(data))
+	if d.wal != nil {
+		d.wal.Append(WALRecord{Op: WALSet, Cat: cat, Name: name, Data: data})
+	}
 	return nil
 }
 
@@ -242,6 +273,9 @@ func (d *Disk) Delete(cat Category, name string) error {
 	}
 	delete(d.objects[cat], name)
 	d.counters.Deletes[cat]++
+	if d.wal != nil {
+		d.wal.Append(WALRecord{Op: WALDelete, Cat: cat, Name: name})
+	}
 	return nil
 }
 

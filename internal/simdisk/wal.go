@@ -1,0 +1,734 @@
+package simdisk
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Write-ahead delta log. SaveDir persists a full generation — correct but
+// wrong-shaped for a server under continuous traffic, where every ingest
+// would otherwise stay in RAM until a drain-time save (a crash losing all
+// of it). The WAL turns the store append-mostly: every successful object
+// mutation (Create/Write/Delete) on a Disk with an attached WAL is encoded
+// as a CRC-framed record and buffered; Sync group-commits the buffer with
+// one write+fsync shared by every concurrent waiter, which is the server's
+// acknowledgement barrier (ack ⇒ the file's records are durable).
+//
+// On-disk layout, inside the store directory:
+//
+//	dir/
+//	  MANIFEST.json, gen-000002/   the usual generation commit
+//	  wal/
+//	    seg-00000003.wal           segments, replayed in numeric order
+//	    seg-00000004.wal           the active segment (appended + fsynced)
+//
+// Each segment starts with an 8-byte magic and holds records framed as
+//
+//	u32 bodyLen | u32 crc32(body) | body
+//	body := u8 op | u8 category | u32 nameLen | name | data
+//
+// Recovery invariant: the mounted state is fold(newest committed
+// generation, every valid log record in segment order). A torn tail —
+// short header, impossible length, CRC mismatch, truncated body — ends the
+// valid prefix: everything from the first invalid byte onward (including
+// all later segments) is discarded, so a record is either wholly visible
+// or not at all. Replaying records that a generation already folded is
+// harmless: the log is complete and ordered, so re-applying a prefix of it
+// on top of any generation that includes that prefix is idempotent (Set
+// rewrites the same final value, Delete deletes the already-deleted).
+// That superset-replay property is what makes every crash window of
+// compaction safe: segments are only removed after the generation commit,
+// and a crash between the two just replays folded records again.
+//
+// Compaction IS SaveDir: a generation commit into the WAL's own store
+// directory snapshots the entire in-RAM state under the disk lock (no
+// mutation can interleave), so after the marker swap every existing
+// segment and every buffered record is folded. SaveDir then calls
+// (*WAL).compacted, which drops them all and starts a fresh segment.
+
+const (
+	// walDirName is the log's subdirectory inside a store directory.
+	walDirName = "wal"
+	// walSegPrefix / walSegSuffix frame segment file names.
+	walSegPrefix = "seg-"
+	walSegSuffix = ".wal"
+	// walMagic opens every segment file.
+	walMagic = "MHDWAL01"
+	// walFrameSize is the per-record frame overhead (length + CRC).
+	walFrameSize = 8
+	// walBodyFixed is the fixed part of a record body (op, cat, nameLen).
+	walBodyFixed = 6
+	// walMaxRecord bounds a single record body: anything larger in a
+	// segment is corruption, not data (objects are chunk-container sized).
+	walMaxRecord = 1 << 30
+)
+
+// WAL record operations.
+const (
+	// WALSet records a Create or Write: the object's complete new payload.
+	WALSet byte = 1
+	// WALDelete records a Delete.
+	WALDelete byte = 2
+)
+
+// WALRecord is one logged object mutation.
+type WALRecord struct {
+	Op   byte
+	Cat  Category
+	Name string
+	Data []byte
+}
+
+// WALStats is a point-in-time snapshot of a WAL's accounting.
+type WALStats struct {
+	// Segment is the active segment number.
+	Segment int
+	// DurableBytes / DurableRecords cover everything fsynced across the
+	// live segments since the last compaction (the log footprint a
+	// compaction would fold).
+	DurableBytes   int64
+	DurableRecords int64
+	// PendingBytes / PendingRecords cover appended-but-unsynced records
+	// (RAM only; lost by a crash, which is why acks wait on Sync).
+	PendingBytes   int64
+	PendingRecords int64
+	// Syncs counts fsync batches; LastSyncUnixNano stamps the newest.
+	Syncs            int64
+	LastSyncUnixNano int64
+	// Compactions counts generation commits that folded this WAL.
+	Compactions int64
+}
+
+// WAL is the write-ahead delta log of one store directory. Safe for
+// concurrent use: Append runs under the owning Disk's lock, Sync is called
+// by any number of goroutines and group-commits, compaction runs under the
+// disk lock and waits out an in-flight flush.
+type WAL struct {
+	storeDir string // the store directory (wal lives in storeDir/wal)
+	dir      string // storeDir/wal
+
+	mu          sync.Mutex
+	f           *os.File
+	seg         int
+	buf         []byte // encoded records awaiting the next group commit
+	bufRecords  int64
+	appended    uint64 // records appended (monotone)
+	synced      uint64 // records durable
+	syncing     bool
+	syncDone    chan struct{}
+	err         error // sticky write/fsync failure; healed by compaction
+	hook        SaveHook
+	onBatch     func(records int)
+	durBytes    int64
+	durRecords  int64
+	syncs       int64
+	compactions int64
+	closed      bool
+
+	lastSyncNS atomic.Int64
+}
+
+// walSegName renders a segment file name.
+func walSegName(n int) string {
+	return fmt.Sprintf("%s%08d%s", walSegPrefix, n, walSegSuffix)
+}
+
+// walSegNumber parses a segment file name; ok is false for anything else.
+func walSegNumber(name string) (int, bool) {
+	if !strings.HasPrefix(name, walSegPrefix) || !strings.HasSuffix(name, walSegSuffix) {
+		return 0, false
+	}
+	var n int
+	num := name[len(walSegPrefix) : len(name)-len(walSegSuffix)]
+	if _, err := fmt.Sscanf(num, "%d", &n); err != nil || n <= 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// walSegments lists the segment files under dir/wal in replay order.
+func walSegments(storeDir string) ([]string, []int, error) {
+	entries, err := os.ReadDir(filepath.Join(storeDir, walDirName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil, nil
+		}
+		return nil, nil, err
+	}
+	type seg struct {
+		name string
+		n    int
+	}
+	var segs []seg
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if n, ok := walSegNumber(e.Name()); ok {
+			segs = append(segs, seg{e.Name(), n})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].n < segs[j].n })
+	names := make([]string, len(segs))
+	nums := make([]int, len(segs))
+	for i, s := range segs {
+		names[i], nums[i] = s.name, s.n
+	}
+	return names, nums, nil
+}
+
+// OpenWAL opens (creating if needed) the write-ahead log of a store
+// directory and starts a fresh active segment. Any torn tail left by a
+// crash is trimmed first (see recoverWAL), so new records are never
+// appended after bytes a replay would discard. Existing segments are kept
+// and stay part of the replay prefix until the next compaction folds them.
+func OpenWAL(storeDir string) (*WAL, error) {
+	if err := os.MkdirAll(filepath.Join(storeDir, walDirName), 0o755); err != nil {
+		return nil, fmt.Errorf("simdisk: wal: %w", err)
+	}
+	sum, err := recoverWAL(storeDir, nil)
+	if err != nil {
+		return nil, fmt.Errorf("simdisk: wal: recover: %w", err)
+	}
+	_, nums, err := walSegments(storeDir)
+	if err != nil {
+		return nil, fmt.Errorf("simdisk: wal: %w", err)
+	}
+	next := 1
+	if len(nums) > 0 {
+		next = nums[len(nums)-1] + 1
+	}
+	w := &WAL{
+		storeDir:   storeDir,
+		dir:        filepath.Join(storeDir, walDirName),
+		seg:        next,
+		durBytes:   sum.ValidBytes,
+		durRecords: sum.Records,
+	}
+	if err := w.openSegmentLocked(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// openSegmentLocked creates the active segment file with its magic header
+// and fsyncs it (and the wal directory) into existence. Caller holds w.mu
+// or has exclusive access.
+func (w *WAL) openSegmentLocked() error {
+	path := filepath.Join(w.dir, walSegName(w.seg))
+	if err := w.point("create:"+path, nil); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("simdisk: wal: %w", err)
+	}
+	if _, err := f.Write([]byte(walMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("simdisk: wal: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("simdisk: wal: %w", err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("simdisk: wal: %w", err)
+	}
+	w.f = f
+	w.durBytes += int64(len(walMagic))
+	return nil
+}
+
+// point consults the fault-injection hook for one log file mutation —
+// the kill-point mechanism of the crash-consistency harness, mirroring
+// SaveDir's savePoint. data non-nil is the payload about to be written;
+// the hook may tear it (see commitBatch).
+func (w *WAL) point(op string, data []byte) error {
+	if w.hook == nil {
+		return nil
+	}
+	_, err := w.hook(op, data)
+	return err
+}
+
+// SetHook installs fn as the log's persistence fault injector (consulted
+// before every segment create/append/fsync/remove); nil clears it.
+func (w *WAL) SetHook(fn SaveHook) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.hook = fn
+}
+
+// SetBatchObserver installs fn to observe each group-commit batch (the
+// number of records one fsync made durable). Used to feed the
+// group-commit-batch-size histogram; nil clears it.
+func (w *WAL) SetBatchObserver(fn func(records int)) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.onBatch = fn
+}
+
+// Dir returns the store directory this WAL belongs to.
+func (w *WAL) Dir() string { return w.storeDir }
+
+// sameStore reports whether dir names the WAL's own store directory (the
+// only directory a generation commit into which folds this log).
+func (w *WAL) sameStore(dir string) bool {
+	a, err1 := filepath.Abs(w.storeDir)
+	b, err2 := filepath.Abs(dir)
+	if err1 != nil || err2 != nil {
+		return filepath.Clean(w.storeDir) == filepath.Clean(dir)
+	}
+	return a == b
+}
+
+// Stats returns a snapshot of the log's accounting.
+func (w *WAL) Stats() WALStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return WALStats{
+		Segment:          w.seg,
+		DurableBytes:     w.durBytes,
+		DurableRecords:   w.durRecords,
+		PendingBytes:     int64(len(w.buf)),
+		PendingRecords:   w.bufRecords,
+		Syncs:            w.syncs,
+		LastSyncUnixNano: w.lastSyncNS.Load(),
+		Compactions:      w.compactions,
+	}
+}
+
+// Err returns the sticky failure, if the log is broken (a write or fsync
+// failed; every Sync returns it until a generation commit heals the log).
+func (w *WAL) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.err
+}
+
+// appendWALRecord encodes one record frame onto buf.
+func appendWALRecord(buf []byte, r WALRecord) []byte {
+	bodyLen := walBodyFixed + len(r.Name) + len(r.Data)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(bodyLen))
+	crcAt := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // CRC patched below
+	bodyAt := len(buf)
+	buf = append(buf, r.Op, byte(r.Cat))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(r.Name)))
+	buf = append(buf, r.Name...)
+	buf = append(buf, r.Data...)
+	binary.BigEndian.PutUint32(buf[crcAt:], crc32.ChecksumIEEE(buf[bodyAt:]))
+	return buf
+}
+
+// Append buffers one record for the next group commit. Called by the
+// owning Disk under its lock, which is what serializes record order with
+// mutation order. Append never touches the file system; durability is
+// Sync's job. On a broken log the record is dropped — the state it
+// describes is safe in RAM and will be folded by the next generation
+// commit; until then Sync keeps failing, so nothing is falsely acked.
+func (w *WAL) Append(r WALRecord) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil || w.closed {
+		return
+	}
+	w.buf = appendWALRecord(w.buf, r)
+	w.bufRecords++
+	w.appended++
+}
+
+// Sync makes every record appended before the call durable and returns
+// once it is. Concurrent callers group-commit: one leader writes the
+// whole buffer and fsyncs once; the others wait on that flush (or the
+// next, if their records arrived mid-flush). This is the server's
+// acknowledgement barrier and the reason N sessions share one fsync.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	target := w.appended
+	for {
+		if w.err != nil {
+			err := w.err
+			w.mu.Unlock()
+			return err
+		}
+		if w.synced >= target {
+			w.mu.Unlock()
+			return nil
+		}
+		if w.syncing {
+			// A flush is in flight; wait for it and re-check. Records
+			// appended after that flush's cut need the next batch.
+			ch := w.syncDone
+			w.mu.Unlock()
+			<-ch
+			w.mu.Lock()
+			continue
+		}
+		// Become the batch leader: take the whole buffer.
+		w.syncing = true
+		w.syncDone = make(chan struct{})
+		done := w.syncDone
+		batch := w.buf
+		n := w.bufRecords
+		upTo := w.appended
+		w.buf = nil
+		w.bufRecords = 0
+		f := w.f
+		path := filepath.Join(w.dir, walSegName(w.seg))
+		w.mu.Unlock()
+
+		err := w.commitBatch(f, path, batch)
+
+		w.mu.Lock()
+		w.syncing = false
+		if err != nil {
+			w.err = err
+		} else {
+			w.synced = upTo
+			w.durBytes += int64(len(batch))
+			w.durRecords += n
+			w.syncs++
+			w.lastSyncNS.Store(time.Now().UnixNano())
+			if w.onBatch != nil && n > 0 {
+				w.onBatch(int(n))
+			}
+		}
+		close(done)
+		// Loop: either our target is now durable, or new records were
+		// appended mid-flush and we lead (or join) another batch.
+	}
+}
+
+// commitBatch writes one group-commit batch and fsyncs the segment. The
+// hook may tear the batch (persist a prefix, then fail — the torn tail a
+// replay discards) or abort the append/fsync outright.
+func (w *WAL) commitBatch(f *os.File, path string, batch []byte) error {
+	if len(batch) > 0 {
+		data := batch
+		if w.hook != nil {
+			torn, err := w.hook("append:"+path, data)
+			if err != nil {
+				if torn != nil && len(torn) < len(data) {
+					// Torn write: the prefix reached the platter before the
+					// crash. Make it visible to recovery, like a real tear.
+					f.Write(torn)
+					f.Sync()
+				}
+				return err
+			}
+			if torn != nil {
+				data = torn
+			}
+		}
+		if _, err := f.Write(data); err != nil {
+			return fmt.Errorf("simdisk: wal append: %w", err)
+		}
+	}
+	if err := w.point("fsync:"+path, nil); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("simdisk: wal fsync: %w", err)
+	}
+	return nil
+}
+
+// compacted is called by SaveDir — with the owning Disk's lock held —
+// after a generation commit into the WAL's store directory. Everything
+// the log holds (durable segments and buffered records alike) is folded
+// into that generation, so the log restarts empty: the active segment is
+// closed, every segment file is removed, and a fresh one is opened. A
+// crash anywhere in here is safe by the superset-replay property (left-
+// over folded segments replay idempotently on top of the new generation).
+// A sticky log failure is healed here: the generation commit re-captured
+// the full state, so the log is consistent again.
+func (w *WAL) compacted() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.syncing {
+		// Wait out an in-flight group commit; its leader holds no disk
+		// lock, so this cannot deadlock.
+		ch := w.syncDone
+		w.mu.Unlock()
+		<-ch
+		w.mu.Lock()
+	}
+	if w.closed {
+		return nil
+	}
+	w.buf = nil
+	w.bufRecords = 0
+	w.synced = w.appended
+	w.err = nil
+	if w.f != nil {
+		w.f.Close()
+		w.f = nil
+	}
+	oldNames, _, err := walSegments(w.storeDir)
+	if err != nil {
+		return fmt.Errorf("simdisk: wal: %w", err)
+	}
+	w.seg++
+	w.durBytes = 0
+	w.durRecords = 0
+	w.compactions++
+	if err := w.openSegmentLocked(); err != nil {
+		return err
+	}
+	active := walSegName(w.seg)
+	for _, name := range oldNames {
+		if name == active {
+			continue
+		}
+		path := filepath.Join(w.dir, name)
+		if err := w.point("remove:"+path, nil); err != nil {
+			return err
+		}
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("simdisk: wal: %w", err)
+		}
+	}
+	if err := syncDir(w.dir); err != nil {
+		return fmt.Errorf("simdisk: wal: %w", err)
+	}
+	return nil
+}
+
+// Close flushes buffered records and closes the active segment. The log
+// files stay behind: they are part of the store until a generation commit
+// folds them.
+func (w *WAL) Close() error {
+	err := w.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return err
+	}
+	w.closed = true
+	if w.f != nil {
+		if cerr := w.f.Close(); err == nil {
+			err = cerr
+		}
+		w.f = nil
+	}
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Replay and recovery.
+
+// WALReplayReport describes what a replay applied and what it discarded.
+type WALReplayReport struct {
+	// Segments scanned; Records and Bytes applied.
+	Segments int
+	Records  int64
+	Bytes    int64
+	// Truncated is true when a torn or corrupt tail ended the valid
+	// prefix early; TruncatedSegment names where.
+	Truncated        bool
+	TruncatedSegment string
+	// DiscardedSegments lists segments after the truncation point whose
+	// records were ignored entirely (they are beyond the valid prefix).
+	DiscardedSegments []string
+}
+
+// walScanSegment walks one segment's bytes and returns the records of its
+// valid prefix, how many bytes that prefix spans (including the magic),
+// and whether the whole segment was valid.
+func walScanSegment(data []byte) (recs []WALRecord, validBytes int, whole bool) {
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil, 0, false
+	}
+	off := len(walMagic)
+	for off < len(data) {
+		rest := data[off:]
+		if len(rest) < walFrameSize {
+			return recs, off, false
+		}
+		bodyLen := int(binary.BigEndian.Uint32(rest))
+		if bodyLen < walBodyFixed || bodyLen > walMaxRecord || bodyLen > len(rest)-walFrameSize {
+			return recs, off, false
+		}
+		want := binary.BigEndian.Uint32(rest[4:])
+		body := rest[walFrameSize : walFrameSize+bodyLen]
+		if crc32.ChecksumIEEE(body) != want {
+			return recs, off, false
+		}
+		op := body[0]
+		cat := Category(body[1])
+		nameLen := int(binary.BigEndian.Uint32(body[2:]))
+		if (op != WALSet && op != WALDelete) || cat < 0 || cat >= numCategories ||
+			nameLen < 0 || nameLen > bodyLen-walBodyFixed {
+			return recs, off, false
+		}
+		name := string(body[walBodyFixed : walBodyFixed+nameLen])
+		payload := body[walBodyFixed+nameLen:]
+		recs = append(recs, WALRecord{Op: op, Cat: cat, Name: name, Data: payload})
+		off += walFrameSize + bodyLen
+	}
+	return recs, off, true
+}
+
+// applyWAL replays one record onto the disk's object maps without
+// charging access counters or re-journaling — replay models mounting
+// state that was already written, exactly like LoadDir.
+func (d *Disk) applyWAL(r WALRecord) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch r.Op {
+	case WALSet:
+		d.objects[r.Cat][r.Name] = append([]byte(nil), r.Data...)
+	case WALDelete:
+		delete(d.objects[r.Cat], r.Name)
+	}
+}
+
+// ReplayWAL applies the store directory's write-ahead log onto d, in
+// segment order, stopping cleanly at the first invalid record (the torn
+// tail of a crash): everything before it is applied, everything from it
+// onward — including all later segments — is ignored. Read-only: the log
+// files are not modified (Recover and OpenWAL trim the tail on disk).
+// A missing or empty log replays as zero records.
+func ReplayWAL(storeDir string, d *Disk) (WALReplayReport, error) {
+	var rep WALReplayReport
+	names, _, err := walSegments(storeDir)
+	if err != nil {
+		return rep, fmt.Errorf("simdisk: wal replay: %w", err)
+	}
+	for i, name := range names {
+		if rep.Truncated {
+			rep.DiscardedSegments = append(rep.DiscardedSegments, name)
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(storeDir, walDirName, name))
+		if err != nil {
+			return rep, fmt.Errorf("simdisk: wal replay %s: %w", name, err)
+		}
+		recs, validBytes, whole := walScanSegment(data)
+		for _, r := range recs {
+			d.applyWAL(r)
+		}
+		rep.Segments++
+		rep.Records += int64(len(recs))
+		rep.Bytes += int64(validBytes)
+		if !whole {
+			rep.Truncated = true
+			rep.TruncatedSegment = name
+		}
+		_ = i
+	}
+	return rep, nil
+}
+
+// walRecoverSummary is what recoverWAL measured while trimming.
+type walRecoverSummary struct {
+	// ValidBytes / Records across the segments kept (magic included).
+	ValidBytes int64
+	Records    int64
+	// Trimmed lists repairs: "truncate:<seg>" for a tail trim,
+	// "remove:<seg>" for a discarded segment.
+	Trimmed []string
+}
+
+// recoverWAL trims the log's crash debris on disk so the valid prefix is
+// exactly what remains: a segment with a torn tail is truncated to its
+// valid prefix (or removed when even its magic is gone), and every
+// segment after the first invalid point is removed — appending must never
+// resume after bytes a replay would discard. Idempotent AND re-entrant:
+// segments beyond the first invalid one are removed in reverse order and
+// the invalid boundary segment is repaired last, so a crash anywhere in
+// here leaves the boundary in place to keep marking where the valid
+// prefix ends (repairing it first would let the surviving later segments
+// rejoin the log and resurrect discarded records). hook, when non-nil, is
+// consulted before each repair (crash-inside-recovery tests).
+func recoverWAL(storeDir string, hook func(step string) error) (walRecoverSummary, error) {
+	var sum walRecoverSummary
+	names, _, err := walSegments(storeDir)
+	if err != nil {
+		return sum, err
+	}
+	dir := filepath.Join(storeDir, walDirName)
+
+	// Pass 1, read-only: find the boundary — the first segment whose scan
+	// stops early — and account for the valid prefix.
+	boundary := -1
+	boundaryValid := 0
+	for i, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return sum, err
+		}
+		recs, validBytes, whole := walScanSegment(data)
+		if !whole {
+			boundary, boundaryValid = i, validBytes
+			if validBytes > 0 {
+				sum.ValidBytes += int64(validBytes)
+				sum.Records += int64(len(recs))
+			}
+			break
+		}
+		sum.ValidBytes += int64(len(data))
+		sum.Records += int64(len(recs))
+	}
+	if boundary < 0 {
+		return sum, nil
+	}
+
+	// Pass 2: remove the segments beyond the boundary, newest first.
+	remove := func(name string) error {
+		if hook != nil {
+			if err := hook("wal-remove:" + name); err != nil {
+				return err
+			}
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		sum.Trimmed = append(sum.Trimmed, "remove:"+name)
+		return nil
+	}
+	for i := len(names) - 1; i > boundary; i-- {
+		if err := remove(names[i]); err != nil {
+			return sum, err
+		}
+	}
+
+	// Finally repair the boundary itself: truncate to its valid prefix, or
+	// remove it when not even the magic survived.
+	name := names[boundary]
+	if boundaryValid == 0 {
+		if err := remove(name); err != nil {
+			return sum, err
+		}
+	} else {
+		if hook != nil {
+			if err := hook("wal-truncate:" + name); err != nil {
+				return sum, err
+			}
+		}
+		path := filepath.Join(dir, name)
+		if err := os.Truncate(path, int64(boundaryValid)); err != nil {
+			return sum, err
+		}
+		f, err := os.Open(path)
+		if err == nil {
+			f.Sync()
+			f.Close()
+		}
+		sum.Trimmed = append(sum.Trimmed, "truncate:"+name)
+	}
+	if err := syncDir(dir); err != nil && !os.IsNotExist(err) {
+		return sum, err
+	}
+	return sum, nil
+}

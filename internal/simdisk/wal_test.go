@@ -1,0 +1,736 @@
+package simdisk
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mountReplayed mounts a store directory the way a durable open does:
+// newest committed generation + the write-ahead log's valid prefix.
+func mountReplayed(t *testing.T, dir string) (*Disk, WALReplayReport) {
+	t.Helper()
+	d, err := LoadDir(dir)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	rep, err := ReplayWAL(dir, d)
+	if err != nil {
+		t.Fatalf("replay %s: %v", dir, err)
+	}
+	return d, rep
+}
+
+// writeSeg materializes one log segment by hand: magic + records, with the
+// final tearBytes chopped off to model a torn tail.
+func writeSeg(t *testing.T, dir string, n int, recs []WALRecord, tearBytes int) {
+	t.Helper()
+	buf := []byte(walMagic)
+	for _, r := range recs {
+		buf = appendWALRecord(buf, r)
+	}
+	if tearBytes > 0 {
+		if tearBytes >= len(buf) {
+			t.Fatalf("tear %d >= segment %d", tearBytes, len(buf))
+		}
+		buf = buf[:len(buf)-tearBytes]
+	}
+	if err := os.MkdirAll(filepath.Join(dir, walDirName), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, walDirName, walSegName(n)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New()
+	d.SetWAL(w)
+
+	if err := d.Create(Data, "c1", []byte("chunk one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Create(Hook, "h1", []byte("hook")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Create(FileManifest, "m0/disk:1", []byte("recipe")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write(Data, "c1", []byte("chunk one, rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Create(Data, "c2", []byte("chunk two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete(Data, "c2"); err != nil {
+		t.Fatal(err)
+	}
+	if st := w.Stats(); st.PendingRecords != 6 {
+		t.Fatalf("pending records = %d, want 6", st.PendingRecords)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.PendingRecords != 0 || st.DurableRecords != 6 || st.Syncs != 1 {
+		t.Fatalf("stats after sync = %+v", st)
+	}
+	if st.LastSyncUnixNano == 0 {
+		t.Error("LastSyncUnixNano not stamped")
+	}
+
+	// A mount without any generation commit sees exactly the logged state.
+	back, rep := mountReplayed(t, dir)
+	if rep.Records != 6 || rep.Truncated {
+		t.Fatalf("replay report = %+v, want 6 records, no truncation", rep)
+	}
+	if !sameState(snapshot(d), snapshot(back)) {
+		t.Fatal("replayed state differs from live state")
+	}
+
+	// And a mount on top of a generation (compaction) + later records.
+	if err := d.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Create(Data, "c3", []byte("post-compaction")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	back, rep = mountReplayed(t, dir)
+	if rep.Records != 1 {
+		t.Fatalf("post-compaction replay records = %d, want 1", rep.Records)
+	}
+	if !sameState(snapshot(d), snapshot(back)) {
+		t.Fatal("generation + log replay differs from live state")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALTornTailDiscard(t *testing.T) {
+	dir := t.TempDir()
+	rec := func(name, data string) WALRecord {
+		return WALRecord{Op: WALSet, Cat: Data, Name: name, Data: []byte(data)}
+	}
+	writeSeg(t, dir, 1, []WALRecord{rec("a", "aaaa"), rec("b", "bbbb")}, 0)
+	writeSeg(t, dir, 2, []WALRecord{rec("c", "cccc"), rec("d", "dddd")}, 5) // torn mid-record
+	writeSeg(t, dir, 3, []WALRecord{rec("e", "eeee")}, 0)                   // beyond the torn tail
+
+	// Replay is read-only and stops cleanly at the tear: a, b, c visible;
+	// the torn d and everything after (all of segment 3) discarded.
+	d := New()
+	rep, err := ReplayWAL(dir, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 3 || !rep.Truncated || rep.TruncatedSegment != walSegName(2) {
+		t.Fatalf("replay report = %+v", rep)
+	}
+	if len(rep.DiscardedSegments) != 1 || rep.DiscardedSegments[0] != walSegName(3) {
+		t.Fatalf("discarded = %v, want [%s]", rep.DiscardedSegments, walSegName(3))
+	}
+	for _, name := range []string{"a", "b", "c"} {
+		if !d.Exists(Data, name) {
+			t.Errorf("record %q lost", name)
+		}
+	}
+	if d.Exists(Data, "d") || d.Exists(Data, "e") {
+		t.Error("torn or post-tear record visible")
+	}
+
+	// Recover trims the debris on disk: segment 2 truncated to its valid
+	// prefix, segment 3 removed.
+	rrep, err := Recover(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Post-tear segments are removed before the torn one is truncated
+	// (reverse order — see recoverWAL's re-entrancy comment).
+	want := []string{"remove:" + walSegName(3), "truncate:" + walSegName(2)}
+	if fmt.Sprint(rrep.WALTrimmed) != fmt.Sprint(want) {
+		t.Fatalf("WALTrimmed = %v, want %v", rrep.WALTrimmed, want)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walDirName, walSegName(3))); !os.IsNotExist(err) {
+		t.Error("post-tear segment survived Recover")
+	}
+	d2, rep2 := mountReplayed(t, dir)
+	if rep2.Truncated || rep2.Records != 3 {
+		t.Fatalf("post-recover replay = %+v, want clean 3 records", rep2)
+	}
+	if !sameState(snapshot(d), snapshot(d2)) {
+		t.Fatal("state changed across Recover")
+	}
+
+	// OpenWAL performs the same trim itself and never appends after
+	// discardable bytes: the fresh active segment follows the kept ones.
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if st := w.Stats(); st.Segment != 3 || st.DurableRecords != 3 {
+		t.Fatalf("reopened stats = %+v, want segment 3 over 3 records", st)
+	}
+}
+
+func TestWALGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	d := New()
+	d.SetWAL(w)
+
+	var batches []int
+	var batchMu sync.Mutex
+	w.SetBatchObserver(func(n int) {
+		batchMu.Lock()
+		batches = append(batches, n)
+		batchMu.Unlock()
+	})
+
+	// Park the first flush inside its fsync, append a burst of records
+	// while it is in flight, then release: the burst's waiters must share
+	// one group commit instead of one fsync each.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var fsyncs int
+	w.SetHook(func(op string, data []byte) ([]byte, error) {
+		if strings.HasPrefix(op, "fsync:") {
+			fsyncs++
+			if fsyncs == 1 {
+				close(entered)
+				<-release
+			}
+		}
+		return data, nil
+	})
+
+	if err := d.Create(Data, "first", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	lead := make(chan error, 1)
+	go func() { lead <- w.Sync() }()
+	<-entered
+
+	const burst = 24
+	for i := 0; i < burst; i++ {
+		if err := d.Create(Data, fmt.Sprintf("burst-%02d", i), []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, burst)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) { defer wg.Done(); errs[i] = w.Sync() }(i)
+	}
+	close(release)
+	if err := <-lead; err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+
+	st := w.Stats()
+	if st.DurableRecords != burst+1 || st.PendingRecords != 0 {
+		t.Fatalf("stats = %+v, want %d durable", st, burst+1)
+	}
+	if st.Syncs != 2 {
+		t.Fatalf("fsync batches = %d, want exactly 2 (leader + one shared group commit)", st.Syncs)
+	}
+	batchMu.Lock()
+	defer batchMu.Unlock()
+	if len(batches) != 2 || batches[0] != 1 || batches[1] != burst {
+		t.Fatalf("batch sizes = %v, want [1 %d]", batches, burst)
+	}
+}
+
+func TestWALCompactionFoldsLog(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	d := New()
+	d.SetWAL(w)
+	for i := 0; i < 8; i++ {
+		if err := d.Create(Data, fmt.Sprintf("c%d", i), bytes.Repeat([]byte{byte(i)}, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Create(Data, "unsynced", []byte("buffered only")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The generation commit folds both the durable segments and the
+	// buffered record, restarting the log empty.
+	if err := d.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	st := w.Stats()
+	if st.DurableRecords != 0 || st.PendingRecords != 0 || st.Compactions != 1 {
+		t.Fatalf("stats after compaction = %+v, want an empty log", st)
+	}
+	names, _, err := walSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != walSegName(st.Segment) {
+		t.Fatalf("segments after compaction = %v, want only the fresh active one", names)
+	}
+	back, rep := mountReplayed(t, dir)
+	if rep.Records != 0 {
+		t.Fatalf("replay after compaction applied %d records, want 0", rep.Records)
+	}
+	if !sameState(snapshot(d), snapshot(back)) {
+		t.Fatal("compacted state does not round-trip")
+	}
+}
+
+func TestWALStickyErrorHealedByCompaction(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	d := New()
+	d.SetWAL(w)
+
+	boom := errors.New("disk on fire")
+	w.SetHook(func(op string, data []byte) ([]byte, error) {
+		if strings.HasPrefix(op, "fsync:") {
+			return nil, boom
+		}
+		return data, nil
+	})
+	if err := d.Create(Data, "a", []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync error = %v, want the injected failure", err)
+	}
+	// The log is broken: nothing can be acked, and further records are
+	// dropped (their state is safe in RAM).
+	if err := d.Create(Data, "b", []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync after failure = %v, want sticky error", err)
+	}
+	w.SetHook(nil)
+	if err := w.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sticky error must persist until compaction, got %v", err)
+	}
+
+	// A generation commit re-captures the full state and heals the log.
+	if err := d.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Err(); err != nil {
+		t.Fatalf("error not healed by compaction: %v", err)
+	}
+	if err := d.Create(Data, "c", []byte("cccc")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	back, _ := mountReplayed(t, dir)
+	if !sameState(snapshot(d), snapshot(back)) {
+		t.Fatal("healed log does not round-trip")
+	}
+}
+
+func TestSaveWithoutWALRemovesStaleLog(t *testing.T) {
+	// A store that once ran durably leaves its log behind; a later
+	// non-durable save must remove it, or the stale records would replay
+	// on top of the new generation and resurrect dead state.
+	dir := t.TempDir()
+	writeSeg(t, dir, 1, []WALRecord{{Op: WALSet, Cat: Data, Name: "ghost", Data: []byte("boo")}}, 0)
+
+	d := New()
+	if err := d.Create(Data, "real", []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SaveDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, walDirName)); !os.IsNotExist(err) {
+		t.Fatal("stale wal/ survived a non-durable generation commit")
+	}
+	back, rep := mountReplayed(t, dir)
+	if rep.Records != 0 {
+		t.Fatalf("stale log replayed %d records", rep.Records)
+	}
+	if back.Exists(Data, "ghost") {
+		t.Fatal("stale log resurrected a dead object")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// The kill-every-point crash matrix.
+
+// wop is one step of a scripted durable workload.
+type wop struct {
+	kind byte // 'C' create, 'W' write, 'D' delete, 'S' sync (ack), 'G' generation commit (ack)
+	cat  Category
+	name string
+	data []byte
+}
+
+// walKillScript builds the deterministic workload of one seed: object
+// mutations with group commits between them and one compaction mid-stream,
+// so kill points land in log appends, fsyncs, the generation commit and
+// the segment swap alike.
+func walKillScript(seed int64) []wop {
+	rng := rand.New(rand.NewSource(seed))
+	payload := func(n int) []byte {
+		b := make([]byte, 1+rng.Intn(n))
+		rng.Read(b)
+		return b
+	}
+	return []wop{
+		{'C', Data, "c1", payload(200)},
+		{'C', Hook, "h1", payload(40)},
+		{'S', 0, "", nil},
+		{'C', Data, "c2", payload(300)},
+		{'W', Data, "c1", payload(150)},
+		{'S', 0, "", nil},
+		{'G', 0, "", nil},
+		{'C', FileManifest, "f/one", payload(80)},
+		{'D', Data, "c2", nil},
+		{'S', 0, "", nil},
+		{'C', Data, "c3", payload(500)},
+		{'S', 0, "", nil},
+	}
+}
+
+// walRunResult is what a (possibly killed) scripted run observed:
+// snapshots after every mutation, and the index of the last mutation whose
+// acknowledgement barrier succeeded.
+type walRunResult struct {
+	snaps  []map[Category]map[string][]byte
+	acked  int
+	killed bool
+}
+
+// runWALScript executes script against a fresh durable mount of dir,
+// stopping at the first injected kill exactly as a crash would (no Close,
+// no cleanup).
+func runWALScript(t *testing.T, dir string, script []wop, hook SaveHook) walRunResult {
+	t.Helper()
+	w, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatalf("open wal: %v", err)
+	}
+	d := New()
+	d.SetWAL(w)
+	w.SetHook(hook)
+	d.SetSaveHook(hook)
+
+	res := walRunResult{snaps: []map[Category]map[string][]byte{snapshot(d)}}
+	barrier := func(err error) bool {
+		if err == nil {
+			res.acked = len(res.snaps) - 1
+			return true
+		}
+		if errors.Is(err, ErrKilled) {
+			res.killed = true
+			return false
+		}
+		t.Fatalf("barrier failed with a non-crash error: %v", err)
+		return false
+	}
+	for _, op := range script {
+		switch op.kind {
+		case 'C':
+			if err := d.Create(op.cat, op.name, op.data); err != nil {
+				t.Fatalf("create %q: %v", op.name, err)
+			}
+		case 'W':
+			if err := d.Write(op.cat, op.name, op.data); err != nil {
+				t.Fatalf("write %q: %v", op.name, err)
+			}
+		case 'D':
+			if err := d.Delete(op.cat, op.name); err != nil {
+				t.Fatalf("delete %q: %v", op.name, err)
+			}
+		case 'S':
+			if !barrier(w.Sync()) {
+				return res
+			}
+			continue
+		case 'G':
+			if !barrier(d.SaveDir(dir)) {
+				return res
+			}
+			continue
+		}
+		res.snaps = append(res.snaps, snapshot(d))
+	}
+	if !barrier(w.Close()) {
+		return res
+	}
+	return res
+}
+
+// TestWALKillEveryPoint is the acceptance matrix: the scripted workload is
+// killed at every persistence point — log appends (torn and clean), group
+// commit fsyncs, every step of the generation commit and the segment swap —
+// across several seeds, and after every kill the recovered mount must be
+// prefix-consistent: it equals the state after some mutation prefix that
+// includes every acknowledged mutation. Recovery itself must be idempotent.
+func TestWALKillEveryPoint(t *testing.T) {
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	runs := 0
+	for _, seed := range seeds {
+		script := walKillScript(seed)
+
+		// Probe run: count the workload's persistence points.
+		var total int
+		probeDir := t.TempDir()
+		res := runWALScript(t, probeDir, script, func(path string, data []byte) ([]byte, error) {
+			total++
+			return data, nil
+		})
+		if res.killed || res.acked != len(res.snaps)-1 {
+			t.Fatalf("probe run did not complete: %+v", res)
+		}
+		back, _ := mountReplayed(t, probeDir)
+		if !sameState(snapshot(back), res.snaps[len(res.snaps)-1]) {
+			t.Fatal("crash-free run does not round-trip")
+		}
+		if total < 10 {
+			t.Fatalf("suspiciously few kill points: %d", total)
+		}
+
+		for kill := 1; kill <= total; kill++ {
+			for _, tear := range []bool{false, true} {
+				kill, tear := kill, tear
+				runs++
+				t.Run(fmt.Sprintf("seed-%d-kill-%d-tear-%v", seed, kill, tear), func(t *testing.T) {
+					dir := t.TempDir()
+					var point int
+					res := runWALScript(t, dir, script, func(path string, data []byte) ([]byte, error) {
+						point++
+						if point == kill {
+							if tear && len(data) > 1 {
+								// Torn write: half the payload reaches the
+								// platter before the crash.
+								return data[:len(data)/2], ErrKilled
+							}
+							return nil, ErrKilled
+						}
+						return data, nil
+					})
+					if !res.killed {
+						t.Fatalf("kill point %d never fired", kill)
+					}
+
+					if _, err := Recover(dir); err != nil {
+						t.Fatalf("recover after kill: %v", err)
+					}
+					got, _ := mountReplayed(t, dir)
+					state := snapshot(got)
+					match := -1
+					for i := res.acked; i < len(res.snaps); i++ {
+						if sameState(state, res.snaps[i]) {
+							match = i
+							break
+						}
+					}
+					if match < 0 {
+						t.Fatalf("recovered state is not a mutation prefix covering all %d acked mutations", res.acked)
+					}
+
+					// Recovery converges: a second Recover changes nothing.
+					if _, err := Recover(dir); err != nil {
+						t.Fatalf("second recover: %v", err)
+					}
+					again, _ := mountReplayed(t, dir)
+					if !sameState(state, snapshot(again)) {
+						t.Fatal("second Recover changed the mounted state")
+					}
+				})
+			}
+		}
+	}
+	if !testing.Short() && runs < 100 {
+		t.Fatalf("crash matrix ran only %d seeded runs, want >= 100", runs)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Recover idempotence over debris layouts, with crashes inside Recover.
+
+// TestRecoverIdempotentDebris drives Recover's own kill seam over a table
+// of crash-debris layouts: for each layout, recovery is killed at every
+// repair step and re-run, and the converged mount must equal the mount a
+// crash-free recovery produces. A further Recover must be a no-op.
+func TestRecoverIdempotentDebris(t *testing.T) {
+	rec := func(name, data string) WALRecord {
+		return WALRecord{Op: WALSet, Cat: Data, Name: name, Data: []byte(data)}
+	}
+	saveBase := func(t *testing.T, dir string) {
+		d := New()
+		if err := d.Create(Data, "base", []byte("committed")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Create(FileManifest, "f/base", []byte("recipe")); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SaveDir(dir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	layouts := []struct {
+		name  string
+		build func(t *testing.T, dir string)
+	}{
+		{"stale-tmp-and-torn-tail", func(t *testing.T, dir string) {
+			saveBase(t, dir)
+			tmp := filepath.Join(dir, "gen-000002.tmp", "chunks")
+			if err := os.MkdirAll(tmp, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(tmp, "junk"), []byte("partial"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			writeSeg(t, dir, 4, []WALRecord{rec("w1", "logged"), rec("w2", "torn")}, 7)
+		}},
+		{"orphan-partial-generation", func(t *testing.T, dir string) {
+			saveBase(t, dir)
+			orphan := filepath.Join(dir, "gen-000002", "chunks")
+			if err := os.MkdirAll(orphan, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(orphan, "halfway"), []byte("no GEN.json"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			writeSeg(t, dir, 1, []WALRecord{rec("w1", "logged")}, 0)
+		}},
+		{"torn-marker", func(t *testing.T, dir string) {
+			saveBase(t, dir)
+			marker := filepath.Join(dir, markerFile)
+			raw, err := os.ReadFile(marker)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(marker, raw[:len(raw)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			writeSeg(t, dir, 2, []WALRecord{rec("w1", "logged")}, 0)
+		}},
+		{"bad-magic-mid-log", func(t *testing.T, dir string) {
+			writeSeg(t, dir, 1, []WALRecord{rec("w1", "kept")}, 0)
+			if err := os.WriteFile(filepath.Join(dir, walDirName, walSegName(2)), []byte("GARBAGE!"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			writeSeg(t, dir, 3, []WALRecord{rec("w3", "beyond the corruption")}, 0)
+		}},
+		{"wal-only-torn-tail", func(t *testing.T, dir string) {
+			writeSeg(t, dir, 1, []WALRecord{rec("w1", "kept"), rec("w2", "torn")}, 3)
+		}},
+		{"legacy-layout-with-log-debris", func(t *testing.T, dir string) {
+			if err := os.MkdirAll(filepath.Join(dir, "chunks"), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, "chunks", "old"), []byte("legacy"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			writeSeg(t, dir, 1, []WALRecord{rec("w1", "kept"), rec("w2", "torn")}, 3)
+		}},
+	}
+
+	for _, lt := range layouts {
+		lt := lt
+		t.Run(lt.name, func(t *testing.T) {
+			defer func() { recoverHook = nil }()
+
+			// Reference: a crash-free recovery of this layout.
+			refDir := t.TempDir()
+			lt.build(t, refDir)
+			var steps []string
+			recoverHook = func(step string) error { steps = append(steps, step); return nil }
+			if _, err := Recover(refDir); err != nil {
+				t.Fatalf("clean recover: %v", err)
+			}
+			recoverHook = nil
+			ref, _ := mountReplayed(t, refDir)
+			want := snapshot(ref)
+			if len(steps) == 0 {
+				t.Fatalf("layout needs no repairs; it does not exercise the seam")
+			}
+
+			// A second recovery finds nothing left to repair.
+			rep, err := Recover(refDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.RolledBack) != 0 || len(rep.WALTrimmed) != 0 || rep.RepairedMarker {
+				t.Fatalf("second Recover still repairing: %+v", rep)
+			}
+
+			// Kill the recovery at every repair step; re-running must
+			// converge on the reference state.
+			for kill := 1; kill <= len(steps); kill++ {
+				kill := kill
+				t.Run(fmt.Sprintf("kill-step-%d", kill), func(t *testing.T) {
+					dir := t.TempDir()
+					lt.build(t, dir)
+					var n int
+					recoverHook = func(step string) error {
+						n++
+						if n == kill {
+							return ErrKilled
+						}
+						return nil
+					}
+					if _, err := Recover(dir); !errors.Is(err, ErrKilled) {
+						t.Fatalf("killed recover error = %v, want ErrKilled", err)
+					}
+					recoverHook = nil
+					if _, err := Recover(dir); err != nil {
+						t.Fatalf("recover after crash inside recovery: %v", err)
+					}
+					got, grep := mountReplayed(t, dir)
+					if grep.Truncated {
+						t.Error("converged log still has a torn tail")
+					}
+					if !sameState(want, snapshot(got)) {
+						t.Fatal("recovery after a crash inside Recover diverged from the crash-free result")
+					}
+				})
+			}
+		})
+	}
+}

@@ -319,13 +319,14 @@ func UnmarshalHelloOK(p []byte) (HelloOK, error) {
 // Error codes. Retryable errors invite the client to reconnect and resume;
 // the rest are final for the session.
 const (
-	CodeProtocol  uint16 = 1 // framing/grammar/sequencing violation
-	CodeHandshake uint16 = 2 // algorithm/options mismatch
-	CodeBusy      uint16 = 3 // session limit reached (retryable)
-	CodeDraining  uint16 = 4 // server shutting down (retryable elsewhere)
-	CodeNotFound  uint16 = 5 // no such file / session
-	CodeInternal  uint16 = 6 // engine failure
-	CodeIntegrity uint16 = 7 // chunk or file hash mismatch
+	CodeProtocol   uint16 = 1 // framing/grammar/sequencing violation
+	CodeHandshake  uint16 = 2 // algorithm/options mismatch
+	CodeBusy       uint16 = 3 // session limit reached (retryable)
+	CodeDraining   uint16 = 4 // server shutting down (retryable elsewhere)
+	CodeNotFound   uint16 = 5 // no such file / session
+	CodeInternal   uint16 = 6 // engine failure
+	CodeIntegrity  uint16 = 7 // chunk or file hash mismatch
+	CodeOverloaded uint16 = 8 // durability budget exceeded; shed (retryable)
 )
 
 // ErrorMsg is a structured failure report.
