@@ -4,7 +4,9 @@
 # smokes, a race-enabled sustained-write soak, a bench smoke that
 # emits and shape-checks the BENCH_ingest.json perf-trajectory artifact,
 # a live dedupd debug-endpoint smoke (/metrics.json, /healthz,
-# /events.json, pprof), and short fuzz smokes of the decoder surfaces. This is the command the concurrency and
+# /events.json, pprof), a gateway loopback smoke plus a live dedup-gw
+# admin-endpoint smoke, a 30-second cluster churn soak under the race
+# detector, and short fuzz smokes of the decoder surfaces. This is the command the concurrency and
 # robustness work is held to — `go test -race` covers the 8-goroutine
 # ingest stress test, the striped index and LRU hammer tests, the pipeline
 # shutdown/leak tests, and the kill-point persistence tests.
@@ -49,6 +51,23 @@ go test -race -count=1 \
     -run 'TestLoopbackBackupAndVerifiedRestore|TestSecondGenerationMovesFewBytes|TestKillConnectionResumeStoreEquality|TestDrainWaitsForInFlightSession|TestServerCheckpointSurvivesKill|TestOverloadShedding' \
     ./internal/server
 
+echo "== gateway loopback smoke (race) =="
+# The cluster acceptance gate: a 2-shard cluster behind the gateway must
+# restore bit-identically to a single node, chunk routing must keep a
+# cross-shard re-ingest under 15% of its bytes on the client link, a
+# mid-run shard drain must stay fully restorable with the newest bytes,
+# a killed client connection must resume through the gateway, and tenant
+# auth/isolation/quota must hold.
+go test -race -count=1 \
+    -run 'TestClusterRoundTripMatchesSingleNode|TestClusterChunkRoutingSavesClientBandwidth|TestClusterDrainMidRun|TestClusterKillConnectionResume|TestClusterTenants' \
+    ./internal/cluster
+
+echo "== cluster churn soak (30s, race) =="
+# In-process shards + gateway hammered by concurrent tenants: ingest,
+# restore-and-verify, injected connection deaths, quota sheds and a
+# mid-run shard drain. Gated on zero corruption and a bounded heap.
+go run -race ./cmd/soak -short
+
 echo "== sustained-write soak (race) =="
 # Concurrent ingest + verified restores against a live durable store while
 # group commits, background compaction and online scrub churn underneath,
@@ -83,6 +102,14 @@ for key in '"wal_mb_per_s"' '"group_commits"' '"replayed_records"' \
     grep -q "$key" /tmp/BENCH_ingest.ci.json || {
         echo "bench smoke: $key missing from BENCH_ingest.json" >&2; exit 1; }
 done
+# The cluster stage pushes the same workload through a gateway + 3
+# dedupd shards over loopback and restores it back through the gateway
+# (bench exits non-zero if the round-trip hash diverges).
+for key in '"cluster_mb_per_s"' '"shard_balance"' '"balance_ratio"' \
+    '"chunks_peer_routed"'; do
+    grep -q "$key" /tmp/BENCH_ingest.ci.json || {
+        echo "bench smoke: $key missing from BENCH_ingest.json" >&2; exit 1; }
+done
 # The restore stage is a differential gate, not just a perf artifact: the
 # parallel pipeline's combined output hash must equal the serial reference
 # path's (bench exits non-zero on mismatch; the grep double-checks the
@@ -114,6 +141,39 @@ kill -TERM "$DEDUPD_PID"
 wait "$DEDUPD_PID"
 trap - EXIT
 rm -f /tmp/dedupd.ci
+
+echo "== dedup-gw admin endpoint smoke =="
+# The gateway must serve /healthz, a shard-balance-bearing /metrics.json
+# and the POST /drain-shard admin verb in front of live shards, and
+# drain cleanly on SIGTERM.
+go build -o /tmp/dedupd.ci ./cmd/dedupd
+go build -o /tmp/dedup-gw.ci ./cmd/dedup-gw
+/tmp/dedupd.ci -addr 127.0.0.1:7473 &
+SHARD0_PID=$!
+/tmp/dedupd.ci -addr 127.0.0.1:7476 &
+SHARD1_PID=$!
+/tmp/dedup-gw.ci -addr 127.0.0.1:7474 -metrics-addr 127.0.0.1:7475 \
+    -shards s0=127.0.0.1:7473,s1=127.0.0.1:7476 &
+GW_PID=$!
+trap 'kill "$SHARD0_PID" "$SHARD1_PID" "$GW_PID" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+    curl -fsS http://127.0.0.1:7475/healthz >/dev/null 2>&1 && break
+    sleep 0.1
+done
+curl -fsS http://127.0.0.1:7475/healthz | grep -q ok
+curl -fsS http://127.0.0.1:7475/metrics.json | grep -q '"shards"'
+curl -fsS http://127.0.0.1:7475/events.json | grep -q '"events"'
+curl -fsS -X POST 'http://127.0.0.1:7475/drain-shard?id=s1' | grep -q draining
+# Draining an unknown shard must be refused.
+if curl -fsS -X POST 'http://127.0.0.1:7475/drain-shard?id=nope' >/dev/null 2>&1; then
+    echo "dedup-gw smoke: draining an unknown shard succeeded" >&2; exit 1
+fi
+kill -TERM "$GW_PID"
+wait "$GW_PID"
+kill -TERM "$SHARD0_PID" "$SHARD1_PID"
+wait "$SHARD0_PID" "$SHARD1_PID"
+trap - EXIT
+rm -f /tmp/dedupd.ci /tmp/dedup-gw.ci
 
 echo "== fuzz smokes (5s each) =="
 # Each target runs alone: `go test -fuzz` accepts only one matching fuzz

@@ -1,0 +1,203 @@
+package main
+
+// The cluster stage: the same seeded workload pushed through a real
+// sharded deployment — N in-process dedupd shards behind a dedup-gw
+// gateway, all over loopback TCP — so the perf-trajectory artifact
+// covers the full wire + routing + fan-out path, not just the local
+// engine. The stage is also a differential correctness gate: every file
+// is restored back through the gateway and the combined stream hash must
+// equal the ingested one.
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"mhdedup/dedup"
+	"mhdedup/internal/client"
+	"mhdedup/internal/cluster"
+	"mhdedup/internal/core"
+	"mhdedup/internal/events"
+	"mhdedup/internal/exp"
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/server"
+)
+
+// shardBalance is one shard's share of the routed workload.
+type shardBalance struct {
+	ID    string `json:"id"`
+	Files int64  `json:"files"`
+	Bytes int64  `json:"bytes"`
+}
+
+// clusterDoc is the cluster-stage artifact inside BENCH_ingest.json.
+type clusterDoc struct {
+	Shards  int     `json:"shards"`
+	Files   int     `json:"files"`
+	Bytes   int64   `json:"bytes"`
+	Seconds float64 `json:"seconds"`
+	// ClusterMBPerS vs BaselineMBPerS is the cost of distribution: the
+	// same serial ingest through gateway + wire + shard fan-out instead
+	// of direct engine calls.
+	ClusterMBPerS  float64 `json:"cluster_mb_per_s"`
+	BaselineMBPerS float64 `json:"baseline_mb_per_s"`
+	OverheadRatio  float64 `json:"overhead_ratio"`
+
+	// Balance holds per-shard routed files/bytes; BalanceRatio is
+	// max/min shard bytes (1.0 = perfectly even).
+	Balance      []shardBalance `json:"shard_balance"`
+	BalanceRatio float64        `json:"balance_ratio"`
+
+	// Chunk routing split over the run, off the gateway counters.
+	ChunksFromClient int64 `json:"chunks_from_client"`
+	ChunksPeerRouted int64 `json:"chunks_peer_routed"`
+
+	IngestSHA1  string `json:"ingest_sha1"`
+	RestoreSHA1 string `json:"restore_sha1"`
+	HashMatch   bool   `json:"hash_match"`
+}
+
+// runClusterStage stands up o.clusterShards dedupd shards and a gateway
+// on loopback, ingests the workload through the gateway with the
+// ordinary client, restores everything back through it, and hash-gates
+// the round trip.
+func runClusterStage(o benchOptions, baselineMBPerS float64) (*clusterDoc, error) {
+	algo := o.algo
+	if algo == "" {
+		algo = exp.AlgoMHD
+	}
+	evlog := events.New(events.Options{Level: events.LevelError, Out: os.Stderr})
+
+	var shards []cluster.Shard
+	var servers []*server.Server
+	var listeners []net.Listener
+	defer func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}()
+	for i := 0; i < o.clusterShards; i++ {
+		p := exp.DefaultParams(algo, o.ecs, o.sd, 64<<20)
+		eng, err := exp.Build(p)
+		if err != nil {
+			return nil, err
+		}
+		srv, err := server.New(server.Config{
+			Engine:   eng.(*core.Dedup),
+			Registry: metrics.NewRegistry(),
+			Events:   evlog,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		listeners = append(listeners, ln)
+		shards = append(shards, cluster.Shard{ID: fmt.Sprintf("s%d", i), Addr: ln.Addr().String()})
+	}
+	reg := metrics.NewRegistry()
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{
+		Shards:   shards,
+		Registry: reg,
+		Events:   evlog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go gw.Serve(gwLn)
+	defer gw.Close()
+
+	cfg := client.Config{
+		Addr:    gwLn.Addr().String(),
+		Options: servers[0].Options(),
+	}
+	w, err := dedup.NewWorkload(workloadConfig(o))
+	if err != nil {
+		return nil, err
+	}
+
+	doc := &clusterDoc{Shards: o.clusterShards, BaselineMBPerS: baselineMBPerS}
+	ingestHash := hashutil.NewHasher()
+	ing, err := client.Connect(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("cluster stage connect: %w", err)
+	}
+	start := time.Now()
+	for _, f := range w.Files() {
+		r, err := w.Open(f.Name)
+		if err != nil {
+			return nil, err
+		}
+		ingestHash.Write([]byte(f.Name))
+		if err := ing.PutFile(f.Name, io.TeeReader(r, ingestHash)); err != nil {
+			return nil, fmt.Errorf("cluster ingest %s: %w", f.Name, err)
+		}
+		doc.Files++
+	}
+	if err := ing.Close(); err != nil {
+		return nil, err
+	}
+	doc.Seconds = time.Since(start).Seconds()
+	doc.Bytes = ing.Stats().InputBytes
+	doc.ClusterMBPerS = mbPerS(doc.Bytes, doc.Seconds)
+	if baselineMBPerS > 0 {
+		doc.OverheadRatio = doc.ClusterMBPerS / baselineMBPerS
+	}
+
+	// Restore everything back through the gateway in ingest stream order;
+	// the name+content hashing mirrors the WAL stage's gate.
+	names, err := client.List(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(names) != doc.Files {
+		return nil, fmt.Errorf("cluster stage: listed %d files, ingested %d", len(names), doc.Files)
+	}
+	restoreHash := hashutil.NewHasher()
+	for _, f := range w.Files() {
+		restoreHash.Write([]byte(f.Name))
+		if _, err := client.Restore(cfg, f.Name, true, restoreHash); err != nil {
+			return nil, fmt.Errorf("cluster restore %s: %w", f.Name, err)
+		}
+	}
+	doc.IngestSHA1 = ingestHash.Sum().Hex()
+	doc.RestoreSHA1 = restoreHash.Sum().Hex()
+	doc.HashMatch = doc.IngestSHA1 == doc.RestoreSHA1
+	if !doc.HashMatch {
+		return nil, fmt.Errorf("cluster stage: restored hash %s != ingested %s through the gateway",
+			doc.RestoreSHA1, doc.IngestSHA1)
+	}
+
+	stats := gw.ShardStats()
+	var minB, maxB int64
+	for _, sh := range shards {
+		fb := stats[sh.ID]
+		doc.Balance = append(doc.Balance, shardBalance{ID: sh.ID, Files: fb[0], Bytes: fb[1]})
+		if minB == 0 || fb[1] < minB {
+			minB = fb[1]
+		}
+		if fb[1] > maxB {
+			maxB = fb[1]
+		}
+	}
+	if minB > 0 {
+		doc.BalanceRatio = float64(maxB) / float64(minB)
+	}
+	doc.ChunksFromClient = reg.Counter("gateway.chunks.from_client").Load()
+	doc.ChunksPeerRouted = reg.Counter("gateway.chunks.peer_routed").Load()
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	return doc, nil
+}

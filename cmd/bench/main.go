@@ -47,6 +47,8 @@ func main() {
 	flag.Int64Var(&o.seed, "seed", 1, "workload RNG seed")
 	flag.BoolVar(&o.noRestore, "no-restore", false, "skip the restore pass")
 	flag.BoolVar(&o.noWAL, "no-wal", false, "skip the WAL-enabled ingest stage")
+	flag.BoolVar(&o.noCluster, "no-cluster", false, "skip the sharded-cluster ingest stage")
+	flag.IntVar(&o.clusterShards, "cluster-shards", 3, "shard count for the cluster stage")
 	flag.StringVar(&o.restoreOut, "restore-out", "BENCH_restore.json", "restore-stage JSON path (- for stdout, empty to skip)")
 	flag.IntVar(&o.restoreWorkers, "restore-workers", 8, "parallel restore worker count for the restore stage")
 	flag.Int64Var(&o.restoreWindow, "restore-window", 8<<20, "restore reorder-buffer budget in bytes")
@@ -72,6 +74,9 @@ type benchOptions struct {
 	seed      int64
 	noRestore bool
 	noWAL     bool
+
+	noCluster     bool
+	clusterShards int
 
 	restoreOut     string
 	restoreWorkers int
@@ -114,6 +119,7 @@ type benchDoc struct {
 	Ingest    phaseResult                    `json:"ingest"`
 	Restore   *phaseResult                   `json:"restore,omitempty"`
 	WAL       *walDoc                        `json:"wal,omitempty"`
+	Cluster   *clusterDoc                    `json:"cluster,omitempty"`
 	Stages    map[string]metrics.DurationsMS `json:"stage_latency_ms"`
 	Engine    struct {
 		RealDER       float64 `json:"real_der"`
@@ -493,6 +499,20 @@ func run(o benchOptions) error {
 		fmt.Fprintf(os.Stderr, "bench: wal ingest %.1f MB/s (%.2fx of baseline), %d group commits, %d records replayed, hash match %v\n",
 			walStage.WALMBPerS, walStage.OverheadRatio, walStage.GroupCommits,
 			walStage.ReplayedRecords, walStage.HashMatch)
+	}
+
+	// Cluster stage: the same workload through a sharded deployment
+	// (gateway + N dedupd shards over loopback), hash-gated round trip.
+	if !o.noCluster {
+		clusterStage, err := runClusterStage(o, doc.Ingest.MBPerS)
+		if err != nil {
+			return err
+		}
+		doc.Cluster = clusterStage
+		fmt.Fprintf(os.Stderr, "bench: cluster ingest %.1f MB/s over %d shards (%.2fx of baseline), balance %.2fx, %d/%d chunks peer-routed, hash match %v\n",
+			clusterStage.ClusterMBPerS, clusterStage.Shards, clusterStage.OverheadRatio,
+			clusterStage.BalanceRatio, clusterStage.ChunksPeerRouted,
+			clusterStage.ChunksPeerRouted+clusterStage.ChunksFromClient, clusterStage.HashMatch)
 	}
 
 	// Per-stage latency off the process-wide registry (the engine hot

@@ -60,6 +60,8 @@ func main() {
 	flag.StringVar(&o.resume, "resume", "", "resume from a store directory previously written with -save")
 	flag.StringVar(&o.scrub, "scrub", "", "verify a saved store, quarantine corrupt objects, and exit (no ingest)")
 	flag.StringVar(&o.remote, "remote", "", "back up to a dedupd server at host:port instead of a local engine")
+	flag.StringVar(&o.tenant, "tenant", "", "tenant name for a multi-tenant server or gateway")
+	flag.StringVar(&o.secret, "secret", "", "tenant secret (with -tenant)")
 	flag.StringVar(&o.logLevel, "log-level", "warn", "structured event log level on stderr: debug, info, warn or error")
 	flag.Parse()
 	if err := run(o); err != nil {
@@ -90,6 +92,8 @@ type runOptions struct {
 	resume   string
 	scrub    string
 	remote   string
+	tenant   string
+	secret   string
 	logLevel string
 }
 
@@ -246,7 +250,9 @@ func runRemote(o runOptions) error {
 		return err
 	}
 	cfg := client.Config{
-		Addr: o.remote,
+		Addr:   o.remote,
+		Tenant: o.tenant,
+		Secret: o.secret,
 		Options: wire.EngineOptions{
 			Algorithm: o.algo,
 			ECS:       uint32(o.ecs),

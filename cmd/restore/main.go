@@ -57,6 +57,8 @@ func main() {
 	flag.StringVar(&o.del, "delete", "", "delete a file's recipe from the store")
 	flag.BoolVar(&o.gc, "gc", false, "reclaim unreferenced containers after deletions")
 	flag.StringVar(&o.remote, "remote", "", "restore from a dedupd server at host:port instead of -store")
+	flag.StringVar(&o.tenant, "tenant", "", "tenant name for a multi-tenant server or gateway")
+	flag.StringVar(&o.secret, "secret", "", "tenant secret (with -tenant)")
 	flag.IntVar(&o.workers, "workers", 4, "concurrent container reads per restore through the batched pipeline (0 = legacy serial path)")
 	flag.Int64Var(&o.window, "window", 8<<20, "restore reorder-buffer budget in bytes")
 	flag.StringVar(&o.logLevel, "log-level", "warn", "structured event log level on stderr: debug, info, warn or error")
@@ -81,6 +83,8 @@ type restoreOptions struct {
 	del      string
 	gc       bool
 	remote   string
+	tenant   string
+	secret   string
 	workers  int
 	window   int64
 	logLevel string
@@ -208,6 +212,8 @@ func runRemote(o restoreOptions, w io.Writer) error {
 	}
 	cfg := client.Config{
 		Addr:   o.remote,
+		Tenant: o.tenant,
+		Secret: o.secret,
 		Events: events.New(events.Options{Level: level, Out: os.Stderr}),
 	}
 	restore := func(name string, dst io.Writer) error {

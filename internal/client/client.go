@@ -48,6 +48,22 @@ type Config struct {
 	// engine. Required for ingest; ignored for restore/list.
 	Options wire.EngineOptions
 
+	// Tenant scopes the session to one tenant namespace when talking to a
+	// dedup-gw gateway (or a multi-tenant dedupd). Empty is the root
+	// namespace.
+	Tenant string
+	// Secret authenticates Tenant against a gateway. Plain dedupd ignores
+	// it.
+	Secret string
+
+	// SurfaceShed changes how quota/overload rejections (CodeOverloaded,
+	// CodeQuota) surface: instead of being healed by the internal
+	// reconnect loop — which is right for transient blips but turns a hard
+	// quota stop into slow retry-until-budget-exhausted — they return a
+	// typed *ShedError carrying the server's backoff hint, so the caller
+	// can distinguish "shed, come back later" from "broken".
+	SurfaceShed bool
+
 	// BatchChunks is how many chunk hashes go into one Offer; default 64.
 	BatchChunks int
 
@@ -103,6 +119,35 @@ type Stats struct {
 	WireBytesOut   int64 `json:"wire_bytes_out"`   // every frame byte written
 	WireBytesIn    int64 `json:"wire_bytes_in"`    // every frame byte read
 	Reconnects     int   `json:"reconnects"`       // successful session resumes
+}
+
+// ShedError is a quota or overload rejection surfaced to the caller
+// (Config.SurfaceShed): the server deliberately refused the work and
+// suggested when to come back. It is retryable by contract — nothing the
+// session acknowledged is at risk, and the refused file was never
+// partially applied — but the session itself is done; open a fresh one
+// after backing off.
+type ShedError struct {
+	Code       uint16        // wire.CodeOverloaded or wire.CodeQuota
+	Msg        string        // the server's human-readable reason
+	RetryAfter time.Duration // server's backoff hint; 0 when it gave none
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("client: shed (code %d, retry after %v): %s", e.Code, e.RetryAfter, e.Msg)
+}
+
+// shedError converts a retryable Error frame into a *ShedError when it is
+// a deliberate load/quota refusal and the config asks for it surfaced.
+func shedError(cfg *Config, em wire.ErrorMsg) *ShedError {
+	if !cfg.SurfaceShed {
+		return nil
+	}
+	if em.Code != wire.CodeOverloaded && em.Code != wire.CodeQuota {
+		return nil
+	}
+	return &ShedError{Code: em.Code, Msg: em.Msg,
+		RetryAfter: time.Duration(em.RetryAfterMs) * time.Millisecond}
 }
 
 // errTransport marks a connection-level failure that reconnection can
@@ -201,6 +246,9 @@ func dialAndHello(cfg *Config, hello wire.Hello, stats *Stats) (*conn, wire.Hell
 				return nil, wire.HelloOK{}, fmt.Errorf("client: bad Error frame: %w", uerr)
 			}
 			if em.Retryable {
+				if sh := shedError(cfg, em); sh != nil {
+					return nil, wire.HelloOK{}, sh
+				}
 				lastErr = em
 				cfg.Events.Warn("client.refused_retry",
 					events.F("attempt", attempt+1), events.F("err", em))

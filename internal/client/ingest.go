@@ -57,7 +57,8 @@ func Connect(cfg Config) (*Ingestor, error) {
 		return nil, err
 	}
 	ing := &Ingestor{cfg: cfg, recoverBudget: cfg.RetryAttempts}
-	hello := wire.Hello{Mode: wire.ModeIngest, Options: cfg.Options}
+	hello := wire.Hello{Mode: wire.ModeIngest, Options: cfg.Options,
+		Tenant: cfg.Tenant, Secret: cfg.Secret}
 	cn, ok, err := dialAndHello(&ing.cfg, hello, &ing.stats)
 	if err != nil {
 		return nil, err
@@ -326,6 +327,14 @@ func (c *Ingestor) pump() error {
 			return fmt.Errorf("client: bad Error frame: %w", uerr)
 		}
 		if em.Retryable {
+			if sh := shedError(&c.cfg, em); sh != nil {
+				// Deliberate shed: surface it typed and permanent for this
+				// session instead of replaying the refused command into the
+				// same refusal. Nothing acked is at risk, and the shed file
+				// was never partially applied (the server refuses at the
+				// file boundary, before any of its commands apply).
+				return sh
+			}
 			return transportf(em)
 		}
 		return fmt.Errorf("client: server error: %w", em)
@@ -358,7 +367,8 @@ func (c *Ingestor) recover() error {
 	}
 	c.recoverBudget--
 	c.cn.close()
-	hello := wire.Hello{Mode: wire.ModeIngest, ResumeToken: c.token}
+	hello := wire.Hello{Mode: wire.ModeIngest, ResumeToken: c.token,
+		Tenant: c.cfg.Tenant, Secret: c.cfg.Secret}
 	cn, ok, err := dialAndHello(&c.cfg, hello, &c.stats)
 	if err != nil {
 		return err

@@ -104,7 +104,8 @@ func restoreSession(cfg *Config) (*conn, error) {
 		return nil, err
 	}
 	var stats Stats
-	cn, _, err := dialAndHello(cfg, wire.Hello{Mode: wire.ModeRestore}, &stats)
+	hello := wire.Hello{Mode: wire.ModeRestore, Tenant: cfg.Tenant, Secret: cfg.Secret}
+	cn, _, err := dialAndHello(cfg, hello, &stats)
 	return cn, err
 }
 

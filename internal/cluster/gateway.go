@@ -1,0 +1,831 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mhdedup/internal/events"
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/metrics"
+	"mhdedup/internal/wire"
+)
+
+// GatewayConfig parameterizes a Gateway. Shards is required; zero fields
+// take the documented defaults.
+type GatewayConfig struct {
+	// Shards is the cluster membership the ring is built over.
+	Shards []Shard
+	// VNodes per shard on the ring; default DefaultVNodes.
+	VNodes int
+	// Tenants is the auth/quota table; nil runs the gateway open (any
+	// tenant, no quota).
+	Tenants map[string]TenantAuth
+
+	// MaxSessions caps concurrent (live or parked-resumable) client
+	// ingest sessions; default 64.
+	MaxSessions int
+	// Window is the per-session in-flight command budget advertised to
+	// clients; default 8. It must not exceed any shard's window — the
+	// gateway validates that against each shard's HelloOK.
+	Window int
+	// MaxPayload caps client-facing frame payloads; default
+	// wire.DefaultMaxPayload.
+	MaxPayload uint32
+	// IdleTimeout bounds the gap between client frames; default 2m.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each frame write; default 1m.
+	WriteTimeout time.Duration
+	// ResumeTimeout is how long a detached client session stays
+	// resumable; default 2m. Keep it below the shards' resume timeout or
+	// a late-resuming client will find its backend sessions expired.
+	ResumeTimeout time.Duration
+
+	// Dial opens transport to a shard; default net.DialTimeout 10s.
+	Dial func(addr string) (net.Conn, error)
+	// Registry receives gateway counters and gauges; default
+	// metrics.Default.
+	Registry *metrics.Registry
+	// Events receives structured lifecycle events; default events.Nop().
+	Events *events.Log
+}
+
+func (c *GatewayConfig) fillDefaults() error {
+	if len(c.Shards) == 0 {
+		return errors.New("cluster: GatewayConfig.Shards is required")
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 64
+	}
+	if c.Window == 0 {
+		c.Window = 8
+	}
+	if c.MaxPayload == 0 {
+		c.MaxPayload = wire.DefaultMaxPayload
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = time.Minute
+	}
+	if c.ResumeTimeout == 0 {
+		c.ResumeTimeout = 2 * time.Minute
+	}
+	if c.Dial == nil {
+		c.Dial = func(addr string) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, 10*time.Second)
+		}
+	}
+	if c.Registry == nil {
+		c.Registry = metrics.Default
+	}
+	if c.Events == nil {
+		c.Events = events.Nop()
+	}
+	if c.MaxSessions < 1 || c.Window < 1 {
+		return fmt.Errorf("cluster: MaxSessions (%d) and Window (%d) must be positive", c.MaxSessions, c.Window)
+	}
+	return nil
+}
+
+// Gateway is one dedup-gw instance: the cluster's client-facing front
+// door. Clients speak the ordinary internal/wire protocol to it; the
+// gateway owns tenancy (auth, namespace, quota) and placement (which
+// shard stores a file, which shard's cache owns a chunk hash) so the
+// shards behind it stay plain single-node dedupds.
+//
+// Placement model: a file's bytes live wholly on its home shard — the
+// ring owner of the namespaced name — so any shard can restore its own
+// files with zero cross-shard reads. Chunk-level consistent hashing
+// happens in the negotiation: when the home shard asks for chunk bytes,
+// the gateway first asks the ring owner of each chunk's hash (the peer
+// plane), and only what the cluster has truly never seen is requested
+// from the client. Uploaded chunks are seeded to their owners, so a
+// chunk any tenant has pushed through the cluster never crosses a
+// client link twice.
+type Gateway struct {
+	cfg      GatewayConfig
+	tenants  *Tenants
+	ring     *Ring // full membership: placement history, restores, peer fetch
+	tokenSrc atomic.Uint64
+	peers    *peerPool
+
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[net.Conn]struct{}
+	sessions  map[uint64]*gwSession
+	drainSet  map[string]bool // shard IDs excluded from the write ring
+	writeRing *Ring           // ring minus draining shards: placement of NEW files
+	draining  bool            // whole-gateway shutdown
+	closed    bool
+	connWG    sync.WaitGroup
+
+	// Per-shard routing tallies (files and logical bytes homed there) —
+	// the balance numbers cmd/bench reports.
+	routedFiles map[string]*atomic.Int64
+	routedBytes map[string]*atomic.Int64
+
+	cSessionsTotal  *atomic.Int64
+	cSessionsActive *atomic.Int64
+	cSessionsResume *atomic.Int64
+	cFiles          *atomic.Int64
+	cChunksClient   *atomic.Int64 // chunk bytes that had to come from the client
+	cChunksPeer     *atomic.Int64 // chunks satisfied shard→shard instead
+	cPeerPuts       *atomic.Int64
+	cRestores       *atomic.Int64
+	cQuotaRejects   *atomic.Int64
+	cErrors         *atomic.Int64
+	cWireBytesIn    *atomic.Int64
+	cWireBytesOut   *atomic.Int64
+}
+
+// NewGateway builds an unstarted gateway.
+func NewGateway(cfg GatewayConfig) (*Gateway, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	ring, err := NewRing(RingConfig{Shards: cfg.Shards, VNodes: cfg.VNodes})
+	if err != nil {
+		return nil, err
+	}
+	gw := &Gateway{
+		cfg:         cfg,
+		tenants:     NewTenants(cfg.Tenants),
+		ring:        ring,
+		writeRing:   ring,
+		conns:       make(map[net.Conn]struct{}),
+		sessions:    make(map[uint64]*gwSession),
+		drainSet:    make(map[string]bool),
+		routedFiles: make(map[string]*atomic.Int64, len(cfg.Shards)),
+		routedBytes: make(map[string]*atomic.Int64, len(cfg.Shards)),
+	}
+	gw.peers = &peerPool{gw: gw, conns: make(map[string]*peerConn)}
+	r := cfg.Registry
+	gw.cSessionsTotal = r.Counter("gateway.sessions.total")
+	gw.cSessionsActive = r.Counter("gateway.sessions.active")
+	gw.cSessionsResume = r.Counter("gateway.sessions.resumed")
+	gw.cFiles = r.Counter("gateway.files")
+	gw.cChunksClient = r.Counter("gateway.chunks.from_client")
+	gw.cChunksPeer = r.Counter("gateway.chunks.peer_routed")
+	gw.cPeerPuts = r.Counter("gateway.chunks.peer_seeded")
+	gw.cRestores = r.Counter("gateway.restores")
+	gw.cQuotaRejects = r.Counter("gateway.quota_rejects")
+	gw.cErrors = r.Counter("gateway.errors")
+	gw.cWireBytesIn = r.Counter("gateway.wire.bytes_in")
+	gw.cWireBytesOut = r.Counter("gateway.wire.bytes_out")
+	for _, s := range cfg.Shards {
+		gw.routedFiles[s.ID] = r.Counter("gateway.shard." + s.ID + ".files")
+		gw.routedBytes[s.ID] = r.Counter("gateway.shard." + s.ID + ".bytes")
+	}
+	r.SetGauge("gateway.sessions.live", func() int64 {
+		gw.mu.Lock()
+		defer gw.mu.Unlock()
+		return int64(len(gw.sessions))
+	})
+	gw.tokenSrc.Store(uint64(time.Now().UnixNano()))
+	return gw, nil
+}
+
+// Tenants exposes the tenant table (usage snapshots for /metrics.json).
+func (gw *Gateway) Tenants() *Tenants { return gw.tenants }
+
+// ShardStats reports per-shard routed file and logical-byte tallies.
+func (gw *Gateway) ShardStats() map[string][2]int64 {
+	out := make(map[string][2]int64, len(gw.routedFiles))
+	for id := range gw.routedFiles {
+		out[id] = [2]int64{gw.routedFiles[id].Load(), gw.routedBytes[id].Load()}
+	}
+	return out
+}
+
+// DrainShard removes a shard from the write ring: files already homed
+// there stay readable (restores and peer fetches still reach it), new
+// files route to the surviving shards, and in-flight files already homed
+// there run to completion. Known limitation, by design: if a drained
+// shard later rejoins, a name rewritten on its new home shard while the
+// old shard was out resolves ambiguously — a full rebalance (re-ingest
+// through the gateway) is the supported way back in.
+func (gw *Gateway) DrainShard(id string) error {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	found := false
+	for _, s := range gw.ring.Shards() {
+		if s.ID == id {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("cluster: no shard %q", id)
+	}
+	if gw.drainSet[id] {
+		return nil
+	}
+	gw.drainSet[id] = true
+	ids := make([]string, 0, len(gw.drainSet))
+	for d := range gw.drainSet {
+		ids = append(ids, d)
+	}
+	wr, err := gw.ring.Without(ids...)
+	if err != nil {
+		delete(gw.drainSet, id)
+		return fmt.Errorf("cluster: draining %q would empty the write ring: %w", id, err)
+	}
+	gw.writeRing = wr
+	gw.cfg.Events.Info("gateway.drain_shard", events.F("shard", id))
+	return nil
+}
+
+// rings returns the (full, write) ring pair under the lock.
+func (gw *Gateway) rings() (full, write *Ring) {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return gw.ring, gw.writeRing
+}
+
+// shardDraining reports whether a shard is currently excluded from the
+// write ring.
+func (gw *Gateway) shardDraining(id string) bool {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return gw.drainSet[id]
+}
+
+// Serve accepts client connections until Drain or Close.
+func (gw *Gateway) Serve(ln net.Listener) error {
+	gw.mu.Lock()
+	if gw.draining {
+		gw.mu.Unlock()
+		return errors.New("cluster: gateway already shut down")
+	}
+	gw.ln = ln
+	gw.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			gw.mu.Lock()
+			draining := gw.draining
+			gw.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		gw.mu.Lock()
+		if gw.closed {
+			gw.mu.Unlock()
+			c.Close()
+			continue
+		}
+		gw.conns[c] = struct{}{}
+		gw.connWG.Add(1)
+		gw.mu.Unlock()
+		go func() {
+			defer gw.connWG.Done()
+			gw.handleConn(c)
+		}()
+	}
+}
+
+// Drain gracefully shuts the gateway down: stop accepting, refuse new
+// sessions retryably, wait for in-flight sessions.
+func (gw *Gateway) Drain(ctx context.Context) error {
+	gw.mu.Lock()
+	gw.draining = true
+	ln := gw.ln
+	gw.mu.Unlock()
+	gw.cfg.Events.Info("gateway.drain")
+	if ln != nil {
+		ln.Close()
+	}
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		gw.mu.Lock()
+		idle := len(gw.sessions) == 0 && len(gw.conns) == 0
+		gw.mu.Unlock()
+		if idle {
+			gw.connWG.Wait()
+			gw.peers.closeAll()
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			gw.Close()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Close hard-stops the gateway: listener, client connections, sessions
+// (and their backend connections), peer connections.
+func (gw *Gateway) Close() error {
+	gw.mu.Lock()
+	gw.draining = true
+	gw.closed = true
+	ln := gw.ln
+	conns := make([]net.Conn, 0, len(gw.conns))
+	for c := range gw.conns {
+		conns = append(conns, c)
+	}
+	sessions := make([]*gwSession, 0, len(gw.sessions))
+	for _, ss := range gw.sessions {
+		sessions = append(sessions, ss)
+	}
+	gw.mu.Unlock()
+	gw.cfg.Events.Info("gateway.close",
+		events.F("conns", len(conns)), events.F("sessions", len(sessions)))
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	for _, ss := range sessions {
+		gw.expireSession(ss)
+	}
+	gw.connWG.Wait()
+	gw.peers.closeAll()
+	return nil
+}
+
+// SessionCount returns live (attached or parked-resumable) sessions.
+func (gw *Gateway) SessionCount() int {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	return len(gw.sessions)
+}
+
+// ---------------------------------------------------------------------------
+// Connection handling.
+
+type sender func(t uint8, payload []byte) error
+
+func (gw *Gateway) handleConn(c net.Conn) {
+	defer func() {
+		c.Close()
+		gw.mu.Lock()
+		delete(gw.conns, c)
+		gw.mu.Unlock()
+	}()
+	send := func(t uint8, payload []byte) error {
+		if gw.cfg.WriteTimeout > 0 {
+			c.SetWriteDeadline(time.Now().Add(gw.cfg.WriteTimeout))
+		}
+		n, err := wire.WriteFrame(c, t, payload)
+		gw.cWireBytesOut.Add(int64(n))
+		return err
+	}
+	sendErr := func(code uint16, retryable bool, format string, args ...any) {
+		gw.cErrors.Add(1)
+		msg := wire.ErrorMsg{Code: code, Retryable: retryable, Msg: fmt.Sprintf(format, args...)}
+		send(wire.TypeError, msg.Marshal())
+	}
+	read := func() (wire.Frame, error) {
+		if gw.cfg.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(gw.cfg.IdleTimeout))
+		}
+		f, err := wire.ReadFrame(c, gw.cfg.MaxPayload)
+		if err == nil {
+			gw.cWireBytesIn.Add(int64(wire.HeaderSize + len(f.Payload) + wire.TrailerSize))
+		}
+		return f, err
+	}
+
+	f, err := read()
+	if err != nil {
+		return
+	}
+	if f.Type != wire.TypeHello {
+		sendErr(wire.CodeProtocol, false, "expected Hello, got %s", wire.TypeName(f.Type))
+		return
+	}
+	hello, err := wire.UnmarshalHello(f.Payload)
+	if err != nil {
+		sendErr(wire.CodeProtocol, false, "bad Hello: %v", err)
+		return
+	}
+	if !wire.ValidTenant(hello.Tenant) {
+		sendErr(wire.CodeHandshake, false, "invalid tenant identifier %q", hello.Tenant)
+		return
+	}
+	if err := gw.tenants.Authenticate(hello.Tenant, hello.Secret); err != nil {
+		sendErr(wire.CodeHandshake, false, "authentication failed: %v", err)
+		return
+	}
+	switch hello.Mode {
+	case wire.ModeRestore:
+		ok := wire.HelloOK{Window: uint32(gw.cfg.Window), MaxPayload: gw.cfg.MaxPayload}
+		if err := send(wire.TypeHelloOK, ok.Marshal()); err != nil {
+			return
+		}
+		gw.serveRestoreConn(hello.Tenant, read, send, sendErr)
+	case wire.ModeIngest:
+		gw.serveIngestConn(c, hello, read, send, sendErr)
+	default:
+		sendErr(wire.CodeProtocol, false, "session mode %d not served by the gateway", hello.Mode)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Restore proxying.
+
+// serveRestoreConn answers List by merging every shard's (tenant-scoped)
+// listing and Restore by relaying from the shard that has the file:
+// ring owner first, then — because drain moves placement of rewritten
+// names — every other shard, so a drain never makes a stored file
+// unreachable through the gateway.
+func (gw *Gateway) serveRestoreConn(tenant string, read func() (wire.Frame, error),
+	send sender, sendErr func(code uint16, retryable bool, format string, args ...any)) {
+	for {
+		f, err := read()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.TypeListReq:
+			names, err := gw.mergedList(tenant)
+			if err != nil {
+				sendErr(wire.CodeInternal, true, "cluster list: %v", err)
+				return
+			}
+			if err := send(wire.TypeListResp, wire.ListResp{Names: names}.Marshal()); err != nil {
+				return
+			}
+		case wire.TypeRestoreReq:
+			req, err := wire.UnmarshalRestoreReq(f.Payload)
+			if err != nil {
+				sendErr(wire.CodeProtocol, false, "bad RestoreReq: %v", err)
+				return
+			}
+			if err := gw.relayRestore(tenant, req, send, sendErr); err != nil {
+				return
+			}
+		case wire.TypeClose:
+			send(wire.TypeCloseOK, nil)
+			return
+		default:
+			sendErr(wire.CodeProtocol, false, "unexpected %s frame on restore session", wire.TypeName(f.Type))
+			return
+		}
+	}
+}
+
+// mergedList unions the tenant's names across all shards, sorted and
+// deduplicated (a name can exist on two shards after a drain rewrote it
+// on a new home).
+func (gw *Gateway) mergedList(tenant string) ([]string, error) {
+	full, _ := gw.rings()
+	seen := make(map[string]bool)
+	var lastErr error
+	reached := 0
+	for _, sh := range full.Shards() {
+		names, err := gw.shardList(sh, tenant)
+		if err != nil {
+			lastErr = fmt.Errorf("shard %s: %w", sh.ID, err)
+			continue
+		}
+		reached++
+		for _, n := range names {
+			seen[n] = true
+		}
+	}
+	if reached == 0 && lastErr != nil {
+		return nil, lastErr
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// shardList fetches one shard's tenant-scoped listing over a one-shot
+// restore connection.
+func (gw *Gateway) shardList(sh Shard, tenant string) ([]string, error) {
+	bc, err := gw.dialShard(sh, wire.Hello{Mode: wire.ModeRestore, Tenant: tenant})
+	if err != nil {
+		return nil, err
+	}
+	defer bc.close()
+	if err := bc.write(wire.TypeListReq, nil); err != nil {
+		return nil, err
+	}
+	f, err := bc.read()
+	if err != nil {
+		return nil, err
+	}
+	if f.Type == wire.TypeError {
+		em, uerr := wire.UnmarshalError(f.Payload)
+		if uerr != nil {
+			return nil, uerr
+		}
+		return nil, em
+	}
+	if f.Type != wire.TypeListResp {
+		return nil, fmt.Errorf("expected ListResp, got %s", wire.TypeName(f.Type))
+	}
+	resp, err := wire.UnmarshalListResp(f.Payload)
+	if err != nil {
+		return nil, err
+	}
+	bc.write(wire.TypeClose, nil)
+	bc.read() // CloseOK, best effort
+	return resp.Names, nil
+}
+
+// relayRestore streams one file from whichever shard has it. A nil
+// return means the client stream is still coherent (complete relay, or
+// an error frame sent before any data); a non-nil return means the
+// client connection is compromised and must be dropped.
+func (gw *Gateway) relayRestore(tenant string, req wire.RestoreReq, send sender,
+	sendErr func(code uint16, retryable bool, format string, args ...any)) error {
+	full, write := gw.rings()
+	fullName := wire.NSJoin(tenant, req.Name)
+	// Probe order matters for freshness: the write-ring owner holds the
+	// newest version of any name (re)written during a drain, so it goes
+	// first; the full-ring owner holds everything placed before the
+	// drain; then the rest, for belt and braces.
+	probe := []Shard{write.OwnerOfName(fullName)}
+	if f := full.OwnerOfName(fullName); f.ID != probe[0].ID {
+		probe = append(probe, f)
+	}
+	for _, sh := range full.Shards() {
+		dup := false
+		for _, p := range probe {
+			if p.ID == sh.ID {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			probe = append(probe, sh)
+		}
+	}
+	var lastMsg string
+	for _, sh := range probe {
+		done, err := gw.relayRestoreFrom(sh, tenant, req, send)
+		if done {
+			return err
+		}
+		if err != nil {
+			lastMsg = err.Error()
+		}
+	}
+	gw.cErrors.Add(1)
+	sendErr(wire.CodeNotFound, false, "no shard has %q (last: %s)", req.Name, lastMsg)
+	return nil
+}
+
+// relayRestoreFrom attempts the relay from one shard. done=false means
+// nothing was sent to the client yet and the next shard may be probed
+// (the file is not there, or the shard is unreachable).
+func (gw *Gateway) relayRestoreFrom(sh Shard, tenant string, req wire.RestoreReq, send sender) (done bool, err error) {
+	bc, derr := gw.dialShard(sh, wire.Hello{Mode: wire.ModeRestore, Tenant: tenant})
+	if derr != nil {
+		return false, derr
+	}
+	defer bc.close()
+	if werr := bc.write(wire.TypeRestoreReq, req.Marshal()); werr != nil {
+		return false, werr
+	}
+	first := true
+	for {
+		f, rerr := bc.read()
+		if rerr != nil {
+			if first {
+				return false, rerr
+			}
+			// Mid-stream shard loss: the client already got data frames;
+			// the only honest move is to kill the client stream too (no
+			// RestoreEnd means no success is claimed).
+			return true, rerr
+		}
+		switch f.Type {
+		case wire.TypeRestoreData:
+			first = false
+			if serr := send(wire.TypeRestoreData, f.Payload); serr != nil {
+				return true, serr
+			}
+		case wire.TypeRestoreEnd:
+			gw.cRestores.Add(1)
+			return true, send(wire.TypeRestoreEnd, f.Payload)
+		case wire.TypeError:
+			em, uerr := wire.UnmarshalError(f.Payload)
+			if uerr != nil {
+				return !first, uerr
+			}
+			if first && em.Code == wire.CodeNotFound {
+				return false, em // probe the next shard
+			}
+			gw.cErrors.Add(1)
+			return true, send(wire.TypeError, f.Payload)
+		default:
+			return !first, fmt.Errorf("unexpected %s in shard restore stream", wire.TypeName(f.Type))
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shard connections.
+
+// shardConn is one framed connection to a backend shard.
+type shardConn struct {
+	shard Shard
+	c     net.Conn
+	gw    *Gateway
+	max   uint32
+	ok    wire.HelloOK
+}
+
+func (bc *shardConn) write(t uint8, payload []byte) error {
+	if bc.gw.cfg.WriteTimeout > 0 {
+		bc.c.SetWriteDeadline(time.Now().Add(bc.gw.cfg.WriteTimeout))
+	}
+	_, err := wire.WriteFrame(bc.c, t, payload)
+	return err
+}
+
+func (bc *shardConn) read() (wire.Frame, error) {
+	if bc.gw.cfg.IdleTimeout > 0 {
+		bc.c.SetReadDeadline(time.Now().Add(bc.gw.cfg.IdleTimeout))
+	}
+	return wire.ReadFrame(bc.c, bc.max)
+}
+
+func (bc *shardConn) close() { bc.c.Close() }
+
+// dialShard opens a connection to a shard and completes the handshake.
+// An Error answer comes back as *wire.ErrorMsg (via errors.As).
+func (gw *Gateway) dialShard(sh Shard, hello wire.Hello) (*shardConn, error) {
+	nc, err := gw.cfg.Dial(sh.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial shard %s (%s): %w", sh.ID, sh.Addr, err)
+	}
+	bc := &shardConn{shard: sh, c: nc, gw: gw, max: wire.DefaultMaxPayload}
+	if err := bc.write(wire.TypeHello, hello.Marshal()); err != nil {
+		bc.close()
+		return nil, err
+	}
+	f, err := bc.read()
+	if err != nil {
+		bc.close()
+		return nil, err
+	}
+	switch f.Type {
+	case wire.TypeHelloOK:
+		ok, err := wire.UnmarshalHelloOK(f.Payload)
+		if err != nil {
+			bc.close()
+			return nil, err
+		}
+		if ok.MaxPayload > 0 {
+			bc.max = ok.MaxPayload
+		}
+		bc.ok = ok
+		return bc, nil
+	case wire.TypeError:
+		em, uerr := wire.UnmarshalError(f.Payload)
+		bc.close()
+		if uerr != nil {
+			return nil, uerr
+		}
+		return nil, fmt.Errorf("shard %s refused: %w", sh.ID, em)
+	default:
+		bc.close()
+		return nil, fmt.Errorf("shard %s: expected HelloOK, got %s", sh.ID, wire.TypeName(f.Type))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Peer plane client.
+
+// peerPool maintains one lazily-dialed ModePeer connection per shard,
+// serialized per shard. Peer traffic is a bandwidth optimization, never
+// a correctness dependency: every failure degrades to "the chunk comes
+// from the client" and the sick connection is dropped for re-dial.
+type peerPool struct {
+	gw    *Gateway
+	mu    sync.Mutex
+	conns map[string]*peerConn
+}
+
+type peerConn struct {
+	mu sync.Mutex
+	bc *shardConn
+}
+
+func (p *peerPool) get(sh Shard) *peerConn {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pc, ok := p.conns[sh.ID]
+	if !ok {
+		pc = &peerConn{}
+		p.conns[sh.ID] = pc
+	}
+	return pc
+}
+
+func (p *peerPool) closeAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for id, pc := range p.conns {
+		pc.mu.Lock()
+		if pc.bc != nil {
+			pc.bc.write(wire.TypeClose, nil)
+			pc.bc.close()
+			pc.bc = nil
+		}
+		pc.mu.Unlock()
+		delete(p.conns, id)
+	}
+}
+
+// rpc runs one request/response exchange on the shard's peer connection,
+// dialing on demand and retrying once on a stale connection.
+func (p *peerPool) rpc(sh Shard, reqType uint8, payload []byte, wantType uint8) (wire.Frame, error) {
+	pc := p.get(sh)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for attempt := 0; attempt < 2; attempt++ {
+		if pc.bc == nil {
+			bc, err := p.gw.dialShard(sh, wire.Hello{Mode: wire.ModePeer})
+			if err != nil {
+				return wire.Frame{}, err
+			}
+			pc.bc = bc
+		}
+		if err := pc.bc.write(reqType, payload); err != nil {
+			pc.bc.close()
+			pc.bc = nil
+			continue // stale pooled conn: one re-dial
+		}
+		f, err := pc.bc.read()
+		if err != nil {
+			pc.bc.close()
+			pc.bc = nil
+			continue
+		}
+		if f.Type != wantType {
+			pc.bc.close()
+			pc.bc = nil
+			return wire.Frame{}, fmt.Errorf("peer %s: expected %s, got %s",
+				sh.ID, wire.TypeName(wantType), wire.TypeName(f.Type))
+		}
+		return f, nil
+	}
+	return wire.Frame{}, fmt.Errorf("peer %s: connection lost twice", sh.ID)
+}
+
+// fetch asks sh for the chunks in entries; the result maps the index
+// within entries to verified chunk bytes. Any failure returns nil (all
+// misses). Returned bytes are re-hashed here — a chunk that does not
+// hash to its offered address is dropped rather than injected into the
+// home shard (where it would kill the client's session as an integrity
+// violation).
+func (p *peerPool) fetch(sh Shard, entries []wire.OfferEntry) map[int][]byte {
+	f, err := p.rpc(sh, wire.TypePeerFetch, wire.PeerFetch{Entries: entries}.Marshal(), wire.TypePeerChunks)
+	if err != nil {
+		p.gw.cfg.Events.Debug("gateway.peer_fetch_fail",
+			events.F("shard", sh.ID), events.F("err", err))
+		return nil
+	}
+	pcks, err := wire.UnmarshalPeerChunks(f.Payload)
+	if err != nil || len(pcks.Indices) == 0 {
+		return nil
+	}
+	out := make(map[int][]byte, len(pcks.Indices))
+	for i, idx := range pcks.Indices {
+		if int(idx) >= len(entries) {
+			continue
+		}
+		data := pcks.Chunks[i]
+		e := entries[idx]
+		if uint32(len(data)) != e.Size || hashutil.SumBytes(data) != e.Hash {
+			continue
+		}
+		out[int(idx)] = data
+	}
+	return out
+}
+
+// put seeds chunks into sh's cache, best effort.
+func (p *peerPool) put(sh Shard, chunks [][]byte) {
+	if len(chunks) == 0 {
+		return
+	}
+	if _, err := p.rpc(sh, wire.TypePeerPut, wire.PeerPut{Chunks: chunks}.Marshal(), wire.TypePeerPutOK); err != nil {
+		p.gw.cfg.Events.Debug("gateway.peer_put_fail",
+			events.F("shard", sh.ID), events.F("err", err))
+		return
+	}
+	p.gw.cPeerPuts.Add(int64(len(chunks)))
+}

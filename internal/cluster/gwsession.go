@@ -1,0 +1,918 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"time"
+
+	"mhdedup/internal/events"
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/wire"
+)
+
+// gwSession is the gateway half of one client ingest session. The client
+// sees a single ordered, windowed, resumable command stream — exactly
+// what a plain dedupd offers — while the gateway maps that stream onto
+// per-shard backend sessions: each file's commands are renumbered into
+// its home shard's sequence space, Need answers are intercepted for
+// peer-plane chunk routing, and backend acks are re-ordered back into
+// the client's contiguous sequence.
+//
+// Ownership mirrors internal/server: exactly one connection handler owns
+// the session while attached; attach/detach/expire go through gw.mu.
+// Everything per-incarnation (connections, channels, reader goroutines)
+// is rebuilt on resume — backend connections are deliberately bounced
+// (re-dialed with their shard resume tokens, which clears the shards'
+// pending windows), so the client's replay flows through the normal path
+// and shard-side idempotency does the deduplication.
+type gwSession struct {
+	gw     *Gateway
+	token  uint64
+	tenant string
+	opts   wire.EngineOptions
+
+	// Guarded by gw.mu.
+	attached    bool
+	gone        bool
+	expireTimer *time.Timer
+	epoch       uint64
+
+	// Owned by the attached handler; survive re-attachment.
+	lastAcked   uint64            // highest client seq released as Ack
+	maxSeq      uint64            // highest client seq ever admitted
+	cmds        map[uint64]*gwCmd // client seq → unacked command
+	rev         map[string]map[uint64]uint64
+	lastSeq     map[string]uint64 // shard ID → last backend seq assigned
+	shardTokens map[string]uint64 // shard ID → backend session resume token
+	shardByID   map[string]Shard
+	curFile     *gwFile
+
+	// Incarnation-local (rebuilt each attachment).
+	conns     map[string]*shardConn
+	backendCh chan bEvent
+	done      chan struct{}
+}
+
+// gwCmd is one client command: its placement (home shard + backend seq,
+// fixed at first receipt so replays land on the same shard session) and
+// enough of its content to re-marshal for forwarding.
+type gwCmd struct {
+	seq   uint64
+	bseq  uint64
+	shard Shard
+	kind  uint8
+	acked bool
+
+	name       string // FileBegin
+	totalBytes uint64 // FileEnd
+	sum        hashutil.Sum
+	offer      *gwOffer
+}
+
+// gwOffer is the chunk-routing state of one Offer: the home shard's need
+// list, its index→position map for ChunkData translation, and the
+// residue the client must supply after the peer plane was consulted.
+// All transient — reset when a resume invalidates the incarnation.
+type gwOffer struct {
+	entries    []wire.OfferEntry
+	hNeed      []uint32       // entry indices the home shard needs
+	hPos       map[uint32]int // entry index → position in hNeed
+	clientNeed []uint32       // entry indices the client must send
+	needSent   bool
+}
+
+// gwFile is the file currently being routed: every Offer until FileEnd
+// goes to its home shard.
+type gwFile struct {
+	name  string
+	shard Shard
+}
+
+// bEvent is one frame (or connection failure) from a backend reader.
+type bEvent struct {
+	shard string
+	f     wire.Frame
+	err   error
+}
+
+// cEvent is one frame (or failure) from the client reader.
+type cEvent struct {
+	f   wire.Frame
+	err error
+}
+
+// ---------------------------------------------------------------------------
+// Session lifecycle (mirrors internal/server's epoch pattern).
+
+func (gw *Gateway) attachSession(hello wire.Hello) (*gwSession, *wire.ErrorMsg) {
+	gw.mu.Lock()
+	defer gw.mu.Unlock()
+	if hello.ResumeToken != 0 {
+		ss, ok := gw.sessions[hello.ResumeToken]
+		if !ok || ss.gone || ss.tenant != hello.Tenant {
+			return nil, &wire.ErrorMsg{Code: wire.CodeNotFound,
+				Msg: fmt.Sprintf("no resumable session %d (expired?)", hello.ResumeToken)}
+		}
+		if ss.attached {
+			return nil, &wire.ErrorMsg{Code: wire.CodeBusy, Retryable: true,
+				Msg: fmt.Sprintf("session %d already has a live connection", hello.ResumeToken)}
+		}
+		if ss.expireTimer != nil {
+			ss.expireTimer.Stop()
+			ss.expireTimer = nil
+		}
+		ss.epoch++
+		ss.attached = true
+		gw.cSessionsResume.Add(1)
+		gw.cSessionsActive.Add(1)
+		return ss, nil
+	}
+	if gw.draining {
+		return nil, &wire.ErrorMsg{Code: wire.CodeDraining, Retryable: true, Msg: "gateway is draining"}
+	}
+	if len(gw.sessions) >= gw.cfg.MaxSessions {
+		return nil, &wire.ErrorMsg{Code: wire.CodeBusy, Retryable: true,
+			Msg: fmt.Sprintf("session limit reached (%d)", gw.cfg.MaxSessions)}
+	}
+	ss := &gwSession{
+		gw:          gw,
+		token:       gw.tokenSrc.Add(1),
+		tenant:      hello.Tenant,
+		opts:        hello.Options,
+		attached:    true,
+		cmds:        make(map[uint64]*gwCmd),
+		rev:         make(map[string]map[uint64]uint64),
+		lastSeq:     make(map[string]uint64),
+		shardTokens: make(map[string]uint64),
+		shardByID:   make(map[string]Shard),
+	}
+	gw.sessions[ss.token] = ss
+	gw.cSessionsTotal.Add(1)
+	gw.cSessionsActive.Add(1)
+	return ss, nil
+}
+
+func (gw *Gateway) detachSession(ss *gwSession) {
+	gw.mu.Lock()
+	if ss.gone || !ss.attached {
+		gw.mu.Unlock()
+		return
+	}
+	ss.attached = false
+	gw.cSessionsActive.Add(-1)
+	ss.epoch++
+	epoch := ss.epoch
+	ss.expireTimer = time.AfterFunc(gw.cfg.ResumeTimeout, func() { gw.expireTimerFired(ss, epoch) })
+	gw.mu.Unlock()
+	gw.cfg.Events.Info("gateway.session_detach",
+		events.F("session", ss.token), events.F("resumable", gw.cfg.ResumeTimeout))
+}
+
+func (gw *Gateway) expireTimerFired(ss *gwSession, epoch uint64) {
+	gw.mu.Lock()
+	if ss.gone || ss.attached || ss.epoch != epoch {
+		gw.mu.Unlock()
+		return
+	}
+	gw.mu.Unlock()
+	gw.cfg.Events.Info("gateway.session_expire", events.F("session", ss.token))
+	gw.expireSession(ss)
+}
+
+func (gw *Gateway) expireSession(ss *gwSession) {
+	gw.mu.Lock()
+	if ss.gone {
+		gw.mu.Unlock()
+		return
+	}
+	ss.gone = true
+	ss.epoch++
+	if ss.expireTimer != nil {
+		ss.expireTimer.Stop()
+		ss.expireTimer = nil
+	}
+	if ss.attached {
+		gw.cSessionsActive.Add(-1)
+		ss.attached = false
+	}
+	delete(gw.sessions, ss.token)
+	gw.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// The ingest relay.
+
+// disposition is how an incarnation releases its session when the relay
+// loop exits. The release happens strictly AFTER this incarnation's
+// plumbing is torn down — a successor may rebuild ss.conns/backendCh/
+// done the instant detach unparks the session, so nothing here may touch
+// them once the session is released.
+type disposition int
+
+const (
+	dispDetach disposition = iota // park resumable
+	dispExpire                    // session is over (orderly or fatal)
+)
+
+func (gw *Gateway) serveIngestConn(c net.Conn, hello wire.Hello,
+	read func() (wire.Frame, error), send sender,
+	sendErr func(code uint16, retryable bool, format string, args ...any)) {
+
+	ss, errMsg := gw.attachSession(hello)
+	if errMsg != nil {
+		gw.cErrors.Add(1)
+		send(wire.TypeError, errMsg.Marshal())
+		return
+	}
+	// Fresh incarnation plumbing: connections, the backend event channel
+	// and the done gate readers use to avoid posting into a dead loop.
+	ss.conns = make(map[string]*shardConn)
+	ss.backendCh = make(chan bEvent, 4*gw.cfg.Window+32)
+	ss.done = make(chan struct{})
+
+	disp := ss.relay(hello, read, send, sendErr)
+
+	close(ss.done)
+	for _, bc := range ss.conns {
+		bc.close()
+	}
+	ss.conns = nil
+	switch disp {
+	case dispDetach:
+		gw.detachSession(ss)
+	case dispExpire:
+		gw.expireSession(ss)
+	}
+}
+
+// relay runs one incarnation of the session: handshake completion, then
+// the event loop owning all session state and all frame writes.
+func (ss *gwSession) relay(hello wire.Hello, read func() (wire.Frame, error), send sender,
+	sendErr func(code uint16, retryable bool, format string, args ...any)) disposition {
+	gw := ss.gw
+
+	if hello.ResumeToken != 0 {
+		if err := ss.bounceBackends(); err != nil {
+			var em wire.ErrorMsg
+			if errors.As(err, &em) && !em.Retryable {
+				sendErr(wire.CodeInternal, false, "resume lost backend state: %v", err)
+				return dispExpire
+			}
+			sendErr(wire.CodeInternal, true, "shard unreachable during resume: %v", err)
+			return dispDetach
+		}
+		gw.cfg.Events.Info("gateway.session_resume",
+			events.F("session", ss.token), events.F("acked", ss.lastAcked))
+	} else {
+		gw.cfg.Events.Info("gateway.session_attach",
+			events.F("session", ss.token), events.F("tenant", ss.tenant))
+	}
+
+	ok := wire.HelloOK{
+		SessionToken: ss.token,
+		Window:       uint32(gw.cfg.Window),
+		MaxPayload:   gw.cfg.MaxPayload,
+		LastApplied:  ss.lastAcked,
+	}
+	if err := send(wire.TypeHelloOK, ok.Marshal()); err != nil {
+		return dispDetach
+	}
+
+	clientCh := make(chan cEvent, 8)
+	done := ss.done // this incarnation's gate, not whatever a successor installs
+	go func() {
+		for {
+			f, err := read()
+			select {
+			case clientCh <- cEvent{f: f, err: err}:
+			case <-done:
+				return
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// closing tracks the orderly Close fan-out: which backends still owe
+	// a CloseOK.
+	var closing map[string]bool
+
+	for {
+		var herr error
+		select {
+		case ev := <-clientCh:
+			if ev.err != nil {
+				if isTimeout(ev.err) {
+					sendErr(wire.CodeProtocol, true, "idle timeout: no frame for %v", gw.cfg.IdleTimeout)
+				}
+				return dispDetach
+			}
+			if closing != nil {
+				sendErr(wire.CodeProtocol, false, "frame after Close")
+				return dispExpire
+			}
+			switch ev.f.Type {
+			case wire.TypeFileBegin:
+				var fb wire.FileBegin
+				if fb, herr = wire.UnmarshalFileBegin(ev.f.Payload); herr == nil {
+					herr = ss.handleFileBegin(fb, send)
+				}
+			case wire.TypeOffer:
+				var of wire.Offer
+				if of, herr = wire.UnmarshalOffer(ev.f.Payload); herr == nil {
+					herr = ss.handleOffer(of, send)
+				}
+			case wire.TypeChunkData:
+				var cd wire.ChunkData
+				if cd, herr = wire.UnmarshalChunkData(ev.f.Payload); herr == nil {
+					herr = ss.handleChunkData(cd)
+				}
+			case wire.TypeFileEnd:
+				var fe wire.FileEnd
+				if fe, herr = wire.UnmarshalFileEnd(ev.f.Payload); herr == nil {
+					herr = ss.handleFileEnd(fe, send)
+				}
+			case wire.TypeClose:
+				closing, herr = ss.beginClose()
+				if herr == nil && len(closing) == 0 {
+					send(wire.TypeCloseOK, nil)
+					gw.cfg.Events.Info("gateway.session_close", events.F("session", ss.token))
+					return dispExpire
+				}
+			default:
+				herr = gwFatalf(wire.CodeProtocol, "unexpected %s frame on ingest session", wire.TypeName(ev.f.Type))
+			}
+
+		case ev := <-ss.backendCh:
+			if ev.err != nil {
+				if closing != nil {
+					// Everything was acked before the Close fan-out, so a
+					// shard hanging up now — before or after its CloseOK —
+					// is harmless; don't fail an orderly close over it.
+					delete(closing, ev.shard)
+					if len(closing) == 0 {
+						send(wire.TypeCloseOK, nil)
+						return dispExpire
+					}
+					continue
+				}
+				sendErr(wire.CodeInternal, true, "shard %s connection lost: %v", ev.shard, ev.err)
+				return dispDetach
+			}
+			switch ev.f.Type {
+			case wire.TypeNeed:
+				var need wire.Need
+				if need, herr = wire.UnmarshalNeed(ev.f.Payload); herr == nil {
+					herr = ss.handleBackendNeed(ev.shard, need, send)
+				}
+			case wire.TypeAck:
+				var ack wire.Ack
+				if ack, herr = wire.UnmarshalAck(ev.f.Payload); herr == nil {
+					herr = ss.handleBackendAck(ev.shard, ack, send)
+				}
+			case wire.TypeCloseOK:
+				if closing == nil || !closing[ev.shard] {
+					herr = gwFatalf(wire.CodeProtocol, "unsolicited CloseOK from shard %s", ev.shard)
+					break
+				}
+				delete(closing, ev.shard)
+				if len(closing) == 0 {
+					send(wire.TypeCloseOK, nil)
+					gw.cfg.Events.Info("gateway.session_close", events.F("session", ss.token))
+					return dispExpire
+				}
+			case wire.TypeError:
+				em, uerr := wire.UnmarshalError(ev.f.Payload)
+				if uerr != nil {
+					herr = gwFatalf(wire.CodeProtocol, "bad Error frame from shard %s: %v", ev.shard, uerr)
+					break
+				}
+				if em.Retryable {
+					// Shard shed or detached us. Hand the backoff to the
+					// client; its resume will bounce and replay.
+					gw.cErrors.Add(1)
+					em.Msg = fmt.Sprintf("shard %s: %s", ev.shard, em.Msg)
+					send(wire.TypeError, em.Marshal())
+					return dispDetach
+				}
+				herr = &gwFatal{msg: wire.ErrorMsg{Code: em.Code,
+					Msg: fmt.Sprintf("shard %s: %s", ev.shard, em.Msg)}}
+			default:
+				herr = gwFatalf(wire.CodeProtocol, "unexpected %s frame from shard %s", wire.TypeName(ev.f.Type), ev.shard)
+			}
+		}
+
+		if herr != nil {
+			var shed *gwShed
+			if errors.As(herr, &shed) {
+				gw.cErrors.Add(1)
+				send(wire.TypeError, shed.msg.Marshal())
+				return dispDetach
+			}
+			var fatal *gwFatal
+			if errors.As(herr, &fatal) {
+				gw.cErrors.Add(1)
+				send(wire.TypeError, fatal.msg.Marshal())
+				gw.cfg.Events.Error("gateway.session_fail",
+					events.F("session", ss.token), events.F("code", fatal.msg.Code),
+					events.F("msg", fatal.msg.Msg))
+				return dispExpire
+			}
+			// Transport-level: client or shard write failed.
+			return dispDetach
+		}
+	}
+}
+
+// gwFatal ends the session with an Error frame; gwShed parks it
+// resumable after a retryable Error frame.
+type gwFatal struct{ msg wire.ErrorMsg }
+
+func (e *gwFatal) Error() string { return e.msg.Error() }
+
+func gwFatalf(code uint16, format string, args ...any) error {
+	return &gwFatal{msg: wire.ErrorMsg{Code: code, Msg: fmt.Sprintf(format, args...)}}
+}
+
+type gwShed struct{ msg wire.ErrorMsg }
+
+func (e *gwShed) Error() string { return e.msg.Error() }
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// ---------------------------------------------------------------------------
+// Backend session management.
+
+// backendFor returns the live connection to sh's backend session,
+// dialing (and resuming, if this session talked to sh before) on demand.
+func (ss *gwSession) backendFor(sh Shard) (*shardConn, error) {
+	if bc, ok := ss.conns[sh.ID]; ok {
+		return bc, nil
+	}
+	hello := wire.Hello{Mode: wire.ModeIngest, Options: ss.opts, Tenant: ss.tenant}
+	if tok := ss.shardTokens[sh.ID]; tok != 0 {
+		hello.ResumeToken = tok
+	}
+	bc, err := ss.gw.dialShard(sh, hello)
+	if err != nil {
+		return nil, err
+	}
+	// The gateway's client-facing contract must be coverable by the
+	// shard's: a window the shard won't honor or frames it won't accept
+	// would corrupt the relay invariants, so refuse loudly at dial time.
+	if int(bc.ok.Window) < ss.gw.cfg.Window {
+		bc.close()
+		return nil, fmt.Errorf("shard %s window %d below gateway window %d (misconfigured cluster)",
+			sh.ID, bc.ok.Window, ss.gw.cfg.Window)
+	}
+	if bc.max < ss.gw.cfg.MaxPayload {
+		bc.close()
+		return nil, fmt.Errorf("shard %s max payload %d below gateway's %d (misconfigured cluster)",
+			sh.ID, bc.max, ss.gw.cfg.MaxPayload)
+	}
+	ss.shardTokens[sh.ID] = bc.ok.SessionToken
+	ss.shardByID[sh.ID] = sh
+	ss.conns[sh.ID] = bc
+	// The channel and done gate are passed by value: a reader from a
+	// previous incarnation must keep using ITS channel pair (both safely
+	// dead), never the fields a successor incarnation has since replaced.
+	go readBackend(sh.ID, bc, ss.backendCh, ss.done)
+	return bc, nil
+}
+
+func readBackend(shardID string, bc *shardConn, ch chan<- bEvent, done <-chan struct{}) {
+	for {
+		f, err := bc.read()
+		select {
+		case ch <- bEvent{shard: shardID, f: f, err: err}:
+		case <-done:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// bounceBackends re-establishes backend sessions at resume time. Shards
+// with unacked commands (or the open file) are mandatory: resuming them
+// clears their pending windows so the client's replay is accepted
+// cleanly. Shards this session only has historical tokens for are
+// optional — if their sessions expired while we were parked, the tokens
+// are dropped and the shards clean up on their own.
+func (ss *gwSession) bounceBackends() error {
+	needed := make(map[string]bool)
+	for _, cmd := range ss.cmds {
+		needed[cmd.shard.ID] = true
+		// Replay will recompute every offer's routing from scratch.
+		if cmd.offer != nil {
+			cmd.offer.hNeed, cmd.offer.hPos, cmd.offer.clientNeed = nil, nil, nil
+			cmd.offer.needSent = false
+		}
+		cmd.acked = false
+	}
+	if ss.curFile != nil {
+		needed[ss.curFile.shard.ID] = true
+	}
+	for id, tok := range ss.shardTokens {
+		sh := ss.shardByID[id]
+		if _, err := ss.backendFor(sh); err != nil {
+			if !needed[id] {
+				delete(ss.shardTokens, id)
+				ss.gw.cfg.Events.Warn("gateway.backend_dropped",
+					events.F("session", ss.token), events.F("shard", id), events.F("err", err))
+				continue
+			}
+			_ = tok
+			return err
+		}
+	}
+	return nil
+}
+
+// allocSeq assigns the next backend sequence number on sh for clientSeq.
+func (ss *gwSession) allocSeq(sh Shard, clientSeq uint64) uint64 {
+	ss.lastSeq[sh.ID]++
+	b := ss.lastSeq[sh.ID]
+	m := ss.rev[sh.ID]
+	if m == nil {
+		m = make(map[uint64]uint64)
+		ss.rev[sh.ID] = m
+	}
+	m[b] = clientSeq
+	return b
+}
+
+// forward relays one re-numbered command frame to its home shard.
+func (ss *gwSession) forward(cmd *gwCmd) error {
+	bc, err := ss.backendFor(cmd.shard)
+	if err != nil {
+		return ss.backendError(cmd.shard, err)
+	}
+	var payload []byte
+	switch cmd.kind {
+	case wire.TypeFileBegin:
+		payload = wire.FileBegin{Seq: cmd.bseq, Name: cmd.name}.Marshal()
+	case wire.TypeOffer:
+		payload = wire.Offer{Seq: cmd.bseq, Entries: cmd.offer.entries}.Marshal()
+	case wire.TypeFileEnd:
+		payload = wire.FileEnd{Seq: cmd.bseq, TotalBytes: cmd.totalBytes, Sum: cmd.sum}.Marshal()
+	default:
+		return gwFatalf(wire.CodeInternal, "unforwardable command kind %d", cmd.kind)
+	}
+	if err := bc.write(cmd.kind, payload); err != nil {
+		return ss.backendError(cmd.shard, err)
+	}
+	return nil
+}
+
+// backendError classifies a backend dial/write failure: a non-retryable
+// shard refusal (handshake mismatch, lost session) is fatal for the
+// client too; everything else parks the session for resume.
+func (ss *gwSession) backendError(sh Shard, err error) error {
+	var em wire.ErrorMsg
+	if errors.As(err, &em) && !em.Retryable {
+		return &gwFatal{msg: wire.ErrorMsg{Code: em.Code,
+			Msg: fmt.Sprintf("shard %s: %s", sh.ID, em.Msg)}}
+	}
+	return &gwShed{msg: wire.ErrorMsg{Code: wire.CodeOverloaded, Retryable: true,
+		Msg: fmt.Sprintf("shard %s unavailable: %v", sh.ID, err)}}
+}
+
+// ---------------------------------------------------------------------------
+// Client command handling.
+
+func (ss *gwSession) admit(seq uint64) error {
+	if len(ss.cmds) >= ss.gw.cfg.Window {
+		return gwFatalf(wire.CodeProtocol, "in-flight window exceeded (%d commands unacked, window %d)",
+			len(ss.cmds), ss.gw.cfg.Window)
+	}
+	if seq > ss.lastAcked+uint64(ss.gw.cfg.Window) {
+		return gwFatalf(wire.CodeProtocol, "command seq %d too far ahead of acked %d (window %d)",
+			seq, ss.lastAcked, ss.gw.cfg.Window)
+	}
+	if seq <= ss.maxSeq {
+		return gwFatalf(wire.CodeProtocol, "command seq %d reuses a live sequence number", seq)
+	}
+	ss.maxSeq = seq
+	return nil
+}
+
+func (ss *gwSession) handleFileBegin(fb wire.FileBegin, send sender) error {
+	if fb.Seq <= ss.lastAcked {
+		return send(wire.TypeAck, wire.Ack{Seq: fb.Seq}.Marshal())
+	}
+	if cmd, ok := ss.cmds[fb.Seq]; ok {
+		// Replay after resume: same placement, same backend seq; the
+		// shard acks idempotently if it already applied it.
+		ss.curFile = &gwFile{name: cmd.name, shard: cmd.shard}
+		return ss.forward(cmd)
+	}
+	// Quota gate — only for genuinely new files, never replays: the
+	// overshoot of an admitted file is bounded, and shedding a replay
+	// would strand work the shard may already have applied.
+	if retry, ok := ss.gw.tenants.AdmitFile(ss.tenant); !ok {
+		ss.gw.cQuotaRejects.Add(1)
+		ss.gw.cfg.Events.Warn("gateway.quota_reject",
+			events.F("session", ss.token), events.F("tenant", ss.tenant),
+			events.F("used", ss.gw.tenants.Used(ss.tenant)))
+		return &gwShed{msg: wire.ErrorMsg{Code: wire.CodeQuota, Retryable: true,
+			RetryAfterMs: uint32(retry.Milliseconds()),
+			Msg:          fmt.Sprintf("tenant %q over quota (%d bytes used)", ss.tenant, ss.gw.tenants.Used(ss.tenant))}}
+	}
+	if err := ss.admit(fb.Seq); err != nil {
+		return err
+	}
+	_, write := ss.gw.rings()
+	sh := write.OwnerOfName(wire.NSJoin(ss.tenant, fb.Name))
+	cmd := &gwCmd{seq: fb.Seq, shard: sh, kind: wire.TypeFileBegin, name: fb.Name}
+	cmd.bseq = ss.allocSeq(sh, fb.Seq)
+	ss.cmds[fb.Seq] = cmd
+	ss.curFile = &gwFile{name: fb.Name, shard: sh}
+	if c := ss.gw.routedFiles[sh.ID]; c != nil {
+		c.Add(1)
+	}
+	return ss.forward(cmd)
+}
+
+func (ss *gwSession) handleOffer(of wire.Offer, send sender) error {
+	if of.Seq <= ss.lastAcked {
+		return send(wire.TypeAck, wire.Ack{Seq: of.Seq}.Marshal())
+	}
+	if cmd, ok := ss.cmds[of.Seq]; ok {
+		return ss.forward(cmd) // replay: shard re-answers Need or re-acks
+	}
+	if ss.curFile == nil {
+		return gwFatalf(wire.CodeProtocol, "Offer %d outside a file", of.Seq)
+	}
+	if err := ss.admit(of.Seq); err != nil {
+		return err
+	}
+	sh := ss.curFile.shard
+	cmd := &gwCmd{seq: of.Seq, shard: sh, kind: wire.TypeOffer,
+		offer: &gwOffer{entries: of.Entries}}
+	cmd.bseq = ss.allocSeq(sh, of.Seq)
+	ss.cmds[of.Seq] = cmd
+	return ss.forward(cmd)
+}
+
+func (ss *gwSession) handleFileEnd(fe wire.FileEnd, send sender) error {
+	if fe.Seq <= ss.lastAcked {
+		return send(wire.TypeAck, wire.Ack{Seq: fe.Seq}.Marshal())
+	}
+	if cmd, ok := ss.cmds[fe.Seq]; ok {
+		return ss.forward(cmd)
+	}
+	if ss.curFile == nil {
+		return gwFatalf(wire.CodeProtocol, "FileEnd %d outside a file", fe.Seq)
+	}
+	if err := ss.admit(fe.Seq); err != nil {
+		return err
+	}
+	sh := ss.curFile.shard
+	cmd := &gwCmd{seq: fe.Seq, shard: sh, kind: wire.TypeFileEnd,
+		totalBytes: fe.TotalBytes, sum: fe.Sum}
+	cmd.bseq = ss.allocSeq(sh, fe.Seq)
+	ss.cmds[fe.Seq] = cmd
+	ss.curFile = nil // the next FileBegin picks its own home shard
+	return ss.forward(cmd)
+}
+
+// handleChunkData translates client chunk runs from client-need
+// positions into home-shard-need positions, relays them, and seeds each
+// chunk's ring owner through the peer plane so the next tenant offering
+// the same hash anywhere in the cluster hits shard-local bytes.
+func (ss *gwSession) handleChunkData(cd wire.ChunkData) error {
+	if cd.Seq <= ss.lastAcked {
+		return nil // late data for an acked batch; harmless
+	}
+	cmd, ok := ss.cmds[cd.Seq]
+	if !ok || cmd.kind != wire.TypeOffer {
+		return gwFatalf(wire.CodeProtocol, "chunk data for unknown offer seq %d", cd.Seq)
+	}
+	off := cmd.offer
+	if !off.needSent {
+		return gwFatalf(wire.CodeProtocol, "chunk data for offer %d before its Need was answered", cd.Seq)
+	}
+	full, _ := ss.gw.rings()
+	runs := make([]placedChunk, 0, len(cd.Chunks))
+	seed := make(map[string][][]byte)
+	for j, chunk := range cd.Chunks {
+		cpos := int(cd.Start) + j
+		if cpos < 0 || cpos >= len(off.clientNeed) {
+			return gwFatalf(wire.CodeProtocol, "chunk data position %d outside need list (len %d)", cpos, len(off.clientNeed))
+		}
+		idx := off.clientNeed[cpos]
+		e := off.entries[idx]
+		if uint32(len(chunk)) != e.Size {
+			return gwFatalf(wire.CodeIntegrity, "offer %d index %d: got %d bytes, offered %d", cd.Seq, idx, len(chunk), e.Size)
+		}
+		if hashutil.SumBytes(chunk) != e.Hash {
+			return gwFatalf(wire.CodeIntegrity, "offer %d index %d: chunk bytes do not hash to the offered address", cd.Seq, idx)
+		}
+		runs = append(runs, placedChunk{pos: off.hPos[idx], data: chunk})
+		owner := full.Owner(e.Hash)
+		if owner.ID != cmd.shard.ID && !ss.gw.shardDraining(owner.ID) {
+			seed[owner.ID] = append(seed[owner.ID], chunk)
+		}
+	}
+	ss.gw.cChunksClient.Add(int64(len(cd.Chunks)))
+	if err := ss.injectChunks(cmd, runs); err != nil {
+		return err
+	}
+	for id, chunks := range seed {
+		ss.gw.peers.put(ss.shardForID(id, full), chunks)
+	}
+	return nil
+}
+
+// shardForID resolves a shard ID against the ring membership.
+func (ss *gwSession) shardForID(id string, r *Ring) Shard {
+	for _, sh := range r.Shards() {
+		if sh.ID == id {
+			return sh
+		}
+	}
+	return Shard{ID: id}
+}
+
+// placedChunk is a chunk addressed by its position in the home shard's
+// need list, ready for injection.
+type placedChunk struct {
+	pos  int
+	data []byte
+}
+
+// injectChunks forwards (position, bytes) pairs to the home shard as
+// ChunkData runs: consecutive positions batch into one frame, bounded by
+// the shard's payload cap.
+func (ss *gwSession) injectChunks(cmd *gwCmd, chunks []placedChunk) error {
+	if len(chunks) == 0 {
+		return nil
+	}
+	bc, err := ss.backendFor(cmd.shard)
+	if err != nil {
+		return ss.backendError(cmd.shard, err)
+	}
+	sort.Slice(chunks, func(a, b int) bool { return chunks[a].pos < chunks[b].pos })
+	const perChunkOverhead = 4
+	budget := int(bc.max) - 64
+	i := 0
+	for i < len(chunks) {
+		start := chunks[i].pos
+		run := [][]byte{chunks[i].data}
+		size := len(chunks[i].data) + perChunkOverhead
+		j := i + 1
+		for j < len(chunks) && chunks[j].pos == chunks[j-1].pos+1 &&
+			size+len(chunks[j].data)+perChunkOverhead <= budget {
+			run = append(run, chunks[j].data)
+			size += len(chunks[j].data) + perChunkOverhead
+			j++
+		}
+		cdata := wire.ChunkData{Seq: cmd.bseq, Start: uint32(start), Chunks: run}
+		if err := bc.write(wire.TypeChunkData, cdata.Marshal()); err != nil {
+			return ss.backendError(cmd.shard, err)
+		}
+		i = j
+	}
+	return nil
+}
+
+// beginClose validates the orderly-close preconditions and sends Close
+// to every live backend session; the returned set is the shards whose
+// CloseOK is still owed.
+func (ss *gwSession) beginClose() (map[string]bool, error) {
+	if ss.curFile != nil {
+		return nil, gwFatalf(wire.CodeProtocol, "Close with file %q still open", ss.curFile.name)
+	}
+	if len(ss.cmds) != 0 {
+		return nil, gwFatalf(wire.CodeProtocol, "Close with %d commands unacked", len(ss.cmds))
+	}
+	waiting := make(map[string]bool, len(ss.conns))
+	for id, bc := range ss.conns {
+		if err := bc.write(wire.TypeClose, nil); err != nil {
+			return nil, ss.backendError(ss.shardByID[id], err)
+		}
+		waiting[id] = true
+	}
+	return waiting, nil
+}
+
+// ---------------------------------------------------------------------------
+// Backend frame handling.
+
+// handleBackendNeed is the chunk-routing moment: the home shard named
+// the chunks it lacks; before passing that want-list to the client, the
+// gateway consults the ring owner of every such hash over the peer
+// plane. What an owner supplies is injected into the home shard
+// directly; only the remainder — chunks the cluster has truly never
+// seen, or whose owner is the home shard itself — goes back to the
+// client.
+func (ss *gwSession) handleBackendNeed(shardID string, need wire.Need, send sender) error {
+	clientSeq, ok := ss.rev[shardID][need.Seq]
+	if !ok {
+		return nil // stale frame for a retired mapping; ignore
+	}
+	cmd, ok := ss.cmds[clientSeq]
+	if !ok || cmd.kind != wire.TypeOffer {
+		return nil
+	}
+	off := cmd.offer
+	off.hNeed = need.Indices
+	off.hPos = make(map[uint32]int, len(need.Indices))
+	for p, idx := range need.Indices {
+		if int(idx) >= len(off.entries) {
+			return gwFatalf(wire.CodeProtocol, "shard %s needs index %d beyond offer of %d", shardID, idx, len(off.entries))
+		}
+		off.hPos[idx] = p
+	}
+
+	full, _ := ss.gw.rings()
+	byOwner := make(map[string][]uint32)
+	off.clientNeed = off.clientNeed[:0]
+	for _, idx := range off.hNeed {
+		owner := full.Owner(off.entries[idx].Hash)
+		if owner.ID == cmd.shard.ID {
+			// The owner is the home shard itself and it just said it lacks
+			// the bytes: nobody closer than the client has them.
+			off.clientNeed = append(off.clientNeed, idx)
+			continue
+		}
+		byOwner[owner.ID] = append(byOwner[owner.ID], idx)
+	}
+	var fetched []placedChunk
+	for ownerID, idxs := range byOwner {
+		entries := make([]wire.OfferEntry, len(idxs))
+		for i, idx := range idxs {
+			entries[i] = off.entries[idx]
+		}
+		got := ss.gw.peers.fetch(ss.shardForID(ownerID, full), entries)
+		for i, idx := range idxs {
+			if data, ok := got[i]; ok {
+				fetched = append(fetched, placedChunk{pos: off.hPos[idx], data: data})
+			} else {
+				off.clientNeed = append(off.clientNeed, idx)
+			}
+		}
+	}
+	// The client walks its need list in order and ChunkData positions
+	// index into it; keep it ascending like a shard's own need list.
+	sort.Slice(off.clientNeed, func(a, b int) bool { return off.clientNeed[a] < off.clientNeed[b] })
+	ss.gw.cChunksPeer.Add(int64(len(fetched)))
+
+	if err := ss.injectChunks(cmd, fetched); err != nil {
+		return err
+	}
+	off.needSent = true
+	return send(wire.TypeNeed, wire.Need{Seq: cmd.seq, Indices: off.clientNeed}.Marshal())
+}
+
+// handleBackendAck marks a command applied on its home shard and
+// releases the contiguous prefix of acks to the client, preserving the
+// client's in-order ack contract across shards.
+func (ss *gwSession) handleBackendAck(shardID string, ack wire.Ack, send sender) error {
+	clientSeq, ok := ss.rev[shardID][ack.Seq]
+	if !ok {
+		return nil // ack for a retired mapping (idempotent replay tail)
+	}
+	cmd, ok := ss.cmds[clientSeq]
+	if !ok {
+		delete(ss.rev[shardID], ack.Seq)
+		return nil
+	}
+	if cmd.kind == wire.TypeOffer && !cmd.offer.needSent {
+		// Replayed offer the shard had already applied: it acks without a
+		// Need, but the client's replay still blocks on one. An empty
+		// need list is the truthful answer.
+		cmd.offer.needSent = true
+		if err := send(wire.TypeNeed, wire.Need{Seq: cmd.seq}.Marshal()); err != nil {
+			return err
+		}
+	}
+	cmd.acked = true
+	for {
+		next, ok := ss.cmds[ss.lastAcked+1]
+		if !ok || !next.acked {
+			return nil
+		}
+		if next.kind == wire.TypeFileEnd {
+			ss.gw.cFiles.Add(1)
+			ss.gw.tenants.Charge(ss.tenant, int64(next.totalBytes))
+			if c := ss.gw.routedBytes[next.shard.ID]; c != nil {
+				c.Add(int64(next.totalBytes))
+			}
+		}
+		delete(ss.cmds, next.seq)
+		delete(ss.rev[next.shard.ID], next.bseq)
+		ss.lastAcked = next.seq
+		if err := send(wire.TypeAck, wire.Ack{Seq: next.seq}.Marshal()); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// TenantAuth is one tenant's gateway-side policy: the shared secret its
+// clients must present and the logical-byte quota its namespace may hold.
+type TenantAuth struct {
+	Secret     string `json:"secret"`
+	QuotaBytes int64  `json:"quota_bytes"` // 0 = unlimited
+}
+
+// quotaRetryAfter is the backoff hint attached to quota rejections.
+// Quota does not recover on its own — the hint spaces out the retries a
+// well-behaved client makes while an operator raises the limit or the
+// tenant deletes data.
+const quotaRetryAfter = 2 * time.Second
+
+// Tenants is the gateway's tenant table: authentication plus quota
+// accounting. A nil/empty table runs the gateway open — any tenant name
+// (including the root namespace) is accepted with any secret and no
+// quota — which keeps single-user and test deployments frictionless.
+//
+// Usage accounting is logical bytes as declared by FileEnd: the number a
+// tenant can reason about from its own data, deliberately independent of
+// how well that data deduplicates (physical bytes are shared across
+// tenants, so charging them would make one tenant's bill depend on
+// another's uploads).
+type Tenants struct {
+	mu   sync.Mutex
+	auth map[string]TenantAuth
+	used map[string]int64
+}
+
+// NewTenants builds a tenant table. nil or empty auth = open gateway.
+func NewTenants(auth map[string]TenantAuth) *Tenants {
+	t := &Tenants{used: make(map[string]int64)}
+	if len(auth) > 0 {
+		t.auth = make(map[string]TenantAuth, len(auth))
+		for k, v := range auth {
+			t.auth[k] = v
+		}
+	}
+	return t
+}
+
+// open reports whether the gateway runs without a tenant table.
+func (t *Tenants) open() bool { return t.auth == nil }
+
+// Authenticate checks tenant/secret against the table.
+func (t *Tenants) Authenticate(tenant, secret string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open() {
+		return nil
+	}
+	a, ok := t.auth[tenant]
+	if !ok {
+		return fmt.Errorf("unknown tenant %q", tenant)
+	}
+	if a.Secret != secret {
+		return fmt.Errorf("bad secret for tenant %q", tenant)
+	}
+	return nil
+}
+
+// AdmitFile is the quota gate at each file boundary: it reports whether
+// the tenant may start another file, and if not, how long to back off.
+// The check is at-start (a file's size is unknown until its FileEnd), so
+// a tenant can overshoot by at most one file — the standard trade for
+// not buffering whole files at the gateway.
+func (t *Tenants) AdmitFile(tenant string) (retryAfter time.Duration, ok bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.open() {
+		return 0, true
+	}
+	a := t.auth[tenant]
+	if a.QuotaBytes <= 0 || t.used[tenant] < a.QuotaBytes {
+		return 0, true
+	}
+	return quotaRetryAfter, false
+}
+
+// Charge accounts n logical bytes to the tenant (called when a file's
+// FileEnd is acknowledged).
+func (t *Tenants) Charge(tenant string, n int64) {
+	t.mu.Lock()
+	t.used[tenant] += n
+	t.mu.Unlock()
+}
+
+// Used returns the tenant's accounted logical bytes.
+func (t *Tenants) Used(tenant string) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.used[tenant]
+}
+
+// Usage snapshots every tenant's accounted bytes (for /metrics.json).
+func (t *Tenants) Usage() map[string]int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]int64, len(t.used))
+	for k, v := range t.used {
+		out[k] = v
+	}
+	return out
+}

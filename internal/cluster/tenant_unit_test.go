@@ -1,0 +1,65 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestTenantsOpenGateway(t *testing.T) {
+	tt := NewTenants(nil)
+	if err := tt.Authenticate("anyone", "any-secret"); err != nil {
+		t.Fatalf("open gateway rejected a tenant: %v", err)
+	}
+	if err := tt.Authenticate("", ""); err != nil {
+		t.Fatalf("open gateway rejected the root namespace: %v", err)
+	}
+	if _, ok := tt.AdmitFile("anyone"); !ok {
+		t.Fatal("open gateway enforced a quota")
+	}
+}
+
+func TestTenantsAuthentication(t *testing.T) {
+	tt := NewTenants(map[string]TenantAuth{
+		"acme": {Secret: "s3cret"},
+	})
+	if err := tt.Authenticate("acme", "s3cret"); err != nil {
+		t.Fatalf("valid credentials rejected: %v", err)
+	}
+	if err := tt.Authenticate("acme", "wrong"); err == nil {
+		t.Fatal("bad secret accepted")
+	}
+	if err := tt.Authenticate("ghost", ""); err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+}
+
+func TestTenantsQuota(t *testing.T) {
+	tt := NewTenants(map[string]TenantAuth{
+		"acme": {Secret: "s", QuotaBytes: 1000},
+		"big":  {Secret: "s"}, // no quota
+	})
+	if _, ok := tt.AdmitFile("acme"); !ok {
+		t.Fatal("fresh tenant refused")
+	}
+	tt.Charge("acme", 999)
+	if _, ok := tt.AdmitFile("acme"); !ok {
+		t.Fatal("tenant under quota refused")
+	}
+	tt.Charge("acme", 1)
+	retry, ok := tt.AdmitFile("acme")
+	if ok {
+		t.Fatal("tenant at quota admitted")
+	}
+	if retry <= 0 {
+		t.Fatal("quota rejection carried no backoff hint")
+	}
+	if got := tt.Used("acme"); got != 1000 {
+		t.Fatalf("Used = %d, want 1000", got)
+	}
+	if _, ok := tt.AdmitFile("big"); !ok {
+		t.Fatal("unlimited tenant refused")
+	}
+	u := tt.Usage()
+	if u["acme"] != 1000 {
+		t.Fatalf("Usage snapshot = %v", u)
+	}
+}

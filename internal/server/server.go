@@ -193,6 +193,9 @@ type Server struct {
 	cRestoreBytes   *atomic.Int64
 	cErrors         *atomic.Int64
 	cShed           *atomic.Int64
+	cPeerServed     *atomic.Int64
+	cPeerMissed     *atomic.Int64
+	cPeerPut        *atomic.Int64
 
 	// Latency histograms (nanoseconds; also in cfg.Registry).
 	hFrame   map[uint8]*metrics.Histogram // per ingest frame type
@@ -250,6 +253,9 @@ func New(cfg Config) (*Server, error) {
 	s.cRestoreBytes = r.Counter("server.restore.bytes")
 	s.cErrors = r.Counter("server.errors")
 	s.cShed = r.Counter("server.shed")
+	s.cPeerServed = r.Counter("server.peer.chunks_served")
+	s.cPeerMissed = r.Counter("server.peer.chunks_missed")
+	s.cPeerPut = r.Counter("server.peer.chunks_put")
 	s.hFrame = map[uint8]*metrics.Histogram{
 		wire.TypeFileBegin: r.Histogram("server.frame.file_begin_ns"),
 		wire.TypeOffer:     r.Histogram("server.frame.offer_ns"),
@@ -441,15 +447,25 @@ func (s *Server) handleConn(c net.Conn) {
 		sendErr(wire.CodeProtocol, false, "bad Hello: %v", err)
 		return
 	}
+	if !wire.ValidTenant(hello.Tenant) {
+		sendErr(wire.CodeHandshake, false, "invalid tenant identifier %q", hello.Tenant)
+		return
+	}
 	switch hello.Mode {
 	case wire.ModeRestore:
 		ok := wire.HelloOK{Window: uint32(s.cfg.Window), MaxPayload: s.cfg.MaxPayload}
 		if err := send(wire.TypeHelloOK, ok.Marshal()); err != nil {
 			return
 		}
-		s.serveRestoreConn(read, send, sendErr)
+		s.serveRestoreConn(hello.Tenant, read, send, sendErr)
 	case wire.ModeIngest:
 		s.serveIngestConn(c, hello, read, send, sendErr)
+	case wire.ModePeer:
+		ok := wire.HelloOK{Window: uint32(s.cfg.Window), MaxPayload: s.cfg.MaxPayload}
+		if err := send(wire.TypeHelloOK, ok.Marshal()); err != nil {
+			return
+		}
+		s.servePeerConn(read, send, sendErr)
 	default:
 		sendErr(wire.CodeProtocol, false, "unknown session mode %d", hello.Mode)
 	}
@@ -582,6 +598,12 @@ func (s *Server) attachSession(hello wire.Hello) (*ingestSession, *wire.ErrorMsg
 			return nil, &wire.ErrorMsg{Code: wire.CodeNotFound,
 				Msg: fmt.Sprintf("no resumable session %d (expired?)", hello.ResumeToken)}
 		}
+		if ss.tenant != hello.Tenant {
+			// A resume token must not let one tenant continue another's
+			// session; answer as if the token did not exist.
+			return nil, &wire.ErrorMsg{Code: wire.CodeNotFound,
+				Msg: fmt.Sprintf("no resumable session %d (expired?)", hello.ResumeToken)}
+		}
 		if ss.attached {
 			return nil, &wire.ErrorMsg{Code: wire.CodeBusy, Retryable: true,
 				Msg: fmt.Sprintf("session %d already has a live connection", hello.ResumeToken)}
@@ -626,6 +648,7 @@ func (s *Server) attachSession(hello wire.Hello) (*ingestSession, *wire.ErrorMsg
 	ctx, cancel := context.WithCancel(context.Background())
 	ss := &ingestSession{
 		token:    s.tokenSrc.Add(1),
+		tenant:   hello.Tenant,
 		srv:      s,
 		eng:      s.cfg.Engine.NewSession(),
 		ctx:      ctx,
@@ -723,8 +746,11 @@ func isTimeout(err error) bool {
 // Restore serving.
 
 // serveRestoreConn answers List and Restore requests until the client
-// hangs up or closes.
-func (s *Server) serveRestoreConn(read func() (wire.Frame, error), send sender,
+// hangs up or closes. Everything is scoped to tenant's namespace: List
+// returns only (and strips the prefix from) the tenant's names, and
+// Restore resolves the request inside the tenant's slice of the store —
+// another tenant's files are unreachable, not merely hidden.
+func (s *Server) serveRestoreConn(tenant string, read func() (wire.Frame, error), send sender,
 	sendErr func(code uint16, retryable bool, format string, args ...any)) {
 	for {
 		f, err := read()
@@ -733,7 +759,13 @@ func (s *Server) serveRestoreConn(read func() (wire.Frame, error), send sender,
 		}
 		switch f.Type {
 		case wire.TypeListReq:
-			names := s.cfg.Engine.Disk().Names(simdisk.FileManifest)
+			all := s.cfg.Engine.Disk().Names(simdisk.FileManifest)
+			names := make([]string, 0, len(all))
+			for _, n := range all {
+				if stripped, ok := wire.NSStrip(tenant, n); ok {
+					names = append(names, stripped)
+				}
+			}
 			sort.Strings(names)
 			if err := send(wire.TypeListResp, wire.ListResp{Names: names}.Marshal()); err != nil {
 				return
@@ -744,6 +776,7 @@ func (s *Server) serveRestoreConn(read func() (wire.Frame, error), send sender,
 				sendErr(wire.CodeProtocol, false, "bad RestoreReq: %v", err)
 				return
 			}
+			req.Name = wire.NSJoin(tenant, req.Name)
 			if err := s.streamRestore(req, send); err != nil {
 				var sf *sessionFatal
 				if errors.As(err, &sf) {
@@ -758,6 +791,84 @@ func (s *Server) serveRestoreConn(read func() (wire.Frame, error), send sender,
 			return
 		default:
 			sendErr(wire.CodeProtocol, false, "unexpected %s frame on restore session", wire.TypeName(f.Type))
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Peer plane.
+
+// peerChunkOverhead is the per-chunk wire cost inside a PeerChunks
+// payload: one u32 index plus the chunk's u32 length prefix.
+const peerChunkOverhead = 8
+
+// servePeerConn answers the trusted interior sub-protocol a cluster
+// gateway speaks to the shard that owns a chunk-hash range: PeerFetch
+// asks which of a batch of chunk hashes this shard's wire cache holds
+// (answered with the bytes), PeerPut seeds freshly uploaded chunks into
+// the cache. Both operate strictly on the chunk cache — the peer plane
+// is a bandwidth optimization, never a durability statement, so a miss
+// is always a correct answer. Chunks arriving by PeerPut are re-hashed
+// here: a trusted link is still not a trusted computation, and a cache
+// poisoned with bytes filed under the wrong address would silently
+// corrupt every later negotiation that hits it.
+func (s *Server) servePeerConn(read func() (wire.Frame, error), send sender,
+	sendErr func(code uint16, retryable bool, format string, args ...any)) {
+	for {
+		f, err := read()
+		if err != nil {
+			return
+		}
+		switch f.Type {
+		case wire.TypePeerFetch:
+			pf, err := wire.UnmarshalPeerFetch(f.Payload)
+			if err != nil {
+				sendErr(wire.CodeProtocol, false, "bad PeerFetch: %v", err)
+				return
+			}
+			resp := wire.PeerChunks{}
+			// Keep the reply inside the frame payload cap: 4 bytes for each
+			// of the two count prefixes, then index+length+bytes per chunk.
+			budget := int(s.cfg.MaxPayload) - 8
+			for i, e := range pf.Entries {
+				data, ok := s.cache.get(e.Hash)
+				if !ok || uint32(len(data)) != e.Size {
+					s.cPeerMissed.Add(1)
+					continue
+				}
+				if budget -= peerChunkOverhead + len(data); budget < 0 {
+					// Over budget: the rest of the batch reads as a miss and
+					// the gateway falls back to the client's copy. Correct,
+					// just less saved bandwidth.
+					s.cPeerMissed.Add(int64(len(pf.Entries) - i))
+					break
+				}
+				resp.Indices = append(resp.Indices, uint32(i))
+				resp.Chunks = append(resp.Chunks, data)
+				s.cPeerServed.Add(1)
+			}
+			if err := send(wire.TypePeerChunks, resp.Marshal()); err != nil {
+				return
+			}
+		case wire.TypePeerPut:
+			pp, err := wire.UnmarshalPeerPut(f.Payload)
+			if err != nil {
+				sendErr(wire.CodeProtocol, false, "bad PeerPut: %v", err)
+				return
+			}
+			for _, chunk := range pp.Chunks {
+				s.cache.put(hashutil.SumBytes(chunk), chunk)
+			}
+			s.cPeerPut.Add(int64(len(pp.Chunks)))
+			if err := send(wire.TypePeerPutOK, nil); err != nil {
+				return
+			}
+		case wire.TypeClose:
+			send(wire.TypeCloseOK, nil)
+			return
+		default:
+			sendErr(wire.CodeProtocol, false, "unexpected %s frame on peer session", wire.TypeName(f.Type))
 			return
 		}
 	}

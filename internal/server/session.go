@@ -29,11 +29,12 @@ var errSessionExpired = errors.New("server: session resume window expired")
 // need-lists are recomputed, so a half-received batch costs only its
 // bytes, never correctness.
 type ingestSession struct {
-	token uint64
-	srv   *Server
-	eng   *core.Session
-	ctx   context.Context
-	abort context.CancelFunc
+	token  uint64
+	tenant string // namespace prefix for every file this session ingests
+	srv    *Server
+	eng    *core.Session
+	ctx    context.Context
+	abort  context.CancelFunc
 
 	// Guarded by srv.mu.
 	attached    bool
@@ -268,7 +269,7 @@ func (ss *ingestSession) apply(pc *pendingCmd) error {
 			return fatalf(wire.CodeProtocol, "FileBegin %q while %q is open", pc.begin.Name, ss.file.name)
 		}
 		pr, pw := io.Pipe()
-		f := &openFile{name: pc.begin.Name, pw: pw, done: make(chan error, 1), hash: hashutil.NewHasher()}
+		f := &openFile{name: wire.NSJoin(ss.tenant, pc.begin.Name), pw: pw, done: make(chan error, 1), hash: hashutil.NewHasher()}
 		sess, ctx := ss.eng, ss.ctx
 		go func() {
 			err := sess.PutFileContext(ctx, f.name, pr)

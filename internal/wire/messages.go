@@ -212,7 +212,13 @@ func UnmarshalAny(f Frame) (any, error) {
 		return UnmarshalRestoreEnd(f.Payload)
 	case TypeListResp:
 		return UnmarshalListResp(f.Payload)
-	case TypeListReq, TypeClose, TypeCloseOK:
+	case TypePeerFetch:
+		return UnmarshalPeerFetch(f.Payload)
+	case TypePeerChunks:
+		return UnmarshalPeerChunks(f.Payload)
+	case TypePeerPut:
+		return UnmarshalPeerPut(f.Payload)
+	case TypeListReq, TypeClose, TypeCloseOK, TypePeerPutOK:
 		if len(f.Payload) != 0 {
 			return nil, ErrTrailing
 		}
@@ -229,6 +235,7 @@ func UnmarshalAny(f Frame) (any, error) {
 const (
 	ModeIngest  uint8 = 1 // sessioned backup upload
 	ModeRestore uint8 = 2 // restore / list; no ingest session allocated
+	ModePeer    uint8 = 3 // interior chunk-cache plane (gateway ⇄ shard)
 )
 
 // EngineOptions is the chunking/engine configuration the two sides must
@@ -244,15 +251,25 @@ type EngineOptions struct {
 }
 
 // Hello opens (ResumeToken == 0) or resumes (ResumeToken != 0) a session.
+//
+// Tenant selects the namespace the session operates in: every file name
+// the session ingests, lists or restores is scoped to it, so two tenants
+// never see each other's files (chunk-level deduplication still happens
+// across tenants — that is the point of a shared store). Empty means the
+// root namespace. Secret is the tenant's credential, checked by
+// authenticating front doors (the cluster gateway); a plain dedupd shard
+// is an interior service and ignores it.
 type Hello struct {
 	Mode        uint8
-	Options     EngineOptions // ignored for ModeRestore
+	Options     EngineOptions // ignored for ModeRestore/ModePeer
 	ResumeToken uint64
+	Tenant      string
+	Secret      string
 }
 
 // Marshal encodes h as a TypeHello payload.
 func (h Hello) Marshal() []byte {
-	b := make([]byte, 0, 32+len(h.Options.Algorithm))
+	b := make([]byte, 0, 40+len(h.Options.Algorithm)+len(h.Tenant)+len(h.Secret))
 	b = append(b, h.Mode)
 	b = putStr(b, h.Options.Algorithm)
 	b = putU32(b, h.Options.ECS)
@@ -260,6 +277,8 @@ func (h Hello) Marshal() []byte {
 	b = putBool(b, h.Options.TTTD)
 	b = putBool(b, h.Options.FastCDC)
 	b = putU64(b, h.ResumeToken)
+	b = putStr(b, h.Tenant)
+	b = putStr(b, h.Secret)
 	return b
 }
 
@@ -274,6 +293,8 @@ func UnmarshalHello(p []byte) (Hello, error) {
 	h.Options.TTTD = r.bool()
 	h.Options.FastCDC = r.bool()
 	h.ResumeToken = r.u64()
+	h.Tenant = r.str()
+	h.Secret = r.str()
 	return h, r.done()
 }
 
@@ -327,13 +348,19 @@ const (
 	CodeInternal   uint16 = 6 // engine failure
 	CodeIntegrity  uint16 = 7 // chunk or file hash mismatch
 	CodeOverloaded uint16 = 8 // durability budget exceeded; shed (retryable)
+	CodeQuota      uint16 = 9 // tenant over its namespace quota (retryable)
 )
 
-// ErrorMsg is a structured failure report.
+// ErrorMsg is a structured failure report. RetryAfterMs, when non-zero on
+// a retryable error, is the server's backoff hint: the client should wait
+// at least that long before retrying — it lets an overloaded or
+// quota-shedding service pace its herd instead of being hammered by
+// exponential-backoff guesswork.
 type ErrorMsg struct {
-	Code      uint16
-	Retryable bool
-	Msg       string
+	Code         uint16
+	Retryable    bool
+	Msg          string
+	RetryAfterMs uint32
 }
 
 // Error implements error so servers/clients can return it directly.
@@ -343,10 +370,11 @@ func (e ErrorMsg) Error() string {
 
 // Marshal encodes e as a TypeError payload.
 func (e ErrorMsg) Marshal() []byte {
-	b := make([]byte, 0, 8+len(e.Msg))
+	b := make([]byte, 0, 12+len(e.Msg))
 	b = putU16(b, e.Code)
 	b = putBool(b, e.Retryable)
 	b = putStr(b, e.Msg)
+	b = putU32(b, e.RetryAfterMs)
 	return b
 }
 
@@ -357,6 +385,7 @@ func UnmarshalError(p []byte) (ErrorMsg, error) {
 	e.Code = r.u16()
 	e.Retryable = r.bool()
 	e.Msg = r.str()
+	e.RetryAfterMs = r.u32()
 	return e, r.done()
 }
 
@@ -640,4 +669,132 @@ func UnmarshalListResp(p []byte) (ListResp, error) {
 		}
 	}
 	return l, r.done()
+}
+
+// ---------------------------------------------------------------------------
+// Peer plane (gateway ⇄ shard chunk-cache routing).
+
+// PeerFetch asks a shard for the bytes of the listed chunks, identified
+// exactly like Offer entries (hash + exact size). The answer is
+// best-effort: the shard replies with whatever subset its wire cache
+// holds — a miss is never an error, just a chunk the client must send.
+type PeerFetch struct {
+	Entries []OfferEntry
+}
+
+// Marshal encodes f as a TypePeerFetch payload.
+func (f PeerFetch) Marshal() []byte {
+	b := make([]byte, 0, 4+len(f.Entries)*(hashutil.Size+4))
+	b = putU32(b, uint32(len(f.Entries)))
+	for _, e := range f.Entries {
+		b = append(b, e.Hash[:]...)
+		b = putU32(b, e.Size)
+	}
+	return b
+}
+
+// UnmarshalPeerFetch decodes a TypePeerFetch payload.
+func UnmarshalPeerFetch(p []byte) (PeerFetch, error) {
+	r := &reader{buf: p}
+	var f PeerFetch
+	n := r.u32()
+	if r.count(n, MaxBatchChunks, hashutil.Size+4) {
+		f.Entries = make([]OfferEntry, 0, n)
+		for i := uint32(0); i < n && r.e == nil; i++ {
+			var e OfferEntry
+			e.Hash = r.hash()
+			e.Size = r.u32()
+			f.Entries = append(f.Entries, e)
+		}
+	}
+	return f, r.done()
+}
+
+// PeerChunks answers a PeerFetch: Chunks[i] is the bytes of fetch-list
+// position Indices[i]. Positions absent from Indices were cache misses.
+type PeerChunks struct {
+	Indices []uint32
+	Chunks  [][]byte
+}
+
+// Marshal encodes c as a TypePeerChunks payload.
+func (c PeerChunks) Marshal() []byte {
+	size := 8 + 4*len(c.Indices)
+	for _, ch := range c.Chunks {
+		size += 4 + len(ch)
+	}
+	b := make([]byte, 0, size)
+	b = putU32(b, uint32(len(c.Indices)))
+	for _, i := range c.Indices {
+		b = putU32(b, i)
+	}
+	b = putU32(b, uint32(len(c.Chunks)))
+	for _, ch := range c.Chunks {
+		b = putBlob(b, ch)
+	}
+	return b
+}
+
+// UnmarshalPeerChunks decodes a TypePeerChunks payload. The chunk slices
+// alias the payload buffer. A well-formed reply has matching Indices and
+// Chunks lengths; the decoder enforces it so consumers can index freely.
+func UnmarshalPeerChunks(p []byte) (PeerChunks, error) {
+	r := &reader{buf: p}
+	var c PeerChunks
+	ni := r.u32()
+	if r.count(ni, MaxBatchChunks, 4) {
+		c.Indices = make([]uint32, 0, ni)
+		for i := uint32(0); i < ni && r.e == nil; i++ {
+			c.Indices = append(c.Indices, r.u32())
+		}
+	}
+	nc := r.u32()
+	if r.e == nil && nc != ni {
+		r.fail(fmt.Errorf("%w: PeerChunks has %d indices but %d chunks", ErrFieldRange, ni, nc))
+	}
+	if r.count(nc, MaxBatchChunks, 4) {
+		c.Chunks = make([][]byte, 0, nc)
+		for i := uint32(0); i < nc && r.e == nil; i++ {
+			c.Chunks = append(c.Chunks, r.blob())
+		}
+	}
+	return c, r.done()
+}
+
+// PeerPut seeds chunk bytes into the receiving shard's wire cache. The
+// shard re-hashes each chunk itself (the hash is not carried — a trusted
+// link is still not a trusted computation), so a corrupt put can never
+// poison negotiation. Acknowledged with a bare PeerPutOK for flow
+// control.
+type PeerPut struct {
+	Chunks [][]byte
+}
+
+// Marshal encodes p as a TypePeerPut payload.
+func (pp PeerPut) Marshal() []byte {
+	size := 4
+	for _, ch := range pp.Chunks {
+		size += 4 + len(ch)
+	}
+	b := make([]byte, 0, size)
+	b = putU32(b, uint32(len(pp.Chunks)))
+	for _, ch := range pp.Chunks {
+		b = putBlob(b, ch)
+	}
+	return b
+}
+
+// UnmarshalPeerPut decodes a TypePeerPut payload. The chunk slices alias
+// the payload buffer.
+func UnmarshalPeerPut(p []byte) (PeerPut, error) {
+	r := &reader{buf: p}
+	var pp PeerPut
+	n := r.u32()
+	if r.count(n, MaxBatchChunks, 4) {
+		pp.Chunks = make([][]byte, 0, n)
+		for i := uint32(0); i < n && r.e == nil; i++ {
+			pp.Chunks = append(pp.Chunks, r.blob())
+		}
+	}
+	return pp, r.done()
 }

@@ -1,0 +1,59 @@
+package wire
+
+import "strings"
+
+// Tenant namespacing. A tenant is a short identifier carried in Hello;
+// the server scopes every file name under it by prefixing "<tenant>/".
+// The empty tenant is the root namespace: it sees un-prefixed names and —
+// because every tenant prefix is a legal root-namespace directory — full
+// visibility over the store. Tenant identifiers therefore must never
+// contain the separator, or one tenant could alias into another's prefix.
+
+// MaxTenantLen bounds tenant identifiers.
+const MaxTenantLen = 64
+
+// ValidTenant reports whether t is a legal tenant identifier: empty (the
+// root namespace) or 1..MaxTenantLen characters drawn from
+// [a-zA-Z0-9._-], with no path separator and no way to dot-escape (".",
+// ".." are refused).
+func ValidTenant(t string) bool {
+	if t == "" {
+		return true
+	}
+	if len(t) > MaxTenantLen || t == "." || t == ".." {
+		return false
+	}
+	for i := 0; i < len(t); i++ {
+		c := t[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case c == '.' || c == '_' || c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// NSJoin maps a client-visible name into tenant's slice of the store
+// namespace.
+func NSJoin(tenant, name string) string {
+	if tenant == "" {
+		return name
+	}
+	return tenant + "/" + name
+}
+
+// NSStrip maps a stored name back into tenant's client-visible namespace.
+// ok is false when the name belongs to a different tenant. The root
+// namespace sees every name verbatim.
+func NSStrip(tenant, full string) (name string, ok bool) {
+	if tenant == "" {
+		return full, true
+	}
+	rest, found := strings.CutPrefix(full, tenant+"/")
+	if !found {
+		return "", false
+	}
+	return rest, true
+}

@@ -78,6 +78,17 @@ const (
 	// Orderly teardown.
 	TypeClose   uint8 = 15 // client → server: session done
 	TypeCloseOK uint8 = 16 // server → client: state durably applied
+
+	// Peer plane (gateway ⇄ shard chunk-cache routing). A ModePeer
+	// connection is a trusted interior link: the cluster gateway uses it
+	// to ask the shard that owns a chunk-hash range (by consistent
+	// hashing) whether it holds the bytes, and to seed freshly uploaded
+	// chunks into their owner's cache — so a chunk any tenant has ever
+	// sent through the cluster never crosses a client link twice.
+	TypePeerFetch  uint8 = 17 // gateway → shard: chunk hashes wanted
+	TypePeerChunks uint8 = 18 // shard → gateway: the subset it holds
+	TypePeerPut    uint8 = 19 // gateway → shard: chunk bytes to cache
+	TypePeerPutOK  uint8 = 20 // shard → gateway: cached (flow control)
 )
 
 // typeNames renders frame types for errors and traces.
@@ -88,6 +99,8 @@ var typeNames = map[uint8]string{
 	TypeRestoreReq: "RestoreReq", TypeRestoreData: "RestoreData",
 	TypeRestoreEnd: "RestoreEnd", TypeListReq: "ListReq",
 	TypeListResp: "ListResp", TypeClose: "Close", TypeCloseOK: "CloseOK",
+	TypePeerFetch: "PeerFetch", TypePeerChunks: "PeerChunks",
+	TypePeerPut: "PeerPut", TypePeerPutOK: "PeerPutOK",
 }
 
 // TypeName returns a human-readable frame-type name.

@@ -22,9 +22,9 @@ func sampleMessages() []struct {
 		t   uint8
 		msg interface{ Marshal() []byte }
 	}{
-		{TypeHello, Hello{Mode: ModeIngest, Options: EngineOptions{Algorithm: "mhd", ECS: 4096, SD: 64, FastCDC: true}, ResumeToken: 77}},
+		{TypeHello, Hello{Mode: ModeIngest, Options: EngineOptions{Algorithm: "mhd", ECS: 4096, SD: 64, FastCDC: true}, ResumeToken: 77, Tenant: "acme", Secret: "s3cret"}},
 		{TypeHelloOK, HelloOK{SessionToken: 42, Window: 8, MaxPayload: 1 << 20, LastApplied: 13}},
-		{TypeError, ErrorMsg{Code: CodeBusy, Retryable: true, Msg: "too many sessions"}},
+		{TypeError, ErrorMsg{Code: CodeBusy, Retryable: true, Msg: "too many sessions", RetryAfterMs: 1500}},
 		{TypeFileBegin, FileBegin{Seq: 9, Name: "m00/d01"}},
 		{TypeOffer, Offer{Seq: 10, Entries: []OfferEntry{{Hash: h1, Size: 4096}, {Hash: h2, Size: 123}}}},
 		{TypeNeed, Need{Seq: 10, Indices: []uint32{0, 5, 7}}},
@@ -35,6 +35,9 @@ func sampleMessages() []struct {
 		{TypeRestoreData, RestoreData{Data: []byte("hello bytes")}},
 		{TypeRestoreEnd, RestoreEnd{TotalBytes: 999, Sum: h2}},
 		{TypeListResp, ListResp{Names: []string{"a", "b/c", ""}}},
+		{TypePeerFetch, PeerFetch{Entries: []OfferEntry{{Hash: h1, Size: 4096}, {Hash: h2, Size: 7}}}},
+		{TypePeerChunks, PeerChunks{Indices: []uint32{0, 2}, Chunks: [][]byte{[]byte("abc"), []byte("xyz1")}}},
+		{TypePeerPut, PeerPut{Chunks: [][]byte{[]byte("chunk bytes"), {}}}},
 	}
 }
 
@@ -188,6 +191,19 @@ func TestHostileCountsDoNotAllocate(t *testing.T) {
 	p = putU32(nil, MaxListNames)
 	if _, err := UnmarshalListResp(p); err == nil {
 		t.Fatal("hostile list count accepted")
+	}
+}
+
+func TestPeerChunksRejectsMismatchedCounts(t *testing.T) {
+	// A reply claiming 2 indices but carrying 1 chunk would let a consumer
+	// index out of bounds; the decoder must refuse it.
+	p := putU32(nil, 2)
+	p = putU32(p, 0)
+	p = putU32(p, 1)
+	p = putU32(p, 1)
+	p = putBlob(p, []byte("x"))
+	if _, err := UnmarshalPeerChunks(p); err == nil {
+		t.Fatal("mismatched PeerChunks counts accepted")
 	}
 }
 
