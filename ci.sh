@@ -119,6 +119,17 @@ for key in '"hash_match": true' '"coalesce_ratio"' '"read_latency_ms"' \
     grep -q "$key" /tmp/BENCH_restore.ci.json || {
         echo "bench smoke: $key missing from BENCH_restore.json" >&2; exit 1; }
 done
+# The ranged stage is a second differential gate: the same byte ranges are
+# restored from flat manifests and again after the store's recipes are
+# rewritten as recipe trees, and the output streams must hash identically
+# (bench exits non-zero on mismatch or if a second near-identical
+# snapshot's tree stores >=20% of its leaf bytes as new chunks).
+for key in '"ranged_hash_match": true' '"ranged_seek_ms"' '"flat_seek_ms"' \
+    '"recipe_tree_dedup_ratio"' '"recipe_reads_per_seek"' \
+    '"second_snapshot_new_leaf_fraction"'; do
+    grep -q "$key" /tmp/BENCH_restore.ci.json || {
+        echo "bench smoke: $key missing from BENCH_restore.json" >&2; exit 1; }
+done
 rm -f /tmp/BENCH_ingest.ci.json /tmp/BENCH_restore.ci.json
 
 echo "== dedupd debug endpoint smoke =="
@@ -181,6 +192,7 @@ echo "== fuzz smokes (5s each) =="
 go test -run '^$' -fuzz 'FuzzEncodeDecodeName' -fuzztime 5s ./internal/simdisk
 go test -run '^$' -fuzz 'FuzzDecodeManifest$' -fuzztime 5s ./internal/store
 go test -run '^$' -fuzz 'FuzzDecodeFileManifest' -fuzztime 5s ./internal/store
+go test -run '^$' -fuzz 'FuzzDecompressRecipe' -fuzztime 5s ./internal/store
 go test -run '^$' -fuzz 'FuzzWireDecode' -fuzztime 5s ./internal/wire
 go test -run '^$' -fuzz 'FuzzChunkerParity' -fuzztime 5s ./internal/chunker
 

@@ -16,10 +16,12 @@ package main
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sort"
 	"time"
@@ -582,6 +584,230 @@ type restoreDoc struct {
 	SerialSHA1   string `json:"serial_sha1"`
 	ParallelSHA1 string `json:"parallel_sha1"`
 	HashMatch    bool   `json:"hash_match"`
+
+	Ranged *rangedDoc `json:"ranged,omitempty"`
+}
+
+// rangedDoc is the ranged-restore artifact inside BENCH_restore.json: a
+// fixed set of byte ranges is restored from the flat-manifest store, the
+// store's recipes are then rewritten as recipe trees (ConvertToRecipeTrees,
+// in sorted name order so sibling snapshots share subtrees), and the same
+// ranges are restored again through the tree seek path. The two output
+// streams must hash identically (ranged_hash_match — the differential gate
+// ci.sh greps), and the tree pass reports how many recipe chunks each seek
+// read (O(log n) in the ref count) next to the flat pass, which decodes
+// the whole manifest per seek.
+type rangedDoc struct {
+	Files  int `json:"files"`
+	Ranges int `json:"ranges"`
+
+	// Seek latency per ranged restore: whole-manifest decode (flat) vs
+	// root-to-leaf recipe walk (tree). Both passes run under the same
+	// simulated device read delay as the rest of the restore stage.
+	FlatSeekMS   metrics.DurationsMS `json:"flat_seek_ms"`
+	RangedSeekMS metrics.DurationsMS `json:"ranged_seek_ms"`
+
+	// RecipeReadsPerSeek is the tree pass's average recipe chunks read per
+	// ranged restore — the O(log n) quantity (a flat seek always decodes
+	// every ref of the file).
+	RecipeReadsPerSeek float64 `json:"recipe_reads_per_seek"`
+	RefsPerFile        float64 `json:"refs_per_file"`
+
+	// Recipe-tree storage accounting from converting the workload store:
+	// how many of the serialized recipe bytes were new chunks vs shared
+	// with an earlier snapshot's tree. (This workload's engines coalesce
+	// contiguous refs aggressively, so its manifests are tiny — the
+	// snapshot-pair fields below measure sharing at real ref counts.)
+	TreeFiles      int   `json:"tree_files"`
+	TreeDepthMax   int   `json:"tree_depth_max"`
+	RecipeBytes    int64 `json:"recipe_bytes"`
+	NewRecipeBytes int64 `json:"new_recipe_bytes"`
+
+	// Snapshot-pair measurement: two synthetic manifests of
+	// SnapshotPairRefs refs differing in SnapshotPairEdits dispersed edits
+	// (a near-identical second snapshot of a large fragmented image),
+	// written as recipe trees into the same store. RecipeTreeDedupRatio is
+	// the second tree's serialized-leaf-bytes over its NEW leaf bytes
+	// (>1 means subtree sharing); NewLeafFraction is its inverse view, and
+	// the bench hard-fails if it reaches 20% — the acceptance gate.
+	SnapshotPairRefs     int     `json:"snapshot_pair_refs"`
+	SnapshotPairEdits    int     `json:"snapshot_pair_edits"`
+	SecondLeafBytes      int64   `json:"second_snapshot_leaf_bytes"`
+	SecondNewLeafBytes   int64   `json:"second_snapshot_new_leaf_bytes"`
+	NewLeafFraction      float64 `json:"second_snapshot_new_leaf_fraction"`
+	RecipeTreeDedupRatio float64 `json:"recipe_tree_dedup_ratio"`
+
+	FlatSHA1   string `json:"flat_sha1"`
+	RangedSHA1 string `json:"ranged_sha1"`
+	HashMatch  bool   `json:"ranged_hash_match"`
+}
+
+// seekRange is one deterministic probe range of a file.
+type seekRange struct {
+	name        string
+	off, length int64
+}
+
+// rangesFor returns the probe ranges for one file: the first bytes, an
+// unaligned interior slice, an open-ended tail, and a past-EOF offset
+// (which must succeed with zero bytes — the clamp semantics).
+func rangesFor(name string, size int64) []seekRange {
+	return []seekRange{
+		{name, 0, 64 << 10},
+		{name, size/2 + 17, 128 << 10},
+		{name, size - size/8, -1},
+		{name, size + 4096, 64},
+	}
+}
+
+// runSnapshotPair writes two synthetic near-identical snapshot manifests
+// as recipe trees into one fresh store and records how many of the second
+// tree's serialized leaf bytes were new chunks. The manifests model a
+// large fragmented image — many non-coalescible refs — where the first
+// and second snapshot differ only in a few dispersed re-written regions,
+// which is exactly the regime recipe-tree sharing exists for. Everything
+// is seeded, so the emitted numbers are reproducible.
+func runSnapshotPair(doc *rangedDoc) error {
+	const nrefs, nedits = 20000, 20
+	rng := rand.New(rand.NewSource(9))
+	refs := make([]store.FileRef, nrefs)
+	for i := range refs {
+		var c hashutil.Sum
+		binary.BigEndian.PutUint64(c[:8], uint64(i/16))
+		refs[i] = store.FileRef{
+			Container: c,
+			// A gap before every ref keeps Append from coalescing them.
+			Start: int64(i%16)*65536 + int64(rng.Intn(4096)) + 1,
+			Size:  int64(512 + rng.Intn(8192)),
+		}
+	}
+	second := make([]store.FileRef, nrefs)
+	copy(second, refs)
+	for k := 0; k < nedits; k++ {
+		i := (k*977 + 13) % nrefs
+		var c hashutil.Sum
+		binary.BigEndian.PutUint64(c[:8], uint64(1<<40+k))
+		second[i] = store.FileRef{Container: c, Start: int64(rng.Intn(1 << 20)) + 1, Size: int64(512 + rng.Intn(8192))}
+	}
+
+	st := store.New(simdisk.New(), store.FormatMHD)
+	write := func(name string, rs []store.FileRef) (store.RecipeTreeStats, error) {
+		fm := &store.FileManifest{File: name, Refs: rs}
+		return st.WriteFileManifestTree(fm)
+	}
+	if _, err := write("pair/snap1", refs); err != nil {
+		return fmt.Errorf("snapshot pair: %w", err)
+	}
+	ts, err := write("pair/snap2", second)
+	if err != nil {
+		return fmt.Errorf("snapshot pair: %w", err)
+	}
+	doc.SnapshotPairRefs = nrefs
+	doc.SnapshotPairEdits = nedits
+	doc.SecondLeafBytes = ts.LeafBytes
+	doc.SecondNewLeafBytes = ts.NewLeafBytes
+	if ts.LeafBytes > 0 {
+		doc.NewLeafFraction = float64(ts.NewLeafBytes) / float64(ts.LeafBytes)
+	}
+	if ts.NewLeafBytes > 0 {
+		doc.RecipeTreeDedupRatio = float64(ts.LeafBytes) / float64(ts.NewLeafBytes)
+	}
+	if doc.NewLeafFraction >= 0.20 {
+		return fmt.Errorf("snapshot pair: second snapshot stored %.0f%% of its leaf bytes as new chunks (want <20%%)",
+			doc.NewLeafFraction*100)
+	}
+	return nil
+}
+
+// runRangedStage runs the flat pass, converts the store to recipe trees,
+// runs the tree pass over the identical ranges, and hard-fails on any
+// output divergence.
+func runRangedStage(st *store.Store, names []string, ropts store.RestoreOptions) (*rangedDoc, error) {
+	doc := &rangedDoc{Files: len(names)}
+
+	var probes []seekRange
+	var totalRefs int64
+	for _, name := range names {
+		fm, err := st.ReadFileManifest(name)
+		if err != nil {
+			return nil, fmt.Errorf("ranged stage: read manifest %s: %w", name, err)
+		}
+		totalRefs += int64(len(fm.Refs))
+		if fm.TotalBytes() == 0 {
+			continue
+		}
+		probes = append(probes, rangesFor(name, fm.TotalBytes())...)
+	}
+	doc.Ranges = len(probes)
+	if len(names) > 0 {
+		doc.RefsPerFile = float64(totalRefs) / float64(len(names))
+	}
+
+	hFlat := metrics.GetHistogram("bench.ranged_flat_ns")
+	hTree := metrics.GetHistogram("bench.ranged_tree_ns")
+
+	seekAll := func(h *metrics.Histogram, sink *hashutil.Hasher) (int64, error) {
+		var recipeReads int64
+		for _, p := range probes {
+			fmt.Fprintf(sink, "%s:%d:%d\n", p.name, p.off, p.length)
+			t0 := time.Now()
+			stats, err := st.RestoreRange(p.name, p.off, p.length, sink, ropts)
+			if err != nil {
+				return 0, fmt.Errorf("ranged restore %s [%d,+%d): %w", p.name, p.off, p.length, err)
+			}
+			h.ObserveSince(t0)
+			recipeReads += int64(stats.RecipeReads)
+		}
+		return recipeReads, nil
+	}
+
+	// Flat pass: every seek decodes the file's whole manifest.
+	flatHash := hashutil.NewHasher()
+	if _, err := seekAll(hFlat, flatHash); err != nil {
+		return nil, err
+	}
+
+	// Convert every flat manifest to a recipe tree, accounting for the
+	// serialized recipe bytes that were shared with trees written before.
+	converted, err := st.ConvertToRecipeTrees(func(name string, ts store.RecipeTreeStats) {
+		doc.TreeFiles++
+		if ts.Depth > doc.TreeDepthMax {
+			doc.TreeDepthMax = ts.Depth
+		}
+		doc.RecipeBytes += ts.LeafBytes + ts.NodeBytes
+		doc.NewRecipeBytes += ts.NewBytes()
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ranged stage: convert to recipe trees: %w", err)
+	}
+	if converted == 0 {
+		return nil, fmt.Errorf("ranged stage: no flat manifests converted to trees")
+	}
+
+	// Snapshot-pair sharing at realistic ref counts.
+	if err := runSnapshotPair(doc); err != nil {
+		return nil, err
+	}
+
+	// Tree pass: identical probes through the recipe-tree seek path.
+	treeHash := hashutil.NewHasher()
+	recipeReads, err := seekAll(hTree, treeHash)
+	if err != nil {
+		return nil, err
+	}
+	if len(probes) > 0 {
+		doc.RecipeReadsPerSeek = float64(recipeReads) / float64(len(probes))
+	}
+
+	doc.FlatSeekMS = hFlat.Snapshot().ToMS()
+	doc.RangedSeekMS = hTree.Snapshot().ToMS()
+	doc.FlatSHA1 = flatHash.Sum().Hex()
+	doc.RangedSHA1 = treeHash.Sum().Hex()
+	doc.HashMatch = doc.FlatSHA1 == doc.RangedSHA1
+	if !doc.HashMatch {
+		return nil, fmt.Errorf("ranged stage: tree-seek output hash %s != flat %s", doc.RangedSHA1, doc.FlatSHA1)
+	}
+	return doc, nil
 }
 
 // runRestoreStage restores every ingested file twice — serial reference
@@ -681,6 +907,13 @@ func runRestoreStage(o benchOptions, eng dedup.Engine, cfg benchConfig) error {
 	doc.ParallelSHA1 = parallelHash.Sum().Hex()
 	doc.HashMatch = doc.SerialSHA1 == doc.ParallelSHA1
 
+	// Ranged stage: flat seeks, tree conversion, tree seeks, hash gate.
+	ranged, err := runRangedStage(st, names, ropts)
+	if err != nil {
+		return err
+	}
+	doc.Ranged = ranged
+
 	var out io.Writer = os.Stdout
 	if o.restoreOut != "-" {
 		f, err := os.Create(o.restoreOut)
@@ -698,6 +931,12 @@ func runRestoreStage(o benchOptions, eng dedup.Engine, cfg benchConfig) error {
 	fmt.Fprintf(os.Stderr, "bench: restore serial %.1f MB/s, workers=%d %.1f MB/s (%.2fx), coalesce %.2fx, hash match %v -> %s\n",
 		doc.Serial.MBPerS, doc.Workers, doc.Parallel.MBPerS, doc.Speedup,
 		doc.CoalesceRatio, doc.HashMatch, o.restoreOut)
+	if doc.Ranged != nil {
+		fmt.Fprintf(os.Stderr, "bench: ranged seeks p50 %.2f ms (flat %.2f ms), %.1f recipe reads/seek over %.0f refs/file, pair recipe dedup %.1fx (%.0f%% new leaf bytes), hash match %v\n",
+			doc.Ranged.RangedSeekMS.P50MS, doc.Ranged.FlatSeekMS.P50MS,
+			doc.Ranged.RecipeReadsPerSeek, doc.Ranged.RefsPerFile,
+			doc.Ranged.RecipeTreeDedupRatio, doc.Ranged.NewLeafFraction*100, doc.Ranged.HashMatch)
+	}
 	if !doc.HashMatch {
 		return fmt.Errorf("restore stage: parallel output hash %s != serial %s",
 			doc.ParallelSHA1, doc.SerialSHA1)

@@ -59,6 +59,7 @@ func main() {
 	flag.IntVar(&o.sd, "sd", 64, "sample distance (hashes)")
 	flag.IntVar(&o.cache, "cache", 64, "manifest cache capacity")
 	flag.BoolVar(&o.noBloom, "no-bloom", false, "disable the engine bloom filter")
+	flag.BoolVar(&o.recipeTrees, "recipe-trees", false, "store file recipes as deduplicated recipe trees (64-bit offsets, O(log n) ranged restore)")
 	flag.IntVar(&o.maxSessions, "max-sessions", 16, "maximum concurrent ingest sessions")
 	flag.IntVar(&o.window, "window", 8, "per-session in-flight command window")
 	flag.Int64Var(&o.chunkCache, "chunk-cache-bytes", 256<<20, "wire chunk byte cache budget (0 disables)")
@@ -93,6 +94,7 @@ type options struct {
 	sd             int
 	cache          int
 	noBloom        bool
+	recipeTrees    bool
 	maxSessions    int
 	window         int
 	chunkCache     int64
@@ -242,6 +244,7 @@ func buildEngine(o options, evlog *events.Log) (*core.Dedup, *dedup.Durability, 
 		CacheManifests: o.cache,
 		DisableBloom:   o.noBloom,
 		IngestWorkers:  o.maxSessions,
+		RecipeTrees:    o.recipeTrees,
 	}
 	resumed := false
 	if o.storeDir != "" {

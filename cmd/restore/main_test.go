@@ -300,3 +300,46 @@ func TestRestoreListAndAllDeterministic(t *testing.T) {
 		prev = buf.String()
 	}
 }
+
+func TestRestoreRangedCLI(t *testing.T) {
+	storeDir, files := buildStore(t)
+	want := files["m0/a"]
+
+	// An interior window, a tail clamped past EOF, and an offset with the
+	// default to-EOF length.
+	for _, tc := range []struct {
+		offset, length int64
+		lo, hi         int64
+	}{
+		{4096, 10_000, 4096, 14_096},
+		{int64(len(want)) - 100, 5000, int64(len(want)) - 100, int64(len(want))},
+		{77, -1, 77, int64(len(want))},
+	} {
+		for _, verify := range []bool{false, true} {
+			out := filepath.Join(t.TempDir(), "slice.out")
+			opts := restoreOptions{storeDir: storeDir, file: "m0/a", out: out,
+				offset: tc.offset, length: tc.length, verify: verify}
+			var buf bytes.Buffer
+			if err := run(opts, &buf); err != nil {
+				t.Fatalf("ranged run(offset=%d length=%d verify=%v): %v", tc.offset, tc.length, verify, err)
+			}
+			got, err := os.ReadFile(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want[tc.lo:tc.hi]) {
+				t.Errorf("offset=%d length=%d verify=%v: got %d bytes, want [%d:%d)",
+					tc.offset, tc.length, verify, len(got), tc.lo, tc.hi)
+			}
+			if !strings.Contains(buf.String(), "range [") {
+				t.Errorf("summary missing range line: %q", buf.String())
+			}
+		}
+	}
+
+	// -offset/-length without -file is refused.
+	err := run(restoreOptions{storeDir: storeDir, all: true, out: t.TempDir(), offset: 5}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "require -file") {
+		t.Fatalf("ranged -all: %v", err)
+	}
+}

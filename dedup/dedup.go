@@ -145,6 +145,12 @@ type Options struct {
 	// SIMHD reject values above 1 at construction (their state is
 	// single-stream).
 	IngestWorkers int
+	// RecipeTrees stores file recipes as deduplicated recipe trees: the
+	// ref stream is content-defined into content-addressed recipe chunks
+	// with a Merkle-style root, so near-identical snapshots share recipe
+	// subtrees and ranged restore seeks in O(log n) recipe reads. Trees
+	// carry full 64-bit offsets; the flat format refuses refs past 4 GiB.
+	RecipeTrees bool
 }
 
 // New returns an engine for the given algorithm.
@@ -174,6 +180,7 @@ func New(a Algorithm, opt Options) (Engine, error) {
 		ReferenceChunker:   opt.ReferenceChunker,
 		HashWorkers:        opt.HashWorkers,
 		IngestWorkers:      opt.IngestWorkers,
+		RecipeTrees:        opt.RecipeTrees,
 	}
 	eng, err := exp.Build(p)
 	if err != nil {
@@ -400,6 +407,53 @@ func (s *Store) Restore(name string, w io.Writer) error {
 	return s.st.RestoreFile(name, w)
 }
 
+// RangeStats reports what a ranged restore did: the bytes written, the
+// recipe chunks read to find them (the O(log n) seek cost when the file's
+// recipe is a tree), and the resolved [Offset, Offset+Length) window.
+type RangeStats = store.RangeStats
+
+// RestoreRange rebuilds the byte range [offset, offset+length) of one
+// file into w. A negative length means "to end of file"; a range past EOF
+// is clamped (an offset at or past EOF succeeds and writes nothing). When
+// the file's recipe is stored as a recipe tree (Options.RecipeTrees), the
+// seek reads O(log n) recipe chunks instead of the whole manifest.
+func (s *Store) RestoreRange(name string, offset, length int64, w io.Writer) (RangeStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.RestoreRange(name, offset, length, w, s.ropts)
+}
+
+// VerifyRestoreRange is RestoreRange with VerifyRestore's end-to-end
+// chunk verification: every range served to w is re-hashed against the
+// content address its manifest vouches for before it is written.
+func (s *Store) VerifyRestoreRange(name string, offset, length int64, w io.Writer) (RangeStats, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.verMu.Lock()
+	defer s.verMu.Unlock()
+	if s.ver == nil {
+		s.ver = store.NewVerifier(s.st, store.VerifyOpts{})
+	}
+	return s.ver.RestoreRange(name, offset, length, w, s.ropts)
+}
+
+// RecipeTreeStats summarizes one file's recipe tree: depth, node/leaf
+// counts and how many of its serialized bytes were new (not shared with
+// an earlier snapshot's tree).
+type RecipeTreeStats = store.RecipeTreeStats
+
+// ConvertRecipeTrees rewrites every flat FileManifest in the store as a
+// recipe tree, in sorted name order (so sibling snapshots converted in
+// sequence share subtrees). Already-converted and empty files are left
+// alone. It returns how many files were rewritten; perFile, when non-nil,
+// observes each conversion.
+func (s *Store) ConvertRecipeTrees(perFile func(name string, st RecipeTreeStats)) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.invalidateVerifier()
+	return s.st.ConvertToRecipeTrees(perFile)
+}
+
 // Check runs an offline consistency check of the store (the system's
 // fsck): every manifest must decode and tile real chunk data, every hook
 // must point at a real manifest, every file must be restorable. It returns
@@ -540,6 +594,7 @@ func resumeOnDisk(a Algorithm, opt Options, disk *simdisk.Disk) (Engine, error) 
 		cfg.HashWorkers = opt.HashWorkers
 		cfg.IngestWorkers = opt.IngestWorkers
 		cfg.SparseIndex = a == SIMHD
+		cfg.RecipeTrees = opt.RecipeTrees
 		return core.Resume(cfg, disk)
 	case CDC:
 		cfg := baseline.DefaultCDCConfig()
@@ -547,6 +602,7 @@ func resumeOnDisk(a Algorithm, opt Options, disk *simdisk.Disk) (Engine, error) 
 		cfg.BloomBytes = bloomBytes
 		cfg.CacheManifests = opt.CacheManifests
 		cfg.UseBloom = !opt.DisableBloom
+		cfg.RecipeTrees = opt.RecipeTrees
 		return baseline.ResumeCDC(cfg, disk)
 	default:
 		return nil, fmt.Errorf("dedup: resume is not supported for %q (its detection state is not reconstructible from disk)", a)

@@ -1,0 +1,109 @@
+package dedup
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestRecipeTreeMatrixEqualsFlat is the tentpole's differential gate at the
+// public API: for every algorithm, the same workload ingested twice — once
+// with flat recipes, once with recipe trees — must restore bit-identical
+// bytes, whole-file and ranged, across seeds and a save/open round-trip.
+// The ranged probes hit offset 0, an interior window, a tail running past
+// EOF (clamped), and an offset at EOF (zero bytes).
+func TestRecipeTreeMatrixEqualsFlat(t *testing.T) {
+	algos := []Algorithm{MHD, SIMHD, CDC, Bimodal, SubChunk, SparseIndexing, FBC, Fingerdiff, ExtremeBinning}
+	for _, algo := range algos {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range []int64{1, 7} {
+				files := matrixWorkload(seed)
+				build := func(trees bool) *Store {
+					t.Helper()
+					eng, err := New(algo, Options{ECS: 1024, SD: 8, BloomBytes: 1 << 16, RecipeTrees: trees})
+					if err != nil {
+						t.Fatal(err)
+					}
+					for day := 1; day <= 3; day++ {
+						name := fmt.Sprintf("img/day%d", day)
+						if err := eng.PutFile(name, bytes.NewReader(files[name])); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := eng.Finish(); err != nil {
+						t.Fatal(err)
+					}
+					dir := t.TempDir()
+					if err := SaveStore(eng, dir); err != nil {
+						t.Fatal(err)
+					}
+					st, err := OpenStore(dir)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return st
+				}
+				flat, tree := build(false), build(true)
+
+				for _, name := range flat.Files() {
+					want := files[name]
+					var a, b bytes.Buffer
+					if err := flat.Restore(name, &a); err != nil {
+						t.Fatalf("seed %d: flat restore %s: %v", seed, name, err)
+					}
+					if err := tree.Restore(name, &b); err != nil {
+						t.Fatalf("seed %d: tree restore %s: %v", seed, name, err)
+					}
+					if !bytes.Equal(a.Bytes(), want) {
+						t.Fatalf("seed %d: flat restore of %s diverges from ingested bytes", seed, name)
+					}
+					if !bytes.Equal(b.Bytes(), want) {
+						t.Fatalf("seed %d: tree restore of %s diverges from ingested bytes", seed, name)
+					}
+
+					total := int64(len(want))
+					probes := []struct{ off, length int64 }{
+						{0, 1 << 12},
+						{total / 3, 20_000},
+						{total - 1_000, 50_000}, // clamps at EOF
+						{total, 16},             // zero bytes
+						{0, -1},                 // to EOF
+					}
+					for _, p := range probes {
+						var fr, tr, tv bytes.Buffer
+						if _, err := flat.RestoreRange(name, p.off, p.length, &fr); err != nil {
+							t.Fatalf("seed %d: flat RestoreRange(%s, %d, %d): %v", seed, name, p.off, p.length, err)
+						}
+						if _, err := tree.RestoreRange(name, p.off, p.length, &tr); err != nil {
+							t.Fatalf("seed %d: tree RestoreRange(%s, %d, %d): %v", seed, name, p.off, p.length, err)
+						}
+						if _, err := tree.VerifyRestoreRange(name, p.off, p.length, &tv); err != nil {
+							t.Fatalf("seed %d: tree VerifyRestoreRange(%s, %d, %d): %v", seed, name, p.off, p.length, err)
+						}
+						lo, hi := p.off, total
+						if lo > total {
+							lo = total
+						}
+						if p.length >= 0 && p.off+p.length < total {
+							hi = p.off + p.length
+						}
+						if hi < lo {
+							hi = lo
+						}
+						if !bytes.Equal(fr.Bytes(), want[lo:hi]) {
+							t.Fatalf("seed %d: flat range (%s, %d, %d) wrong bytes", seed, name, p.off, p.length)
+						}
+						if !bytes.Equal(tr.Bytes(), fr.Bytes()) {
+							t.Fatalf("seed %d: tree range (%s, %d, %d) diverges from flat", seed, name, p.off, p.length)
+						}
+						if !bytes.Equal(tv.Bytes(), fr.Bytes()) {
+							t.Fatalf("seed %d: verified tree range (%s, %d, %d) diverges from flat", seed, name, p.off, p.length)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -23,6 +23,8 @@ type BimodalConfig struct {
 	UseBloom       bool
 	CacheManifests int
 	Poly           rabin.Poly
+	// RecipeTrees stores file recipes as deduplicated recipe trees.
+	RecipeTrees bool
 }
 
 // DefaultBimodalConfig returns a usable default.
@@ -80,6 +82,7 @@ func NewBimodalOnDisk(cfg BimodalConfig, disk *simdisk.Disk) (*Bimodal, error) {
 		return nil, err
 	}
 	d := &Bimodal{cfg: cfg, disk: disk, st: store.New(disk, store.FormatBasic)}
+	d.st.SetRecipeConfig(store.RecipeConfig{Trees: cfg.RecipeTrees})
 	if cfg.UseBloom {
 		f, err := bloom.New(cfg.BloomBytes, cfg.BloomHashes)
 		if err != nil {
@@ -151,34 +154,44 @@ func (d *Bimodal) PutFile(name string, r io.Reader) error {
 	var hooks []hashutil.Sum
 	fm := &store.FileManifest{File: name}
 
-	appendStored := func(chunkData []byte, h hashutil.Sum) {
+	appendStored := func(chunkData []byte, h hashutil.Sum) error {
 		start := int64(len(data))
 		data = append(data, chunkData...)
 		manifest.Append(store.Entry{Hash: h, Start: start, Size: int64(len(chunkData)), Kind: store.KindHook})
 		hooks = append(hooks, h)
-		fm.Append(store.FileRef{Container: chunkName, Start: start, Size: int64(len(chunkData))})
+		if err := fm.Append(store.FileRef{Container: chunkName, Start: start, Size: int64(len(chunkData))}); err != nil {
+			return err
+		}
 		d.stats.NonDupChunks++
 		d.dt.note(false)
+		return nil
 	}
-	markDup := func(size int64, container hashutil.Sum, start int64) {
-		fm.Append(store.FileRef{Container: container, Start: start, Size: size})
+	markDup := func(size int64, container hashutil.Sum, start int64) error {
+		if err := fm.Append(store.FileRef{Container: container, Start: start, Size: size}); err != nil {
+			return err
+		}
 		d.stats.DupChunks++
 		d.stats.DupBytes += size
 		if d.dt.note(true) {
 			d.stats.DupSlices++
 		}
+		return nil
 	}
 
 	for i, bc := range chunks {
 		if bc.dup {
 			d.stats.ChunksIn++
-			markDup(int64(len(bc.data)), bc.container, bc.start)
+			if err := markDup(int64(len(bc.data)), bc.container, bc.start); err != nil {
+				return err
+			}
 			continue
 		}
 		transition := (i > 0 && chunks[i-1].dup) || (i+1 < len(chunks) && chunks[i+1].dup)
 		if !transition {
 			d.stats.ChunksIn++
-			appendStored(bc.data, bc.hash)
+			if err := appendStored(bc.data, bc.hash); err != nil {
+				return err
+			}
 			continue
 		}
 		// Transition point: re-chunk at small granularity and deduplicate
@@ -193,10 +206,14 @@ func (d *Bimodal) PutFile(name string, r io.Reader) error {
 			h := hashutil.SumBytes(sc.Data)
 			if m, idx, ok := d.lookup(h); ok {
 				e := m.Entries[idx]
-				markDup(sc.Size(), m.ContainerOf(e), e.Start)
+				if err := markDup(sc.Size(), m.ContainerOf(e), e.Start); err != nil {
+					return err
+				}
 				continue
 			}
-			appendStored(sc.Data, h)
+			if err := appendStored(sc.Data, h); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -26,6 +26,9 @@ type CDCConfig struct {
 	CacheManifests int
 	// Poly optionally overrides the Rabin polynomial.
 	Poly rabin.Poly
+	// RecipeTrees stores file recipes as deduplicated recipe trees instead
+	// of flat manifests (see store.RecipeConfig).
+	RecipeTrees bool
 }
 
 // DefaultCDCConfig returns a usable default.
@@ -80,6 +83,7 @@ func NewCDCOnDisk(cfg CDCConfig, disk *simdisk.Disk) (*CDC, error) {
 		return nil, err
 	}
 	d := &CDC{cfg: cfg, disk: disk, st: store.New(disk, store.FormatBasic)}
+	d.st.SetRecipeConfig(store.RecipeConfig{Trees: cfg.RecipeTrees})
 	if cfg.UseBloom {
 		f, err := bloom.New(cfg.BloomBytes, cfg.BloomHashes)
 		if err != nil {
@@ -128,7 +132,9 @@ func (d *CDC) PutFile(name string, r io.Reader) error {
 
 		if m, idx, ok := d.lookup(h); ok {
 			e := m.Entries[idx]
-			fm.Append(store.FileRef{Container: m.ContainerOf(e), Start: e.Start, Size: e.Size})
+			if err := fm.Append(store.FileRef{Container: m.ContainerOf(e), Start: e.Start, Size: e.Size}); err != nil {
+				return err
+			}
 			d.stats.DupChunks++
 			d.stats.DupBytes += c.Size()
 			if d.dt.note(true) {
@@ -142,7 +148,9 @@ func (d *CDC) PutFile(name string, r io.Reader) error {
 		data = append(data, c.Data...)
 		manifest.Append(store.Entry{Hash: h, Start: start, Size: c.Size(), Kind: store.KindHook})
 		hooks = append(hooks, h)
-		fm.Append(store.FileRef{Container: chunkName, Start: start, Size: c.Size()})
+		if err := fm.Append(store.FileRef{Container: chunkName, Start: start, Size: c.Size()}); err != nil {
+			return err
+		}
 		d.stats.NonDupChunks++
 		d.dt.note(false)
 	}

@@ -17,6 +17,8 @@ import (
 type ExtremeBinningConfig struct {
 	ECS  int
 	Poly rabin.Poly
+	// RecipeTrees stores file recipes as deduplicated recipe trees.
+	RecipeTrees bool
 }
 
 // DefaultExtremeBinningConfig returns a usable default.
@@ -72,12 +74,14 @@ func NewExtremeBinningOnDisk(cfg ExtremeBinningConfig, disk *simdisk.Disk) (*Ext
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &ExtremeBinning{
+	d := &ExtremeBinning{
 		cfg:     cfg,
 		disk:    disk,
 		st:      store.New(disk, store.FormatMultiContainer),
 		primary: make(map[hashutil.Sum]binInfo),
-	}, nil
+	}
+	d.st.SetRecipeConfig(store.RecipeConfig{Trees: cfg.RecipeTrees})
+	return d, nil
 }
 
 // Disk exposes the simulated disk.
@@ -140,7 +144,9 @@ func (d *ExtremeBinning) PutFile(name string, r io.Reader) error {
 				return fmt.Errorf("baseline: extreme binning: identical file missing chunk %d in bin", i)
 			}
 			e := bin.Entries[idx]
-			fm.Append(store.FileRef{Container: bin.ContainerOf(e), Start: e.Start, Size: e.Size})
+			if err := fm.Append(store.FileRef{Container: bin.ContainerOf(e), Start: e.Start, Size: e.Size}); err != nil {
+				return err
+			}
 			d.stats.DupChunks++
 			d.stats.DupBytes += c.Size()
 			if d.dt.note(true) {
@@ -172,7 +178,9 @@ func (d *ExtremeBinning) PutFile(name string, r io.Reader) error {
 	for i, c := range chunks {
 		if idx, ok := bin.Lookup(hashes[i]); ok {
 			e := bin.Entries[idx]
-			fm.Append(store.FileRef{Container: bin.ContainerOf(e), Start: e.Start, Size: e.Size})
+			if err := fm.Append(store.FileRef{Container: bin.ContainerOf(e), Start: e.Start, Size: e.Size}); err != nil {
+				return err
+			}
 			d.stats.DupChunks++
 			d.stats.DupBytes += c.Size()
 			if d.dt.note(true) {
@@ -188,7 +196,9 @@ func (d *ExtremeBinning) PutFile(name string, r io.Reader) error {
 			Start:     start,
 			Size:      c.Size(),
 		})
-		fm.Append(store.FileRef{Container: container, Start: start, Size: c.Size()})
+		if err := fm.Append(store.FileRef{Container: container, Start: start, Size: c.Size()}); err != nil {
+			return err
+		}
 		d.stats.NonDupChunks++
 		d.dt.note(false)
 	}

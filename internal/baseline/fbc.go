@@ -29,6 +29,8 @@ type FBCConfig struct {
 	SketchRows  int
 	SketchWidth int
 	Poly        rabin.Poly
+	// RecipeTrees stores file recipes as deduplicated recipe trees.
+	RecipeTrees bool
 }
 
 // DefaultFBCConfig returns a usable default.
@@ -96,6 +98,7 @@ func NewFBCOnDisk(cfg FBCConfig, disk *simdisk.Disk) (*FBC, error) {
 		return nil, err
 	}
 	d := &FBC{cfg: cfg, disk: disk, st: store.New(disk, store.FormatBasic)}
+	d.st.SetRecipeConfig(store.RecipeConfig{Trees: cfg.RecipeTrees})
 	if cfg.UseBloom {
 		f, err := bloom.New(cfg.BloomBytes, cfg.BloomHashes)
 		if err != nil {
@@ -134,22 +137,28 @@ func (d *FBC) PutFile(name string, r io.Reader) error {
 	var hooks []hashutil.Sum
 	fm := &store.FileManifest{File: name}
 
-	appendStored := func(chunkData []byte, h hashutil.Sum) {
+	appendStored := func(chunkData []byte, h hashutil.Sum) error {
 		start := int64(len(data))
 		data = append(data, chunkData...)
 		manifest.Append(store.Entry{Hash: h, Start: start, Size: int64(len(chunkData)), Kind: store.KindHook})
 		hooks = append(hooks, h)
-		fm.Append(store.FileRef{Container: chunkName, Start: start, Size: int64(len(chunkData))})
+		if err := fm.Append(store.FileRef{Container: chunkName, Start: start, Size: int64(len(chunkData))}); err != nil {
+			return err
+		}
 		d.stats.NonDupChunks++
 		d.dt.note(false)
+		return nil
 	}
-	markDup := func(size int64, container hashutil.Sum, start int64) {
-		fm.Append(store.FileRef{Container: container, Start: start, Size: size})
+	markDup := func(size int64, container hashutil.Sum, start int64) error {
+		if err := fm.Append(store.FileRef{Container: container, Start: start, Size: size}); err != nil {
+			return err
+		}
 		d.stats.DupChunks++
 		d.stats.DupBytes += size
 		if d.dt.note(true) {
 			d.stats.DupSlices++
 		}
+		return nil
 	}
 
 	for {
@@ -169,7 +178,9 @@ func (d *FBC) PutFile(name string, r io.Reader) error {
 		if m, idx, ok := d.lookup(bh); ok {
 			e := m.Entries[idx]
 			d.stats.ChunksIn++
-			markDup(c.Size(), m.ContainerOf(e), e.Start)
+			if err := markDup(c.Size(), m.ContainerOf(e), e.Start); err != nil {
+				return err
+			}
 			continue
 		}
 
@@ -195,7 +206,9 @@ func (d *FBC) PutFile(name string, r io.Reader) error {
 
 		if !rechunk {
 			d.stats.ChunksIn++
-			appendStored(c.Data, bh)
+			if err := appendStored(c.Data, bh); err != nil {
+				return err
+			}
 			continue
 		}
 		// Popular content inside: re-chunk and deduplicate the small
@@ -204,10 +217,14 @@ func (d *FBC) PutFile(name string, r io.Reader) error {
 			d.stats.ChunksIn++
 			if m, idx, ok := d.lookup(smallHashes[i]); ok {
 				e := m.Entries[idx]
-				markDup(sc.Size(), m.ContainerOf(e), e.Start)
+				if err := markDup(sc.Size(), m.ContainerOf(e), e.Start); err != nil {
+					return err
+				}
 				continue
 			}
-			appendStored(sc.Data, smallHashes[i])
+			if err := appendStored(sc.Data, smallHashes[i]); err != nil {
+				return err
+			}
 		}
 	}
 

@@ -19,6 +19,8 @@ type FingerdiffConfig struct {
 	// into one stored big chunk (the paper aligns this with SD).
 	MaxCoalesce int
 	Poly        rabin.Poly
+	// RecipeTrees stores file recipes as deduplicated recipe trees.
+	RecipeTrees bool
 }
 
 // DefaultFingerdiffConfig returns a usable default.
@@ -68,12 +70,14 @@ func NewFingerdiffOnDisk(cfg FingerdiffConfig, disk *simdisk.Disk) (*Fingerdiff,
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Fingerdiff{
+	d := &Fingerdiff{
 		cfg:  cfg,
 		disk: disk,
 		st:   store.New(disk, store.FormatBasic),
 		db:   make(map[hashutil.Sum]store.FileRef),
-	}, nil
+	}
+	d.st.SetRecipeConfig(store.RecipeConfig{Trees: cfg.RecipeTrees})
+	return d, nil
 }
 
 // Disk exposes the simulated disk.
@@ -95,9 +99,9 @@ func (d *Fingerdiff) PutFile(name string, r io.Reader) error {
 	// run accumulates the current contiguous non-duplicate chunk run.
 	var run []chunker.Chunk
 	var runHashes []hashutil.Sum
-	flushRun := func() {
+	flushRun := func() error {
 		if len(run) == 0 {
-			return
+			return nil
 		}
 		start := int64(len(data))
 		h := hashutil.NewHasher()
@@ -114,8 +118,11 @@ func (d *Fingerdiff) PutFile(name string, r io.Reader) error {
 		size := int64(len(data)) - start
 		d.stats.HashedBytes += size
 		manifest.Append(store.Entry{Hash: h.Sum(), Start: start, Size: size})
-		fm.Append(store.FileRef{Container: chunkName, Start: start, Size: size})
+		if err := fm.Append(store.FileRef{Container: chunkName, Start: start, Size: size}); err != nil {
+			return err
+		}
 		run, runHashes = run[:0], runHashes[:0]
+		return nil
 	}
 
 	for {
@@ -132,8 +139,12 @@ func (d *Fingerdiff) PutFile(name string, r io.Reader) error {
 		d.stats.HashedBytes += c.Size()
 		h := hashutil.SumBytes(c.Data)
 		if ref, ok := d.db[h]; ok {
-			flushRun()
-			fm.Append(ref)
+			if err := flushRun(); err != nil {
+				return err
+			}
+			if err := fm.Append(ref); err != nil {
+				return err
+			}
 			d.stats.DupChunks++
 			d.stats.DupBytes += c.Size()
 			if d.dt.note(true) {
@@ -146,10 +157,14 @@ func (d *Fingerdiff) PutFile(name string, r io.Reader) error {
 		d.stats.NonDupChunks++
 		d.dt.note(false)
 		if len(run) >= d.cfg.MaxCoalesce {
-			flushRun()
+			if err := flushRun(); err != nil {
+				return err
+			}
 		}
 	}
-	flushRun()
+	if err := flushRun(); err != nil {
+		return err
+	}
 
 	if len(data) > 0 {
 		if err := d.st.WriteDiskChunk(chunkName, data); err != nil {

@@ -27,6 +27,8 @@ type SparseConfig struct {
 	MaxManifestsPerHook int
 	CacheManifests      int
 	Poly                rabin.Poly
+	// RecipeTrees stores file recipes as deduplicated recipe trees.
+	RecipeTrees bool
 }
 
 // DefaultSparseConfig returns the paper's setup (segment = ECS·SD·5, 10
@@ -100,6 +102,7 @@ func NewSparseOnDisk(cfg SparseConfig, disk *simdisk.Disk) (*Sparse, error) {
 		st:    store.New(disk, store.FormatMultiContainer),
 		index: make(map[hashutil.Sum][]hashutil.Sum),
 	}
+	d.st.SetRecipeConfig(store.RecipeConfig{Trees: cfg.RecipeTrees})
 	mc, err := newManifestCache(d.st, cfg.CacheManifests)
 	if err != nil {
 		return nil, err
@@ -247,7 +250,9 @@ func (d *Sparse) flushSegment() error {
 				Start:     hitEntry.Start,
 				Size:      hitEntry.Size,
 			}
-			d.fm.Append(ref)
+			if err := d.fm.Append(ref); err != nil {
+				return err
+			}
 			// The manifest re-records the duplicate chunk's hash with its
 			// foreign location — the locality-preserving, hash-repeating
 			// behavior the paper contrasts with MHD.
@@ -274,7 +279,9 @@ func (d *Sparse) flushSegment() error {
 			Size:      c.Size(),
 			Kind:      store.KindPlain,
 		})
-		d.fm.Append(store.FileRef{Container: container, Start: start, Size: c.Size()})
+		if err := d.fm.Append(store.FileRef{Container: container, Start: start, Size: c.Size()}); err != nil {
+			return err
+		}
 		d.stats.NonDupChunks++
 		d.dt.note(false)
 	}

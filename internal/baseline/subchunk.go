@@ -22,6 +22,8 @@ type SubChunkConfig struct {
 	UseBloom       bool
 	CacheManifests int
 	Poly           rabin.Poly
+	// RecipeTrees stores file recipes as deduplicated recipe trees.
+	RecipeTrees bool
 }
 
 // DefaultSubChunkConfig returns a usable default.
@@ -97,6 +99,7 @@ func NewSubChunkOnDisk(cfg SubChunkConfig, disk *simdisk.Disk) (*SubChunk, error
 		st:     store.New(disk, store.FormatMultiContainer),
 		bigIdx: make(map[hashutil.Sum]bigRecipe),
 	}
+	d.st.SetRecipeConfig(store.RecipeConfig{Trees: cfg.RecipeTrees})
 	if cfg.UseBloom {
 		f, err := bloom.New(cfg.BloomBytes, cfg.BloomHashes)
 		if err != nil {
@@ -163,7 +166,9 @@ func (d *SubChunk) PutFile(name string, r io.Reader) error {
 				}
 			}
 			for _, ref := range rec.refs {
-				fm.Append(ref)
+				if err := fm.Append(ref); err != nil {
+					return err
+				}
 			}
 			d.stats.ChunksIn++
 			d.stats.DupChunks++
@@ -184,9 +189,12 @@ func (d *SubChunk) PutFile(name string, r io.Reader) error {
 		container := d.st.NextName()
 		var data []byte
 		var recipe []store.FileRef
-		appendRef := func(ref store.FileRef) {
-			fm.Append(ref)
+		appendRef := func(ref store.FileRef) error {
+			if err := fm.Append(ref); err != nil {
+				return err
+			}
 			recipe = append(recipe, ref)
+			return nil
 		}
 		for _, sc := range smalls {
 			d.stats.ChunksIn++
@@ -194,7 +202,9 @@ func (d *SubChunk) PutFile(name string, r io.Reader) error {
 			sh := hashutil.SumBytes(sc.Data)
 			if m, idx, ok := d.mc.lookup(sh); ok {
 				e := m.Entries[idx]
-				appendRef(store.FileRef{Container: m.ContainerOf(e), Start: e.Start, Size: e.Size})
+				if err := appendRef(store.FileRef{Container: m.ContainerOf(e), Start: e.Start, Size: e.Size}); err != nil {
+					return err
+				}
 				d.stats.DupChunks++
 				d.stats.DupBytes += sc.Size()
 				if d.dt.note(true) {
@@ -211,7 +221,9 @@ func (d *SubChunk) PutFile(name string, r io.Reader) error {
 				Size:      sc.Size(),
 				Kind:      store.KindPlain,
 			})
-			appendRef(store.FileRef{Container: container, Start: start, Size: sc.Size()})
+			if err := appendRef(store.FileRef{Container: container, Start: start, Size: sc.Size()}); err != nil {
+				return err
+			}
 			d.stats.NonDupChunks++
 			d.dt.note(false)
 		}

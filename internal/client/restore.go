@@ -57,6 +57,36 @@ func Restore(cfg Config, name string, verify bool, w io.Writer) (RestoreResult, 
 	if err := cn.write(wire.TypeRestoreReq, req.Marshal()); err != nil {
 		return RestoreResult{}, err
 	}
+	return receiveRestore(cn, name, w)
+}
+
+// RestoreRange streams length bytes of one file starting at offset into
+// w; length < 0 means through EOF, and a range reaching past EOF is
+// clamped by the server (the result reports what actually arrived). The
+// received stream is checked against the server's declared size and SHA-1
+// of the range exactly as in a whole-file restore.
+func RestoreRange(cfg Config, name string, verify bool, offset, length int64, w io.Writer) (RestoreResult, error) {
+	if offset < 0 {
+		return RestoreResult{}, fmt.Errorf("client: restore of %q: negative offset %d", name, offset)
+	}
+	cn, err := restoreSession(&cfg)
+	if err != nil {
+		return RestoreResult{}, err
+	}
+	defer cn.close()
+	req := wire.RestoreRange{Name: name, Verify: verify, Offset: uint64(offset), Length: wire.RestoreToEOF}
+	if length >= 0 {
+		req.Length = uint64(length)
+	}
+	if err := cn.write(wire.TypeRestoreRange, req.Marshal()); err != nil {
+		return RestoreResult{}, err
+	}
+	return receiveRestore(cn, name, w)
+}
+
+// receiveRestore drains one RestoreData*/RestoreEnd reply stream into w,
+// verifying the server's declared size and sum.
+func receiveRestore(cn *conn, name string, w io.Writer) (RestoreResult, error) {
 	hash := hashutil.NewHasher()
 	var total uint64
 	for {

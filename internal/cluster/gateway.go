@@ -465,7 +465,19 @@ func (gw *Gateway) serveRestoreConn(tenant string, read func() (wire.Frame, erro
 				sendErr(wire.CodeProtocol, false, "bad RestoreReq: %v", err)
 				return
 			}
-			if err := gw.relayRestore(tenant, req, send, sendErr); err != nil {
+			if err := gw.relayRestore(tenant, req.Name, f.Type, f.Payload, send, sendErr); err != nil {
+				return
+			}
+		case wire.TypeRestoreRange:
+			// Decode only to learn the name (placement) and validate the
+			// frame; the payload is relayed verbatim — the shard re-scopes
+			// the name itself from the tenant on its Hello.
+			req, err := wire.UnmarshalRestoreRange(f.Payload)
+			if err != nil {
+				sendErr(wire.CodeProtocol, false, "bad RestoreRange: %v", err)
+				return
+			}
+			if err := gw.relayRestore(tenant, req.Name, f.Type, f.Payload, send, sendErr); err != nil {
 				return
 			}
 		case wire.TypeClose:
@@ -542,14 +554,16 @@ func (gw *Gateway) shardList(sh Shard, tenant string) ([]string, error) {
 	return resp.Names, nil
 }
 
-// relayRestore streams one file from whichever shard has it. A nil
-// return means the client stream is still coherent (complete relay, or
-// an error frame sent before any data); a non-nil return means the
-// client connection is compromised and must be dropped.
-func (gw *Gateway) relayRestore(tenant string, req wire.RestoreReq, send sender,
+// relayRestore streams one file (or range: the request frame — RestoreReq
+// or RestoreRange — is relayed verbatim as ftype/payload; name is its
+// already-decoded file name, used only for placement) from whichever shard
+// has it. A nil return means the client stream is still coherent (complete
+// relay, or an error frame sent before any data); a non-nil return means
+// the client connection is compromised and must be dropped.
+func (gw *Gateway) relayRestore(tenant, name string, ftype uint8, payload []byte, send sender,
 	sendErr func(code uint16, retryable bool, format string, args ...any)) error {
 	full, write := gw.rings()
-	fullName := wire.NSJoin(tenant, req.Name)
+	fullName := wire.NSJoin(tenant, name)
 	// Probe order matters for freshness: the write-ring owner holds the
 	// newest version of any name (re)written during a drain, so it goes
 	// first; the full-ring owner holds everything placed before the
@@ -572,7 +586,7 @@ func (gw *Gateway) relayRestore(tenant string, req wire.RestoreReq, send sender,
 	}
 	var lastMsg string
 	for _, sh := range probe {
-		done, err := gw.relayRestoreFrom(sh, tenant, req, send)
+		done, err := gw.relayRestoreFrom(sh, tenant, ftype, payload, send)
 		if done {
 			return err
 		}
@@ -581,20 +595,20 @@ func (gw *Gateway) relayRestore(tenant string, req wire.RestoreReq, send sender,
 		}
 	}
 	gw.cErrors.Add(1)
-	sendErr(wire.CodeNotFound, false, "no shard has %q (last: %s)", req.Name, lastMsg)
+	sendErr(wire.CodeNotFound, false, "no shard has %q (last: %s)", name, lastMsg)
 	return nil
 }
 
 // relayRestoreFrom attempts the relay from one shard. done=false means
 // nothing was sent to the client yet and the next shard may be probed
 // (the file is not there, or the shard is unreachable).
-func (gw *Gateway) relayRestoreFrom(sh Shard, tenant string, req wire.RestoreReq, send sender) (done bool, err error) {
+func (gw *Gateway) relayRestoreFrom(sh Shard, tenant string, ftype uint8, payload []byte, send sender) (done bool, err error) {
 	bc, derr := gw.dialShard(sh, wire.Hello{Mode: wire.ModeRestore, Tenant: tenant})
 	if derr != nil {
 		return false, derr
 	}
 	defer bc.close()
-	if werr := bc.write(wire.TypeRestoreReq, req.Marshal()); werr != nil {
+	if werr := bc.write(ftype, payload); werr != nil {
 		return false, werr
 	}
 	first := true

@@ -82,6 +82,12 @@ type Config struct {
 	IngestWorkers int
 	// Poly optionally overrides the Rabin polynomial.
 	Poly rabin.Poly
+	// RecipeTrees stores file recipes as deduplicated recipe trees (the
+	// ref stream content-defined into content-addressed chunks with a
+	// Merkle-style root) instead of flat FileManifest objects. Trees give
+	// O(log n) ranged restore and cross-snapshot recipe dedup, and carry
+	// full 64-bit offsets; the flat format refuses refs past 4 GiB.
+	RecipeTrees bool
 }
 
 // DefaultConfig returns the paper-faithful configuration at library scale.

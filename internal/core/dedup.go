@@ -90,6 +90,7 @@ func NewOnDisk(cfg Config, disk *simdisk.Disk) (*Dedup, error) {
 		st:       store.New(disk, store.FormatMHD),
 		cacheIdx: newStripedIndex(),
 	}
+	d.st.SetRecipeConfig(store.RecipeConfig{Trees: cfg.RecipeTrees})
 	if cfg.SparseIndex {
 		d.sparseIdx = newStripedIndex()
 	} else if cfg.UseBloom {
@@ -594,7 +595,9 @@ func (d *Dedup) finishFile(f *fileState) error {
 		if !s.resolved {
 			return fmt.Errorf("core: unresolved chunk %d in %q", i, f.name)
 		}
-		fm.Append(s.ref)
+		if err := fm.Append(s.ref); err != nil {
+			return err
+		}
 		if s.dup {
 			d.stats.DupChunks.Add(1)
 			d.stats.DupBytes.Add(s.size)

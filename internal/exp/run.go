@@ -68,6 +68,9 @@ type Params struct {
 	// the baseline engines are single-stream).
 	HashWorkers   int
 	IngestWorkers int
+	// RecipeTrees stores file recipes as deduplicated recipe trees
+	// (64-bit-clean, O(log n) ranged restore) instead of flat manifests.
+	RecipeTrees bool
 }
 
 // DefaultParams returns paper-faithful settings for one algorithm.
@@ -123,6 +126,7 @@ func Build(p Params) (algo.Deduplicator, error) {
 		cfg.HashWorkers = p.HashWorkers
 		cfg.IngestWorkers = p.IngestWorkers
 		cfg.SparseIndex = p.Algo == AlgoSIMHD
+		cfg.RecipeTrees = p.RecipeTrees
 		return core.New(cfg)
 	case AlgoCDC:
 		cfg := baseline.DefaultCDCConfig()
@@ -130,6 +134,7 @@ func Build(p Params) (algo.Deduplicator, error) {
 		cfg.BloomBytes = p.bloomBytes()
 		cfg.CacheManifests = p.CacheManifests
 		cfg.UseBloom = p.UseBloom
+		cfg.RecipeTrees = p.RecipeTrees
 		return baseline.NewCDC(cfg)
 	case AlgoBimodal:
 		cfg := baseline.DefaultBimodalConfig()
@@ -138,6 +143,7 @@ func Build(p Params) (algo.Deduplicator, error) {
 		cfg.BloomBytes = p.bloomBytes()
 		cfg.CacheManifests = p.CacheManifests
 		cfg.UseBloom = p.UseBloom
+		cfg.RecipeTrees = p.RecipeTrees
 		return baseline.NewBimodal(cfg)
 	case AlgoSubChunk:
 		cfg := baseline.DefaultSubChunkConfig()
@@ -146,12 +152,14 @@ func Build(p Params) (algo.Deduplicator, error) {
 		cfg.BloomBytes = p.bloomBytes()
 		cfg.CacheManifests = p.CacheManifests
 		cfg.UseBloom = p.UseBloom
+		cfg.RecipeTrees = p.RecipeTrees
 		return baseline.NewSubChunk(cfg)
 	case AlgoSparse:
 		cfg := baseline.DefaultSparseConfig()
 		cfg.ECS = p.ECS
 		cfg.SD = p.SD
 		cfg.CacheManifests = p.CacheManifests
+		cfg.RecipeTrees = p.RecipeTrees
 		return baseline.NewSparse(cfg)
 	case AlgoFBC:
 		cfg := baseline.DefaultFBCConfig()
@@ -160,15 +168,18 @@ func Build(p Params) (algo.Deduplicator, error) {
 		cfg.BloomBytes = p.bloomBytes()
 		cfg.CacheManifests = p.CacheManifests
 		cfg.UseBloom = p.UseBloom
+		cfg.RecipeTrees = p.RecipeTrees
 		return baseline.NewFBC(cfg)
 	case AlgoFingerdiff:
 		cfg := baseline.DefaultFingerdiffConfig()
 		cfg.ECS = p.ECS
 		cfg.MaxCoalesce = p.SD
+		cfg.RecipeTrees = p.RecipeTrees
 		return baseline.NewFingerdiff(cfg)
 	case AlgoExtremeBinning:
 		cfg := baseline.DefaultExtremeBinningConfig()
 		cfg.ECS = p.ECS
+		cfg.RecipeTrees = p.RecipeTrees
 		return baseline.NewExtremeBinning(cfg)
 	default:
 		return nil, fmt.Errorf("exp: unknown algorithm %q", p.Algo)

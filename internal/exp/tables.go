@@ -285,7 +285,7 @@ func (s *Suite) RecipeCompression(ecs int) (string, error) {
 			if err != nil {
 				return "", err
 			}
-			fm, err := store.DecodeFileManifest(name, raw)
+			fm, err := store.MaterializeFileManifest(disk, name, raw)
 			if err != nil {
 				return "", err
 			}

@@ -786,6 +786,22 @@ func (s *Server) serveRestoreConn(tenant string, read func() (wire.Frame, error)
 				}
 				return // transport failure
 			}
+		case wire.TypeRestoreRange:
+			req, err := wire.UnmarshalRestoreRange(f.Payload)
+			if err != nil {
+				sendErr(wire.CodeProtocol, false, "bad RestoreRange: %v", err)
+				return
+			}
+			req.Name = wire.NSJoin(tenant, req.Name)
+			if err := s.streamRestoreRange(req, send); err != nil {
+				var sf *sessionFatal
+				if errors.As(err, &sf) {
+					s.cErrors.Add(1)
+					send(wire.TypeError, sf.msg.Marshal())
+					continue
+				}
+				return
+			}
 		case wire.TypeClose:
 			send(wire.TypeCloseOK, nil)
 			return
@@ -927,6 +943,47 @@ func (s *Server) streamRestore(req wire.RestoreReq, send sender) error {
 	d := s.hRestore.ObserveSince(start)
 	s.cfg.Events.SlowOp("restore", d,
 		events.F("name", req.Name), events.F("bytes", fw.total))
+	end := wire.RestoreEnd{TotalBytes: fw.total, Sum: fw.hash.Sum()}
+	return send(wire.TypeRestoreEnd, end.Marshal())
+}
+
+// streamRestoreRange is streamRestore for a byte range: the store's
+// RestoreRange descends the file's recipe (O(log n) recipe-chunk reads on
+// a tree; a linear recipe decode on a flat manifest) and only the covering
+// sub-manifest flows through the restore pipeline. The reply stream is the
+// whole-file grammar — RestoreData frames then RestoreEnd whose size and
+// SHA-1 describe the range actually sent (ranges past EOF clamp, so a
+// client can probe with a huge length and trust the End frame).
+func (s *Server) streamRestoreRange(req wire.RestoreRange, send sender) error {
+	if !s.cfg.Engine.Disk().Exists(simdisk.FileManifest, req.Name) {
+		return fatalf(wire.CodeNotFound, "no such file %q", req.Name)
+	}
+	off := int64(req.Offset)
+	length := int64(-1)
+	if req.Length != wire.RestoreToEOF {
+		length = int64(req.Length)
+	}
+	start := time.Now()
+	st := s.restoreStore()
+	fw := &frameWriter{send: send, max: int(s.cfg.MaxPayload) - restoreDataOverhead, hash: hashutil.NewHasher()}
+	ropts := store.RestoreOptions{Workers: s.cfg.RestoreWorkers, WindowBytes: s.cfg.RestoreWindowBytes}
+	var rerr error
+	if req.Verify {
+		_, rerr = store.NewVerifier(st, store.VerifyOpts{}).RestoreRange(req.Name, off, length, fw, ropts)
+	} else {
+		_, rerr = st.RestoreRange(req.Name, off, length, fw, ropts)
+	}
+	if rerr != nil {
+		return fatalf(wire.CodeInternal, "restore %q [%d,+%d): %v", req.Name, off, length, rerr)
+	}
+	if err := fw.flush(); err != nil {
+		return err
+	}
+	s.cRestores.Add(1)
+	s.cRestoreBytes.Add(int64(fw.total))
+	d := s.hRestore.ObserveSince(start)
+	s.cfg.Events.SlowOp("restore_range", d,
+		events.F("name", req.Name), events.F("offset", off), events.F("bytes", fw.total))
 	end := wire.RestoreEnd{TotalBytes: fw.total, Sum: fw.hash.Sum()}
 	return send(wire.TypeRestoreEnd, end.Marshal())
 }

@@ -47,6 +47,7 @@ var categoryDirs = map[Category]string{
 	Hook:         "hooks",
 	Manifest:     "manifests",
 	FileManifest: "files",
+	Recipe:       "recipes",
 }
 
 // markerFile is the top-level commit marker's name.
@@ -89,7 +90,7 @@ func (d *Disk) SetSaveHook(fn SaveHook) {
 // categoryOrder returns the categories in their fixed numeric order, so a
 // save visits objects deterministically (kill points are reproducible).
 func categoryOrder() []Category {
-	return []Category{Data, Hook, Manifest, FileManifest}
+	return []Category{Data, Hook, Manifest, FileManifest, Recipe}
 }
 
 // SaveDir writes every stored object under dir as a new generation and

@@ -33,11 +33,16 @@ const (
 	Manifest
 	// FileManifest holds per-input-file reconstruction recipes.
 	FileManifest
+	// Recipe holds content-addressed recipe-tree chunks: pieces of a
+	// FileManifest's serialized ref stream (and of the interior tree
+	// nodes above them), named by the SHA-1 of their payload so sibling
+	// snapshots' recipes share unchanged subtrees.
+	Recipe
 
 	numCategories
 )
 
-var categoryNames = [...]string{"data", "hook", "manifest", "filemanifest"}
+var categoryNames = [...]string{"data", "hook", "manifest", "filemanifest", "recipe"}
 
 // String returns the category name.
 func (c Category) String() string {
@@ -481,5 +486,5 @@ func (d *Disk) InodeOverheadBytes() int64 {
 // (data objects included, since each DiskChunk costs an inode too).
 func (d *Disk) MetadataBytes() int64 {
 	return d.BytesStored(Hook) + d.BytesStored(Manifest) + d.BytesStored(FileManifest) +
-		d.InodeOverheadBytes()
+		d.BytesStored(Recipe) + d.InodeOverheadBytes()
 }

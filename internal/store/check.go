@@ -123,7 +123,10 @@ func Check(disk *simdisk.Disk, format Format) CheckReport {
 			addf("file %q: unreadable: %v", name, err)
 			continue
 		}
-		fm, err := DecodeFileManifest(name, raw)
+		// Tree roots materialize through their recipe chunks, which also
+		// proves every chunk against its content address and the root's
+		// declared totals; flat payloads decode directly.
+		fm, err := loadFileManifestDisk(disk, name, raw, 0)
 		if err != nil {
 			addf("file %q: %v", name, err)
 			continue

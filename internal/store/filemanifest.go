@@ -32,16 +32,23 @@ type FileManifest struct {
 }
 
 // Append adds a run, merging it into the previous ref when it continues the
-// same DiskChunk contiguously.
-func (fm *FileManifest) Append(ref FileRef) {
+// same DiskChunk contiguously. Degenerate refs are rejected: a zero- or
+// negative-size ref poisons TotalBytes and the restore planner, and a
+// negative start can never address container bytes.
+func (fm *FileManifest) Append(ref FileRef) error {
+	if ref.Size <= 0 || ref.Start < 0 {
+		return fmt.Errorf("store: file %q: degenerate ref %s[%d,+%d)",
+			fm.File, ref.Container.Short(), ref.Start, ref.Size)
+	}
 	if n := len(fm.Refs); n > 0 {
 		last := &fm.Refs[n-1]
 		if last.Container == ref.Container && last.Start+last.Size == ref.Start {
 			last.Size += ref.Size
-			return
+			return nil
 		}
 	}
 	fm.Refs = append(fm.Refs, ref)
+	return nil
 }
 
 // TotalBytes returns the reconstructed file's size.
@@ -58,7 +65,12 @@ func (fm *FileManifest) ByteSize() int {
 	return len(fm.Refs) * FileRefBytes
 }
 
-// Encode serializes the manifest; output length equals ByteSize().
+// Encode serializes the manifest in the legacy flat format; output length
+// equals ByteSize(). The flat format carries 32-bit start/size fields, so
+// any ref past 4 GiB is *refused* with an error — silently truncating it
+// would corrupt exactly the huge disk images this system targets. Such
+// manifests must be stored as recipe trees (WriteFileManifestTree), whose
+// varint leaf encoding carries full 64-bit offsets.
 func (fm *FileManifest) Encode() ([]byte, error) {
 	out := make([]byte, 0, fm.ByteSize())
 	for _, r := range fm.Refs {

@@ -30,6 +30,10 @@ type GCStats struct {
 	ManifestsDeleted   int
 	HooksDeleted       int
 	ManifestBytesFreed int64
+	// Recipe-tree chunks swept: content-addressed Recipe objects no
+	// surviving tree root reaches.
+	RecipeChunksDeleted int
+	RecipeBytesFreed    int64
 }
 
 // Sweep reclaims every DiskChunk no FileManifest references, together with
@@ -41,20 +45,40 @@ type GCStats struct {
 func (s *Store) Sweep() (GCStats, error) {
 	var st GCStats
 
-	// Mark: every container referenced by any file recipe is live.
+	// Mark: every container referenced by any file recipe is live, and —
+	// for recipe trees — so is every recipe chunk the tree reaches
+	// (materializing the manifest visits exactly that set).
 	live := make(map[string]bool)
+	liveRecipe := make(map[string]bool)
 	for _, fname := range s.disk.Names(simdisk.FileManifest) {
 		raw, err := s.disk.Read(simdisk.FileManifest, fname)
 		if err != nil {
 			return st, fmt.Errorf("store: sweep: %w", err)
 		}
-		fm, err := DecodeFileManifest(fname, raw)
+		fm, chunks, _, err := materializeManifest(s.disk, fname, raw, 0)
 		if err != nil {
 			return st, fmt.Errorf("store: sweep: %w", err)
+		}
+		for _, c := range chunks {
+			liveRecipe[c] = true
 		}
 		for _, ref := range fm.Refs {
 			live[ref.Container.Hex()] = true
 		}
+	}
+
+	// Sweep recipe chunks no surviving tree reaches (orphaned by DeleteFile
+	// or by a crash between chunk writes and the root commit).
+	for _, rname := range s.disk.Names(simdisk.Recipe) {
+		if liveRecipe[rname] {
+			continue
+		}
+		size, _ := s.disk.Size(simdisk.Recipe, rname)
+		if err := s.disk.Delete(simdisk.Recipe, rname); err != nil {
+			return st, err
+		}
+		st.RecipeChunksDeleted++
+		st.RecipeBytesFreed += size
 	}
 
 	// Sweep containers and their same-named manifests.

@@ -3,6 +3,7 @@ package store
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"mhdedup/internal/hashutil"
 )
@@ -48,15 +49,23 @@ func CompressRecipe(fm *FileManifest) []byte {
 	return out
 }
 
-// DecompressRecipe decodes the compact recipe format.
+// DecompressRecipe decodes the compact recipe format. The input may be
+// hostile or truncated (recipes cross the wire inside recipe-tree chunks),
+// so every declared count and field is bounded against the bytes actually
+// present: the container count is checked without the multiplication that
+// a huge count would overflow, sizes above MaxInt64 are rejected before
+// the int64 conversion flips them negative, and the running start/end
+// arithmetic rejects int64 overflow instead of wrapping into wrong refs.
 func DecompressRecipe(file string, data []byte) (*FileManifest, error) {
 	nc, n := binary.Uvarint(data)
 	if n <= 0 {
 		return nil, fmt.Errorf("store: recipe: bad container count")
 	}
 	data = data[n:]
-	if uint64(len(data)) < nc*hashutil.Size {
-		return nil, fmt.Errorf("store: recipe: truncated container table")
+	// Divide, don't multiply: nc*hashutil.Size wraps for nc near 2^64 and
+	// would both pass the bound and drive a huge allocation below.
+	if nc > uint64(len(data))/hashutil.Size {
+		return nil, fmt.Errorf("store: recipe: container count %d exceeds remaining %d bytes", nc, len(data))
 	}
 	containers := make([]hashutil.Sum, nc)
 	for i := range containers {
@@ -77,13 +86,22 @@ func DecompressRecipe(file string, data []byte) (*FileManifest, error) {
 		}
 		data = data[n:]
 		size, n := binary.Uvarint(data)
-		if n <= 0 || size == 0 {
+		if n <= 0 || size == 0 || size > math.MaxInt64 {
 			return nil, fmt.Errorf("store: recipe: bad size")
 		}
 		data = data[n:]
-		start := prevEnd[int(ci)] + delta
+		prev := prevEnd[int(ci)]
+		start := prev + delta
+		// Overflow on the signed add yields a start on the wrong side of
+		// prev; reject it rather than emit a wrong ref.
+		if (delta > 0 && start < prev) || (delta < 0 && start > prev) {
+			return nil, fmt.Errorf("store: recipe: start delta overflows")
+		}
 		if start < 0 {
 			return nil, fmt.Errorf("store: recipe: negative start")
+		}
+		if start > math.MaxInt64-int64(size) {
+			return nil, fmt.Errorf("store: recipe: ref end overflows")
 		}
 		// Append verbatim (no coalescing): decompression must reproduce
 		// the ref sequence exactly.

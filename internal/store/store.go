@@ -44,6 +44,10 @@ type Store struct {
 	// ev, when set via SetEventLog, receives restore-pipeline slow-op and
 	// summary events. Nil (the default) discards them.
 	ev *events.Log
+
+	// rcfg selects how WriteFileManifest stores recipes (flat vs recipe
+	// trees). Reads are always format-blind. See recipetree.go.
+	rcfg RecipeConfig
 }
 
 // New returns a Store over disk using the given manifest format.
@@ -204,8 +208,15 @@ func (s *Store) AddHookTarget(h, manifest hashutil.Sum, maxTargets int) error {
 	return s.disk.Write(simdisk.Hook, h.Hex(), payload)
 }
 
-// WriteFileManifest stores the reconstruction recipe for one input file.
+// WriteFileManifest stores the reconstruction recipe for one input file —
+// flat by default, as a recipe tree when the store's RecipeConfig says so.
+// The flat encoder refuses refs outside its 32-bit fields; such manifests
+// require the tree format.
 func (s *Store) WriteFileManifest(fm *FileManifest) error {
+	if s.rcfg.Trees {
+		_, err := s.WriteFileManifestTree(fm)
+		return err
+	}
 	data, err := fm.Encode()
 	if err != nil {
 		return err
@@ -213,13 +224,14 @@ func (s *Store) WriteFileManifest(fm *FileManifest) error {
 	return s.disk.Create(simdisk.FileManifest, fm.File, data)
 }
 
-// ReadFileManifest loads the recipe for file.
+// ReadFileManifest loads the recipe for file, materializing recipe trees
+// transparently (the payload's root magic decides the format).
 func (s *Store) ReadFileManifest(file string) (*FileManifest, error) {
 	data, err := s.disk.Read(simdisk.FileManifest, file)
 	if err != nil {
 		return nil, err
 	}
-	return DecodeFileManifest(file, data)
+	return loadFileManifestDisk(s.disk, file, data, 0)
 }
 
 // RestoreFile rebuilds an input file by following its FileManifest and

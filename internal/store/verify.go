@@ -266,7 +266,7 @@ func (v *Verifier) RestoreFile(file string, w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("store: restore %q: %w", file, err)
 	}
-	fm, err := DecodeFileManifest(file, raw)
+	fm, err := loadFileManifestDisk(v.s.disk, file, raw, v.opts.retries())
 	if err != nil {
 		return fmt.Errorf("store: restore %q: %w", file, err)
 	}
@@ -314,7 +314,7 @@ func (v *Verifier) RestoreFileOpts(file string, w io.Writer, opts RestoreOptions
 	if err != nil {
 		return fmt.Errorf("store: restore %q: %w", file, err)
 	}
-	fm, err := DecodeFileManifest(file, raw)
+	fm, err := loadFileManifestDisk(v.s.disk, file, raw, v.opts.retries())
 	if err != nil {
 		return fmt.Errorf("store: restore %q: %w", file, err)
 	}
@@ -512,7 +512,7 @@ func (s *Store) Scrub(opts VerifyOpts, quarantine QuarantineFunc) (ScrubReport, 
 			rep.AffectedFiles = append(rep.AffectedFiles, fname)
 			continue
 		}
-		fm, err := DecodeFileManifest(fname, raw)
+		fm, err := loadFileManifestDisk(s.disk, fname, raw, 0)
 		if err != nil {
 			rep.AffectedFiles = append(rep.AffectedFiles, fname)
 			continue

@@ -206,6 +206,8 @@ func UnmarshalAny(f Frame) (any, error) {
 		return UnmarshalAck(f.Payload)
 	case TypeRestoreReq:
 		return UnmarshalRestoreReq(f.Payload)
+	case TypeRestoreRange:
+		return UnmarshalRestoreRange(f.Payload)
 	case TypeRestoreData:
 		return UnmarshalRestoreData(f.Payload)
 	case TypeRestoreEnd:
@@ -602,6 +604,63 @@ func UnmarshalRestoreReq(p []byte) (RestoreReq, error) {
 	q.Name = r.str()
 	q.Verify = r.bool()
 	return q, r.done()
+}
+
+// RestoreToEOF is the RestoreRange length meaning "through end of file".
+const RestoreToEOF = ^uint64(0)
+
+// restoreRangeVersion versions the RestoreRange payload grammar.
+const restoreRangeVersion = 1
+
+// maxRestoreExtent bounds offsets and lengths a peer may request: 2^62
+// bytes is beyond any storable file, so anything larger (other than the
+// RestoreToEOF sentinel) is a hostile or corrupt frame, rejected at decode
+// before it can reach int64 arithmetic.
+const maxRestoreExtent = uint64(1) << 62
+
+// RestoreRange asks for Length bytes of one file starting at Offset
+// (RestoreToEOF = through EOF). The reply stream is the same
+// RestoreData*/RestoreEnd as a whole-file restore — RestoreEnd carries the
+// size and SHA-1 of the range actually sent (ranges past EOF clamp).
+type RestoreRange struct {
+	Name   string
+	Verify bool
+	Offset uint64
+	Length uint64
+}
+
+// Marshal encodes q as a TypeRestoreRange payload.
+func (q RestoreRange) Marshal() []byte {
+	b := make([]byte, 0, 1+4+len(q.Name)+1+16)
+	b = append(b, restoreRangeVersion)
+	b = putStr(b, q.Name)
+	b = putBool(b, q.Verify)
+	b = putU64(b, q.Offset)
+	return putU64(b, q.Length)
+}
+
+// UnmarshalRestoreRange decodes a TypeRestoreRange payload, rejecting
+// extents no real file can have before any arithmetic happens on them.
+func UnmarshalRestoreRange(p []byte) (RestoreRange, error) {
+	r := &reader{buf: p}
+	if v := r.u8(); r.e == nil && v != restoreRangeVersion {
+		return RestoreRange{}, fmt.Errorf("wire: RestoreRange version %d not supported", v)
+	}
+	var q RestoreRange
+	q.Name = r.str()
+	q.Verify = r.bool()
+	q.Offset = r.u64()
+	q.Length = r.u64()
+	if err := r.done(); err != nil {
+		return RestoreRange{}, err
+	}
+	if q.Offset > maxRestoreExtent {
+		return RestoreRange{}, fmt.Errorf("wire: RestoreRange offset %d out of range", q.Offset)
+	}
+	if q.Length > maxRestoreExtent && q.Length != RestoreToEOF {
+		return RestoreRange{}, fmt.Errorf("wire: RestoreRange length %d out of range", q.Length)
+	}
+	return q, nil
 }
 
 // RestoreData is one run of restored bytes, in file order.

@@ -89,6 +89,9 @@ const (
 	TypePeerChunks uint8 = 18 // shard → gateway: the subset it holds
 	TypePeerPut    uint8 = 19 // gateway → shard: chunk bytes to cache
 	TypePeerPutOK  uint8 = 20 // shard → gateway: cached (flow control)
+
+	// Ranged restore (recipe trees make the seek O(log n) server-side).
+	TypeRestoreRange uint8 = 21 // client → server: restore a byte range
 )
 
 // typeNames renders frame types for errors and traces.
@@ -101,6 +104,7 @@ var typeNames = map[uint8]string{
 	TypeListResp: "ListResp", TypeClose: "Close", TypeCloseOK: "CloseOK",
 	TypePeerFetch: "PeerFetch", TypePeerChunks: "PeerChunks",
 	TypePeerPut: "PeerPut", TypePeerPutOK: "PeerPutOK",
+	TypeRestoreRange: "RestoreRange",
 }
 
 // TypeName returns a human-readable frame-type name.
