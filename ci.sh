@@ -5,8 +5,10 @@
 # emits and shape-checks the BENCH_ingest.json perf-trajectory artifact,
 # a live dedupd debug-endpoint smoke (/metrics.json, /healthz,
 # /events.json, pprof), a gateway loopback smoke plus a live dedup-gw
-# admin-endpoint smoke, a 30-second cluster churn soak under the race
-# detector, and short fuzz smokes of the decoder surfaces. This is the command the concurrency and
+# admin-endpoint smoke, the cluster fault-matrix short preset, 30-second
+# cluster churn soaks (one plain, one with a shard hard-killed mid-run
+# at R=2) under the race detector, and short fuzz smokes of the decoder
+# surfaces. This is the command the concurrency and
 # robustness work is held to — `go test -race` covers the 8-goroutine
 # ingest stress test, the striped index and LRU hammer tests, the pipeline
 # shutdown/leak tests, and the kill-point persistence tests.
@@ -62,11 +64,27 @@ go test -race -count=1 \
     -run 'TestClusterRoundTripMatchesSingleNode|TestClusterChunkRoutingSavesClientBandwidth|TestClusterDrainMidRun|TestClusterKillConnectionResume|TestClusterTenants' \
     ./internal/cluster
 
+echo "== cluster fault matrix (short preset, race) =="
+# The replication acceptance gate: {kill shard mid-ingest, kill shard
+# mid-restore, drain+rebalance under live traffic, kill gateway and
+# reattach, corrupt a replica on disk}, each cell gated on bit-identical
+# verified restores of every acked file and a full replication factor
+# after repair. -short runs every cell at R=2 seed=1; the full suite
+# above already ran the R=1..3 x seeds matrix.
+go test -race -short -count=1 -run 'TestClusterFaultMatrix' ./internal/cluster
+
 echo "== cluster churn soak (30s, race) =="
 # In-process shards + gateway hammered by concurrent tenants: ingest,
 # restore-and-verify, injected connection deaths, quota sheds and a
 # mid-run shard drain. Gated on zero corruption and a bounded heap.
 go run -race ./cmd/soak -short
+
+echo "== cluster kill-shard soak (30s, race, R=2) =="
+# The same churn with one shard hard-killed mid-run: with 2-way
+# replication every file acked before or after the kill must still
+# verify bit-identical, and a post-churn repair scan must restore the
+# full replication factor. Gated on zero corruption.
+go run -race ./cmd/soak -short -replication 2 -kill-shard
 
 echo "== sustained-write soak (race) =="
 # Concurrent ingest + verified restores against a live durable store while
@@ -104,9 +122,14 @@ for key in '"wal_mb_per_s"' '"group_commits"' '"replayed_records"' \
 done
 # The cluster stage pushes the same workload through a gateway + 3
 # dedupd shards over loopback and restores it back through the gateway
-# (bench exits non-zero if the round-trip hash diverges).
+# (bench exits non-zero if the round-trip hash diverges). The
+# replication sub-stage re-runs it at R=2, rebalances one shard away,
+# kills another, and restores everything through what is left (bench
+# exits non-zero if the failover restore hash diverges; the grep
+# double-checks the emitted document says so).
 for key in '"cluster_mb_per_s"' '"shard_balance"' '"balance_ratio"' \
-    '"chunks_peer_routed"'; do
+    '"chunks_peer_routed"' '"replication_overhead_ratio"' \
+    '"rebalanced_files"' '"failover_restore_ok": true'; do
     grep -q "$key" /tmp/BENCH_ingest.ci.json || {
         echo "bench smoke: $key missing from BENCH_ingest.json" >&2; exit 1; }
 done
@@ -155,8 +178,8 @@ rm -f /tmp/dedupd.ci
 
 echo "== dedup-gw admin endpoint smoke =="
 # The gateway must serve /healthz, a shard-balance-bearing /metrics.json
-# and the POST /drain-shard admin verb in front of live shards, and
-# drain cleanly on SIGTERM.
+# and the drain-shard / rebalance-shard / repair-scan / replication
+# admin verbs in front of live shards, and drain cleanly on SIGTERM.
 go build -o /tmp/dedupd.ci ./cmd/dedupd
 go build -o /tmp/dedup-gw.ci ./cmd/dedup-gw
 /tmp/dedupd.ci -addr 127.0.0.1:7473 &
@@ -174,10 +197,17 @@ done
 curl -fsS http://127.0.0.1:7475/healthz | grep -q ok
 curl -fsS http://127.0.0.1:7475/metrics.json | grep -q '"shards"'
 curl -fsS http://127.0.0.1:7475/events.json | grep -q '"events"'
+curl -fsS http://127.0.0.1:7475/replication | grep -q '"fully_replicated"'
+curl -fsS -X POST http://127.0.0.1:7475/repair-scan | grep -q '"repaired"'
+curl -fsS -X POST 'http://127.0.0.1:7475/rebalance-shard?id=s1' | grep -q '"dropped"'
 curl -fsS -X POST 'http://127.0.0.1:7475/drain-shard?id=s1' | grep -q draining
 # Draining an unknown shard must be refused.
 if curl -fsS -X POST 'http://127.0.0.1:7475/drain-shard?id=nope' >/dev/null 2>&1; then
     echo "dedup-gw smoke: draining an unknown shard succeeded" >&2; exit 1
+fi
+# Rebalancing an unknown shard must be refused too.
+if curl -fsS -X POST 'http://127.0.0.1:7475/rebalance-shard?id=nope' >/dev/null 2>&1; then
+    echo "dedup-gw smoke: rebalancing an unknown shard succeeded" >&2; exit 1
 fi
 kill -TERM "$GW_PID"
 wait "$GW_PID"
@@ -193,7 +223,8 @@ go test -run '^$' -fuzz 'FuzzEncodeDecodeName' -fuzztime 5s ./internal/simdisk
 go test -run '^$' -fuzz 'FuzzDecodeManifest$' -fuzztime 5s ./internal/store
 go test -run '^$' -fuzz 'FuzzDecodeFileManifest' -fuzztime 5s ./internal/store
 go test -run '^$' -fuzz 'FuzzDecompressRecipe' -fuzztime 5s ./internal/store
-go test -run '^$' -fuzz 'FuzzWireDecode' -fuzztime 5s ./internal/wire
+go test -run '^$' -fuzz 'FuzzWireDecode$' -fuzztime 5s ./internal/wire
+go test -run '^$' -fuzz 'FuzzWireReplicaDecode' -fuzztime 5s ./internal/wire
 go test -run '^$' -fuzz 'FuzzChunkerParity' -fuzztime 5s ./internal/chunker
 
 echo "CI OK"

@@ -58,32 +58,55 @@ type clusterDoc struct {
 	IngestSHA1  string `json:"ingest_sha1"`
 	RestoreSHA1 string `json:"restore_sha1"`
 	HashMatch   bool   `json:"hash_match"`
+
+	// Replication sub-stage: the same workload pushed through a fresh
+	// cluster at R=2, then one shard rebalanced away and a DIFFERENT
+	// shard hard-killed before a full verified restore — the durability
+	// claim, priced. ReplicationOverheadRatio is R=2 throughput over R=1
+	// (the cost of writing everything twice); FailoverRestoreOK is the
+	// gate that every file restored bit-identical with a shard dead.
+	ReplicationFactor        int     `json:"replication_factor,omitempty"`
+	ReplicationMBPerS        float64 `json:"replication_mb_per_s,omitempty"`
+	ReplicationOverheadRatio float64 `json:"replication_overhead_ratio,omitempty"`
+	RebalancedFiles          int     `json:"rebalanced_files"`
+	FailoverRestoreOK        bool    `json:"failover_restore_ok"`
 }
 
-// runClusterStage stands up o.clusterShards dedupd shards and a gateway
-// on loopback, ingests the workload through the gateway with the
-// ordinary client, restores everything back through it, and hash-gates
-// the round trip.
-func runClusterStage(o benchOptions, baselineMBPerS float64) (*clusterDoc, error) {
+// benchCluster is one in-process shard fleet + gateway on loopback.
+type benchCluster struct {
+	shards  []cluster.Shard
+	servers []*server.Server
+	gw      *cluster.Gateway
+	reg     *metrics.Registry
+	cfg     client.Config
+}
+
+func (bc *benchCluster) close() {
+	bc.gw.Close()
+	for _, s := range bc.servers {
+		s.Close()
+	}
+}
+
+// startBenchCluster builds o.clusterShards dedupd shards behind a
+// gateway with the given replication factor.
+func startBenchCluster(o benchOptions, evlog *events.Log, replication int) (*benchCluster, error) {
 	algo := o.algo
 	if algo == "" {
 		algo = exp.AlgoMHD
 	}
-	evlog := events.New(events.Options{Level: events.LevelError, Out: os.Stderr})
-
-	var shards []cluster.Shard
-	var servers []*server.Server
-	var listeners []net.Listener
-	defer func() {
-		for _, s := range servers {
+	bc := &benchCluster{reg: metrics.NewRegistry()}
+	fail := func(err error) (*benchCluster, error) {
+		for _, s := range bc.servers {
 			s.Close()
 		}
-	}()
+		return nil, err
+	}
 	for i := 0; i < o.clusterShards; i++ {
 		p := exp.DefaultParams(algo, o.ecs, o.sd, 64<<20)
 		eng, err := exp.Build(p)
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		srv, err := server.New(server.Config{
 			Engine:   eng.(*core.Dedup),
@@ -91,65 +114,104 @@ func runClusterStage(o benchOptions, baselineMBPerS float64) (*clusterDoc, error
 			Events:   evlog,
 		})
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			return nil, err
+			return fail(err)
 		}
 		go srv.Serve(ln)
-		servers = append(servers, srv)
-		listeners = append(listeners, ln)
-		shards = append(shards, cluster.Shard{ID: fmt.Sprintf("s%d", i), Addr: ln.Addr().String()})
+		bc.servers = append(bc.servers, srv)
+		bc.shards = append(bc.shards, cluster.Shard{ID: fmt.Sprintf("s%d", i), Addr: ln.Addr().String()})
 	}
-	reg := metrics.NewRegistry()
 	gw, err := cluster.NewGateway(cluster.GatewayConfig{
-		Shards:   shards,
-		Registry: reg,
-		Events:   evlog,
+		Shards:      bc.shards,
+		Replication: replication,
+		Registry:    bc.reg,
+		Events:      evlog,
 	})
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	gwLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	go gw.Serve(gwLn)
-	defer gw.Close()
-
-	cfg := client.Config{
+	bc.gw = gw
+	bc.cfg = client.Config{
 		Addr:    gwLn.Addr().String(),
-		Options: servers[0].Options(),
+		Options: bc.servers[0].Options(),
 	}
+	return bc, nil
+}
+
+// ingestWorkload pushes the seeded workload through the gateway with the
+// ordinary client, returning files, bytes, seconds and the stream hash.
+func (bc *benchCluster) ingestWorkload(o benchOptions) (files int, bytes int64, seconds float64, sum hashutil.Sum, err error) {
 	w, err := dedup.NewWorkload(workloadConfig(o))
 	if err != nil {
-		return nil, err
+		return 0, 0, 0, sum, err
 	}
-
-	doc := &clusterDoc{Shards: o.clusterShards, BaselineMBPerS: baselineMBPerS}
 	ingestHash := hashutil.NewHasher()
-	ing, err := client.Connect(cfg)
+	ing, err := client.Connect(bc.cfg)
 	if err != nil {
-		return nil, fmt.Errorf("cluster stage connect: %w", err)
+		return 0, 0, 0, sum, fmt.Errorf("cluster stage connect: %w", err)
 	}
 	start := time.Now()
 	for _, f := range w.Files() {
 		r, err := w.Open(f.Name)
 		if err != nil {
-			return nil, err
+			return 0, 0, 0, sum, err
 		}
 		ingestHash.Write([]byte(f.Name))
 		if err := ing.PutFile(f.Name, io.TeeReader(r, ingestHash)); err != nil {
-			return nil, fmt.Errorf("cluster ingest %s: %w", f.Name, err)
+			return 0, 0, 0, sum, fmt.Errorf("cluster ingest %s: %w", f.Name, err)
 		}
-		doc.Files++
+		files++
 	}
 	if err := ing.Close(); err != nil {
+		return 0, 0, 0, sum, err
+	}
+	return files, ing.Stats().InputBytes, time.Since(start).Seconds(), ingestHash.Sum(), nil
+}
+
+// restoreWorkload restores every workload file back through the gateway
+// (server-side verification on) and returns the combined stream hash.
+func (bc *benchCluster) restoreWorkload(o benchOptions) (hashutil.Sum, error) {
+	var sum hashutil.Sum
+	w, err := dedup.NewWorkload(workloadConfig(o))
+	if err != nil {
+		return sum, err
+	}
+	restoreHash := hashutil.NewHasher()
+	for _, f := range w.Files() {
+		restoreHash.Write([]byte(f.Name))
+		if _, err := client.Restore(bc.cfg, f.Name, true, restoreHash); err != nil {
+			return sum, fmt.Errorf("cluster restore %s: %w", f.Name, err)
+		}
+	}
+	return restoreHash.Sum(), nil
+}
+
+// runClusterStage stands up o.clusterShards dedupd shards and a gateway
+// on loopback, ingests the workload through the gateway with the
+// ordinary client, restores everything back through it, and hash-gates
+// the round trip.
+func runClusterStage(o benchOptions, baselineMBPerS float64) (*clusterDoc, error) {
+	evlog := events.New(events.Options{Level: events.LevelError, Out: os.Stderr})
+	bc, err := startBenchCluster(o, evlog, 1)
+	if err != nil {
 		return nil, err
 	}
-	doc.Seconds = time.Since(start).Seconds()
-	doc.Bytes = ing.Stats().InputBytes
+	defer bc.close()
+
+	doc := &clusterDoc{Shards: o.clusterShards, BaselineMBPerS: baselineMBPerS}
+	files, bytes, seconds, ingestSum, err := bc.ingestWorkload(o)
+	if err != nil {
+		return nil, err
+	}
+	doc.Files, doc.Bytes, doc.Seconds = files, bytes, seconds
 	doc.ClusterMBPerS = mbPerS(doc.Bytes, doc.Seconds)
 	if baselineMBPerS > 0 {
 		doc.OverheadRatio = doc.ClusterMBPerS / baselineMBPerS
@@ -157,31 +219,28 @@ func runClusterStage(o benchOptions, baselineMBPerS float64) (*clusterDoc, error
 
 	// Restore everything back through the gateway in ingest stream order;
 	// the name+content hashing mirrors the WAL stage's gate.
-	names, err := client.List(cfg)
+	names, err := client.List(bc.cfg)
 	if err != nil {
 		return nil, err
 	}
 	if len(names) != doc.Files {
 		return nil, fmt.Errorf("cluster stage: listed %d files, ingested %d", len(names), doc.Files)
 	}
-	restoreHash := hashutil.NewHasher()
-	for _, f := range w.Files() {
-		restoreHash.Write([]byte(f.Name))
-		if _, err := client.Restore(cfg, f.Name, true, restoreHash); err != nil {
-			return nil, fmt.Errorf("cluster restore %s: %w", f.Name, err)
-		}
+	restoreSum, err := bc.restoreWorkload(o)
+	if err != nil {
+		return nil, err
 	}
-	doc.IngestSHA1 = ingestHash.Sum().Hex()
-	doc.RestoreSHA1 = restoreHash.Sum().Hex()
+	doc.IngestSHA1 = ingestSum.Hex()
+	doc.RestoreSHA1 = restoreSum.Hex()
 	doc.HashMatch = doc.IngestSHA1 == doc.RestoreSHA1
 	if !doc.HashMatch {
 		return nil, fmt.Errorf("cluster stage: restored hash %s != ingested %s through the gateway",
 			doc.RestoreSHA1, doc.IngestSHA1)
 	}
 
-	stats := gw.ShardStats()
+	stats := bc.gw.ShardStats()
 	var minB, maxB int64
-	for _, sh := range shards {
+	for _, sh := range bc.shards {
 		fb := stats[sh.ID]
 		doc.Balance = append(doc.Balance, shardBalance{ID: sh.ID, Files: fb[0], Bytes: fb[1]})
 		if minB == 0 || fb[1] < minB {
@@ -194,10 +253,60 @@ func runClusterStage(o benchOptions, baselineMBPerS float64) (*clusterDoc, error
 	if minB > 0 {
 		doc.BalanceRatio = float64(maxB) / float64(minB)
 	}
-	doc.ChunksFromClient = reg.Counter("gateway.chunks.from_client").Load()
-	doc.ChunksPeerRouted = reg.Counter("gateway.chunks.peer_routed").Load()
-	for _, ln := range listeners {
-		ln.Close()
+	doc.ChunksFromClient = bc.reg.Counter("gateway.chunks.from_client").Load()
+	doc.ChunksPeerRouted = bc.reg.Counter("gateway.chunks.peer_routed").Load()
+
+	if o.clusterShards >= 3 {
+		if err := runReplicationSubStage(o, evlog, doc, ingestSum); err != nil {
+			return nil, err
+		}
 	}
 	return doc, nil
+}
+
+// runReplicationSubStage prices the durability claim: the same workload
+// at R=2 (timed against the R=1 run), one shard rebalanced away, a
+// DIFFERENT shard hard-killed, and a full verified restore through what
+// is left. Needs at least 3 shards so a live replica survives both.
+func runReplicationSubStage(o benchOptions, evlog *events.Log, doc *clusterDoc, want hashutil.Sum) error {
+	bc, err := startBenchCluster(o, evlog, 2)
+	if err != nil {
+		return err
+	}
+	defer bc.close()
+
+	_, bytes, seconds, ingestSum, err := bc.ingestWorkload(o)
+	if err != nil {
+		return fmt.Errorf("replication sub-stage: %w", err)
+	}
+	if ingestSum != want {
+		return fmt.Errorf("replication sub-stage: workload stream diverged between runs")
+	}
+	doc.ReplicationFactor = 2
+	doc.ReplicationMBPerS = mbPerS(bytes, seconds)
+	if doc.ClusterMBPerS > 0 {
+		doc.ReplicationOverheadRatio = doc.ReplicationMBPerS / doc.ClusterMBPerS
+	}
+
+	rep, err := bc.gw.RebalanceShard(bc.shards[0].ID)
+	if err != nil {
+		return fmt.Errorf("replication sub-stage rebalance: %w (report %+v)", err, rep)
+	}
+	if rep.Dropped != rep.Files {
+		return fmt.Errorf("replication sub-stage: rebalance emptied %d of %d files", rep.Dropped, rep.Files)
+	}
+	doc.RebalancedFiles = rep.Files
+
+	// Kill a shard that now holds replicas; every restore must fail over.
+	bc.servers[1].Close()
+	restoreSum, err := bc.restoreWorkload(o)
+	if err != nil {
+		return fmt.Errorf("replication sub-stage: restore with a dead shard: %w", err)
+	}
+	doc.FailoverRestoreOK = restoreSum == want
+	if !doc.FailoverRestoreOK {
+		return fmt.Errorf("replication sub-stage: failover restore hash %s != ingested %s",
+			restoreSum.Hex(), want.Hex())
+	}
+	return nil
 }

@@ -515,6 +515,12 @@ func run(o benchOptions) error {
 			clusterStage.ClusterMBPerS, clusterStage.Shards, clusterStage.OverheadRatio,
 			clusterStage.BalanceRatio, clusterStage.ChunksPeerRouted,
 			clusterStage.ChunksPeerRouted+clusterStage.ChunksFromClient, clusterStage.HashMatch)
+		if clusterStage.ReplicationFactor > 0 {
+			fmt.Fprintf(os.Stderr, "bench: replication R=%d ingest %.1f MB/s (%.2fx of R=1), %d files rebalanced, failover restore ok=%v\n",
+				clusterStage.ReplicationFactor, clusterStage.ReplicationMBPerS,
+				clusterStage.ReplicationOverheadRatio, clusterStage.RebalancedFiles,
+				clusterStage.FailoverRestoreOK)
+		}
 	}
 
 	// Per-stage latency off the process-wide registry (the engine hot
@@ -687,7 +693,7 @@ func runSnapshotPair(doc *rangedDoc) error {
 		i := (k*977 + 13) % nrefs
 		var c hashutil.Sum
 		binary.BigEndian.PutUint64(c[:8], uint64(1<<40+k))
-		second[i] = store.FileRef{Container: c, Start: int64(rng.Intn(1 << 20)) + 1, Size: int64(512 + rng.Intn(8192))}
+		second[i] = store.FileRef{Container: c, Start: int64(rng.Intn(1<<20)) + 1, Size: int64(512 + rng.Intn(8192))}
 	}
 
 	st := store.New(simdisk.New(), store.FormatMHD)

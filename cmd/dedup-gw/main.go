@@ -19,10 +19,24 @@
 //
 // -metrics-addr serves /metrics.json (gateway counters, per-shard
 // routing balance, tenant usage), /healthz, /events.json and the
-// standard pprof profiles, plus the admin verb
-// POST /drain-shard?id=<shard> which removes a shard from the write ring:
-// new files route to the survivors while everything already stored on it
-// stays restorable.
+// standard pprof profiles, plus the admin verbs:
+//
+//	POST /drain-shard?id=<shard>      remove a shard from the write ring:
+//	                                  new files route to the survivors while
+//	                                  everything already stored on it stays
+//	                                  restorable
+//	POST /rebalance-shard?id=<shard>  drain the shard AND migrate every file
+//	                                  it holds to the files' new write-ring
+//	                                  owners, emptying it for decommission
+//	POST /repair-scan                 re-replicate every under-replicated
+//	                                  file onto its missing write-ring owners
+//	GET  /replication                 report how many files sit on all of
+//	                                  their owners (the invariant check)
+//
+// -replication N stores each file on the N distinct write-ring successor
+// owners of its name: with N>=2 any single shard can die without losing
+// an acked file (restores fail over to a surviving replica, and
+// /repair-scan restores the factor afterwards).
 //
 // On SIGINT/SIGTERM the gateway drains: it stops accepting, refuses new
 // sessions retryably, and waits (bounded by -drain-timeout) for in-flight
@@ -57,6 +71,7 @@ func main() {
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics.json, /healthz and /drain-shard on this address (off when empty)")
 	flag.StringVar(&o.shards, "shards", "", "cluster membership as id=addr,id=addr,... (required)")
 	flag.IntVar(&o.vnodes, "vnodes", cluster.DefaultVNodes, "virtual nodes per shard on the hash ring")
+	flag.IntVar(&o.replication, "replication", 1, "distinct shards holding each file (>=2 survives a single shard death)")
 	flag.StringVar(&o.tenantsFile, "tenants", "", "JSON tenant table: {\"name\": {\"secret\": \"...\", \"quota_bytes\": N}, ...} (empty = open gateway)")
 	flag.IntVar(&o.maxSessions, "max-sessions", 64, "maximum concurrent client ingest sessions")
 	flag.IntVar(&o.window, "window", 8, "per-session in-flight command window (must not exceed the shards' window)")
@@ -77,6 +92,7 @@ type options struct {
 	metricsAddr   string
 	shards        string
 	vnodes        int
+	replication   int
 	tenantsFile   string
 	maxSessions   int
 	window        int
@@ -140,6 +156,7 @@ func run(o options) error {
 	gw, err := cluster.NewGateway(cluster.GatewayConfig{
 		Shards:        shards,
 		VNodes:        o.vnodes,
+		Replication:   o.replication,
 		Tenants:       tenants,
 		MaxSessions:   o.maxSessions,
 		Window:        o.window,
@@ -158,8 +175,8 @@ func run(o options) error {
 	for i, s := range shards {
 		ids[i] = s.ID
 	}
-	logger.Printf("listening on %s, routing %d shards (%s), %d tenants, max sessions %d, window %d",
-		ln.Addr(), len(shards), strings.Join(ids, " "), len(tenants), o.maxSessions, o.window)
+	logger.Printf("listening on %s, routing %d shards (%s), replication %d, %d tenants, max sessions %d, window %d",
+		ln.Addr(), len(shards), strings.Join(ids, " "), gw.Replication(), len(tenants), o.maxSessions, o.window)
 
 	var draining atomic.Bool
 	var msrv *http.Server
@@ -289,6 +306,54 @@ func metricsServer(addr string, gw *cluster.Gateway, evlog *events.Log,
 		}
 		logger.Printf("shard %s removed from the write ring", id)
 		fmt.Fprintf(w, "shard %s draining\n", id)
+	})
+	// POST /rebalance-shard?id=s1 — drain and EMPTY the shard: every file
+	// it holds is migrated to the file's new write-ring owners and only
+	// then dropped, leaving the shard safe to decommission.
+	mux.HandleFunc("/rebalance-shard", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		id := r.URL.Query().Get("id")
+		if id == "" {
+			http.Error(w, "missing ?id=", http.StatusBadRequest)
+			return
+		}
+		rep, err := gw.RebalanceShard(id)
+		if err != nil {
+			logger.Printf("rebalance of %s failed: %v (report %+v)", id, err, rep)
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		logger.Printf("shard %s rebalanced: %d files, %d migrated, %d dropped", id, rep.Files, rep.Migrated, rep.Dropped)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
+	// POST /repair-scan — re-replicate under-replicated files back to the
+	// configured factor (after a shard death, or after raising -replication).
+	mux.HandleFunc("/repair-scan", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		rep, err := gw.RepairScan()
+		if err != nil {
+			logger.Printf("repair scan incomplete: %v (report %+v)", err, rep)
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		logger.Printf("repair scan: %d files, %d repaired, %d unfixable, %d skipped",
+			rep.Files, rep.Repaired, rep.Unfixable, rep.Skipped)
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
+	// GET /replication — the invariant check: which files are missing from
+	// one of their write-ring owners.
+	mux.HandleFunc("/replication", func(w http.ResponseWriter, r *http.Request) {
+		rep := gw.CheckReplication()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

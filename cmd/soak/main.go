@@ -7,8 +7,15 @@
 // content; the run FAILS on any corruption, any unexpected error, or a
 // final heap footprint above the bound.
 //
+// With -replication N each file is stored on N distinct shards, and
+// -kill-shard hard-kills one shard halfway through (then drains it from
+// the write ring and repairs afterwards): every file acked before or
+// after the kill must still verify bit-identical — the N>=2 durability
+// claim, gated under full churn.
+//
 //	soak -duration 2m -shards 3 -clients 6
 //	soak -short            # the ~30s CI preset
+//	soak -short -replication 2 -kill-shard
 //
 // Exit status 0 means: zero corruption, all verifications passed, heap
 // within budget.
@@ -44,6 +51,8 @@ func main() {
 	flag.BoolVar(&o.short, "short", false, "CI preset: ~30s, 3 shards, 4 clients, small files")
 	flag.DurationVar(&o.duration, "duration", 2*time.Minute, "churn phase length")
 	flag.IntVar(&o.shards, "shards", 3, "number of dedupd shards")
+	flag.IntVar(&o.replication, "replication", 1, "distinct shards holding each file")
+	flag.BoolVar(&o.killShard, "kill-shard", false, "hard-kill one shard mid-run (requires -replication >= 2); all acked files must still verify")
 	flag.IntVar(&o.clients, "clients", 6, "concurrent simulated clients")
 	flag.IntVar(&o.fileSize, "file-size", 1<<20, "base file size in bytes")
 	flag.IntVar(&o.filesPerClient, "files-per-client", 6, "distinct file names each client cycles through")
@@ -70,6 +79,8 @@ type options struct {
 	short          bool
 	duration       time.Duration
 	shards         int
+	replication    int
+	killShard      bool
 	clients        int
 	fileSize       int
 	filesPerClient int
@@ -87,6 +98,7 @@ type tally struct {
 	reconnects  atomic.Int64
 	kills       atomic.Int64
 	quotaSheds  atomic.Int64
+	putRejects  atomic.Int64
 	corruptions atomic.Int64
 }
 
@@ -97,6 +109,15 @@ func run(o options) error {
 		return err
 	}
 	evlog := events.New(events.Options{Level: level, Out: os.Stderr})
+	if o.killShard {
+		if o.replication < 2 {
+			return fmt.Errorf("-kill-shard needs -replication >= 2: at R=1 a dead shard IS data loss")
+		}
+		if o.shards-1 < o.replication {
+			return fmt.Errorf("-kill-shard with %d shards leaves %d for replication %d",
+				o.shards, o.shards-1, o.replication)
+		}
+	}
 
 	// --- Stand up the cluster: N shards, one gateway. -------------------
 	var shards []cluster.Shard
@@ -146,6 +167,7 @@ func run(o options) error {
 
 	gw, err := cluster.NewGateway(cluster.GatewayConfig{
 		Shards:        shards,
+		Replication:   o.replication,
 		Tenants:       tenants,
 		MaxSessions:   o.clients * 6,
 		ResumeTimeout: 10 * time.Second,
@@ -166,6 +188,7 @@ func run(o options) error {
 
 	// --- Churn. ---------------------------------------------------------
 	var tl tally
+	var shardDown atomic.Bool
 	deadline := time.Now().Add(o.duration)
 	var wg sync.WaitGroup
 	errCh := make(chan error, o.clients)
@@ -174,18 +197,19 @@ func run(o options) error {
 		go func(id int) {
 			defer wg.Done()
 			c := &soakClient{
-				id:      id,
-				tenant:  fmt.Sprintf("t%d", id),
-				secret:  fmt.Sprintf("secret-%d", id),
-				capped:  fmt.Sprintf("t%d", id) == capped,
-				gwAddr:  gwAddr,
-				options: options,
-				o:       o,
-				tl:      &tl,
-				rng:     rand.New(rand.NewSource(o.seed + int64(id)*7919)),
-				version: make(map[string]int),
-				latest:  make(map[string][]byte),
-				expect:  make(map[string][]byte),
+				id:        id,
+				tenant:    fmt.Sprintf("t%d", id),
+				secret:    fmt.Sprintf("secret-%d", id),
+				capped:    fmt.Sprintf("t%d", id) == capped,
+				gwAddr:    gwAddr,
+				options:   options,
+				o:         o,
+				tl:        &tl,
+				shardDown: &shardDown,
+				rng:       rand.New(rand.NewSource(o.seed + int64(id)*7919)),
+				version:   make(map[string]int),
+				latest:    make(map[string][]byte),
+				expect:    make(map[string][]byte),
 			}
 			if err := c.churn(deadline); err != nil {
 				errCh <- fmt.Errorf("client %d: %w", id, err)
@@ -193,14 +217,21 @@ func run(o options) error {
 		}(i)
 	}
 
-	// Drain one shard halfway through — placement must reroute under load
-	// with zero client-visible effect.
+	// Halfway through: kill one shard outright (when asked) and drain it —
+	// placement must reroute under load, and with replication >= 2 the
+	// kill must have zero effect on any acked file.
 	drainTimer := time.AfterFunc(o.duration/2, func() {
-		if err := gw.DrainShard(shards[0].ID); err != nil {
+		victim := shards[0].ID
+		if o.killShard {
+			shardDown.Store(true)
+			servers[0].Close()
+			logger.Printf("KILLED shard %s mid-run", victim)
+		}
+		if err := gw.DrainShard(victim); err != nil {
 			errCh <- fmt.Errorf("drain: %w", err)
 			return
 		}
-		logger.Printf("drained shard %s mid-run", shards[0].ID)
+		logger.Printf("drained shard %s mid-run", victim)
 	})
 	defer drainTimer.Stop()
 
@@ -209,6 +240,20 @@ func run(o options) error {
 	case err := <-errCh:
 		return err
 	default:
+	}
+
+	// --- Post-kill repair: restore the replication factor, then require
+	// it. A file acked at R>=2 survived the kill on R-1 shards; repair
+	// must bring every one back to all of its write-ring owners.
+	if o.killShard {
+		rep, err := gw.RepairScan()
+		if err != nil {
+			return fmt.Errorf("repair scan after shard kill: %w (report %+v)", err, rep)
+		}
+		logger.Printf("repair after shard kill: %d files seen, %d copies re-replicated", rep.Files, rep.Repaired)
+		if chk := gw.CheckReplication(); len(chk.Under) > 0 {
+			return fmt.Errorf("%d/%d files under-replicated after repair", len(chk.Under), chk.Files)
+		}
 	}
 
 	// --- Final full verification pass. ----------------------------------
@@ -249,9 +294,9 @@ func run(o options) error {
 
 	peerRouted := metrics.Default.Counter("gateway.chunks.peer_routed").Load()
 	fromClient := metrics.Default.Counter("gateway.chunks.from_client").Load()
-	logger.Printf("churn done: %d ingests, %d restores, %d lists, %d kills, %d reconnects, %d quota sheds",
+	logger.Printf("churn done: %d ingests, %d restores, %d lists, %d kills, %d reconnects, %d quota sheds, %d put rejects",
 		tl.ingests.Load(), tl.restores.Load(), tl.lists.Load(),
-		tl.kills.Load(), tl.reconnects.Load(), tl.quotaSheds.Load())
+		tl.kills.Load(), tl.reconnects.Load(), tl.quotaSheds.Load(), tl.putRejects.Load())
 	logger.Printf("verified %d files bit-identical; chunk routing: %d peer-routed, %d from clients",
 		verified, peerRouted, fromClient)
 
@@ -283,19 +328,20 @@ var (
 
 // soakClient is one simulated tenant workload.
 type soakClient struct {
-	id      int
-	tenant  string
-	secret  string
-	capped  bool
-	gwAddr  string
-	options wire.EngineOptions
-	o       options
-	tl      *tally
-	rng     *rand.Rand
-	version map[string]int    // logical slot → last stored generation
-	latest  map[string][]byte // logical slot → newest acked content
-	expect  map[string][]byte // stored name → acked content (bounded)
-	order   []string          // expect keys, oldest first, for eviction
+	id        int
+	tenant    string
+	secret    string
+	capped    bool
+	gwAddr    string
+	options   wire.EngineOptions
+	o         options
+	tl        *tally
+	shardDown *atomic.Bool
+	rng       *rand.Rand
+	version   map[string]int    // logical slot → last stored generation
+	latest    map[string][]byte // logical slot → newest acked content
+	expect    map[string][]byte // stored name → acked content (bounded)
+	order     []string          // expect keys, oldest first, for eviction
 }
 
 // remember records an acked (name, content) pair for later verification,
@@ -392,6 +438,10 @@ func (c *soakClient) ingestBurst() error {
 	cfg.SurfaceShed = c.capped
 	ing, err := client.Connect(cfg)
 	if err != nil {
+		if c.shardDown.Load() {
+			c.tl.putRejects.Add(1)
+			return nil
+		}
 		return fmt.Errorf("connect: %w", err)
 	}
 	// A shed or injected-death session can fail Close; every file the
@@ -422,6 +472,15 @@ func (c *soakClient) ingestBurst() error {
 			return nil
 		}
 		if err != nil {
+			if c.shardDown.Load() {
+				// A shard was just killed: sessions that placed commands on
+				// the corpse (or began a file before the drain landed) fail
+				// their puts loudly. The file was never acked so it is never
+				// expected — rejection, not corruption. The next burst gets
+				// fresh placement over the survivors.
+				c.tl.putRejects.Add(1)
+				return nil
+			}
 			return fmt.Errorf("put %s: %w", name, err)
 		}
 		c.version[slot]++

@@ -99,6 +99,37 @@ func startCluster(t *testing.T, n int, mut func(*cluster.GatewayConfig)) *testCl
 	return tc
 }
 
+// startGateway stands up an additional gateway over the cluster's
+// shards (its own registry and listener), for tests that kill the first
+// gateway and reattach through a replacement.
+func (tc *testCluster) startGateway(t *testing.T, mut func(*cluster.GatewayConfig)) (*cluster.Gateway, client.Config) {
+	t.Helper()
+	cfg := cluster.GatewayConfig{
+		Shards:   tc.shards,
+		Registry: metrics.NewRegistry(),
+		Events:   testEvents(t),
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	gw, err := cluster.NewGateway(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go gw.Serve(ln)
+	t.Cleanup(func() { gw.Close() })
+	return gw, client.Config{
+		Addr:          ln.Addr().String(),
+		Options:       tc.options,
+		RetryAttempts: 8,
+		RetryDelay:    10 * time.Millisecond,
+	}
+}
+
 func (tc *testCluster) clientConfig() client.Config {
 	return client.Config{
 		Addr:          tc.gwAddr,

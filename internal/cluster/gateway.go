@@ -26,6 +26,13 @@ type GatewayConfig struct {
 	// Tenants is the auth/quota table; nil runs the gateway open (any
 	// tenant, no quota).
 	Tenants map[string]TenantAuth
+	// Replication is how many distinct shards hold each file: every file
+	// is placed whole on its name's first R ring-successor owners, and a
+	// client ack is released only when all R have made it durable. With
+	// R>=2 any single shard can die without losing an acked file.
+	// Default 1 (the classic single-copy placement); values above the
+	// shard count clamp to it at placement time.
+	Replication int
 
 	// MaxSessions caps concurrent (live or parked-resumable) client
 	// ingest sessions; default 64.
@@ -61,6 +68,12 @@ func (c *GatewayConfig) fillDefaults() error {
 	}
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 64
+	}
+	if c.Replication == 0 {
+		c.Replication = 1
+	}
+	if c.Replication < 1 {
+		return fmt.Errorf("cluster: Replication (%d) must be positive", c.Replication)
 	}
 	if c.Window == 0 {
 		c.Window = 8
@@ -139,6 +152,9 @@ type Gateway struct {
 	cChunksPeer     *atomic.Int64 // chunks satisfied shard→shard instead
 	cPeerPuts       *atomic.Int64
 	cRestores       *atomic.Int64
+	cFailovers      *atomic.Int64 // restores that fell over to a replica
+	cMigrated       *atomic.Int64 // files moved by rebalance
+	cRepaired       *atomic.Int64 // files re-replicated by repair
 	cQuotaRejects   *atomic.Int64
 	cErrors         *atomic.Int64
 	cWireBytesIn    *atomic.Int64
@@ -175,6 +191,9 @@ func NewGateway(cfg GatewayConfig) (*Gateway, error) {
 	gw.cChunksPeer = r.Counter("gateway.chunks.peer_routed")
 	gw.cPeerPuts = r.Counter("gateway.chunks.peer_seeded")
 	gw.cRestores = r.Counter("gateway.restores")
+	gw.cFailovers = r.Counter("gateway.restore.failovers")
+	gw.cMigrated = r.Counter("gateway.rebalance.files")
+	gw.cRepaired = r.Counter("gateway.repair.files")
 	gw.cQuotaRejects = r.Counter("gateway.quota_rejects")
 	gw.cErrors = r.Counter("gateway.errors")
 	gw.cWireBytesIn = r.Counter("gateway.wire.bytes_in")
@@ -554,96 +573,155 @@ func (gw *Gateway) shardList(sh Shard, tenant string) ([]string, error) {
 	return resp.Names, nil
 }
 
+// restoreProbeOrder is the shard order a restore tries: the write-ring
+// replica owners first (they hold the newest version of any name
+// (re)written during a drain), then the full-ring owners (placement from
+// before a drain), then every other shard, for belt and braces.
+func (gw *Gateway) restoreProbeOrder(fullName string) []Shard {
+	full, write := gw.rings()
+	r := gw.cfg.Replication
+	probe := append([]Shard(nil), write.OwnersOfName(fullName, r)...)
+	add := func(sh Shard) {
+		for _, p := range probe {
+			if p.ID == sh.ID {
+				return
+			}
+		}
+		probe = append(probe, sh)
+	}
+	for _, sh := range full.OwnersOfName(fullName, r) {
+		add(sh)
+	}
+	for _, sh := range full.Shards() {
+		add(sh)
+	}
+	return probe
+}
+
 // relayRestore streams one file (or range: the request frame — RestoreReq
 // or RestoreRange — is relayed verbatim as ftype/payload; name is its
 // already-decoded file name, used only for placement) from whichever shard
-// has it. A nil return means the client stream is still coherent (complete
-// relay, or an error frame sent before any data); a non-nil return means
-// the client connection is compromised and must be dropped.
+// has it. Losing a shard mid-stream fails over to the next replica: the
+// continuation stream's first `skip` bytes — the prefix the client already
+// received — are discarded, and the relay resumes from there. That splice
+// is end-to-end safe because the client independently hashes everything it
+// receives and checks it against RestoreEnd's declared sum, so a replica
+// whose content diverges from the prefix surfaces as a verification
+// failure, never silent corruption. A nil return means the client stream
+// is still coherent (complete relay, or an error frame sent before any
+// data); a non-nil return means the client connection is compromised and
+// must be dropped.
 func (gw *Gateway) relayRestore(tenant, name string, ftype uint8, payload []byte, send sender,
 	sendErr func(code uint16, retryable bool, format string, args ...any)) error {
-	full, write := gw.rings()
-	fullName := wire.NSJoin(tenant, name)
-	// Probe order matters for freshness: the write-ring owner holds the
-	// newest version of any name (re)written during a drain, so it goes
-	// first; the full-ring owner holds everything placed before the
-	// drain; then the rest, for belt and braces.
-	probe := []Shard{write.OwnerOfName(fullName)}
-	if f := full.OwnerOfName(fullName); f.ID != probe[0].ID {
-		probe = append(probe, f)
-	}
-	for _, sh := range full.Shards() {
-		dup := false
-		for _, p := range probe {
-			if p.ID == sh.ID {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			probe = append(probe, sh)
-		}
-	}
-	var lastMsg string
+	probe := gw.restoreProbeOrder(wire.NSJoin(tenant, name))
+	var lastErr error
+	var relayed uint64 // client-visible payload bytes already sent
+	attempted := 0
 	for _, sh := range probe {
-		done, err := gw.relayRestoreFrom(sh, tenant, ftype, payload, send)
+		sent, done, err := gw.relayRestoreFrom(sh, tenant, ftype, payload, send, relayed)
+		if attempted++; sent > 0 && relayed > 0 {
+			gw.cFailovers.Add(1)
+		}
+		relayed += sent
 		if done {
 			return err
 		}
 		if err != nil {
-			lastMsg = err.Error()
+			lastErr = err
 		}
 	}
+	if relayed > 0 {
+		// Data frames reached the client but every continuation source is
+		// gone; no RestoreEnd may be claimed — kill the stream.
+		return fmt.Errorf("restore of %q lost all %d sources mid-stream (last: %v)", name, attempted, lastErr)
+	}
 	gw.cErrors.Add(1)
-	sendErr(wire.CodeNotFound, false, "no shard has %q (last: %s)", name, lastMsg)
+	var em wire.ErrorMsg
+	if errors.As(lastErr, &em) {
+		// Relay the most recent shard verdict with its code intact (a
+		// NotFound stays a NotFound, an integrity error stays one).
+		em.Msg = fmt.Sprintf("restore %q: %s", name, em.Msg)
+		send(wire.TypeError, em.Marshal())
+		return nil
+	}
+	sendErr(wire.CodeNotFound, false, "no shard has %q (last: %v)", name, lastErr)
 	return nil
 }
 
-// relayRestoreFrom attempts the relay from one shard. done=false means
-// nothing was sent to the client yet and the next shard may be probed
-// (the file is not there, or the shard is unreachable).
-func (gw *Gateway) relayRestoreFrom(sh Shard, tenant string, ftype uint8, payload []byte, send sender) (done bool, err error) {
+// relayRestoreFrom attempts the relay from one shard, discarding the
+// first `skip` payload bytes (already relayed from a failed source) and
+// passing the rest through. sent counts the client-visible bytes this
+// shard contributed. done=false means the client stream is still
+// splice-able: either nothing was relayed (the file is not there, or the
+// shard is unreachable) or the shard died mid-stream and the next replica
+// may continue from skip+sent.
+func (gw *Gateway) relayRestoreFrom(sh Shard, tenant string, ftype uint8, payload []byte,
+	send sender, skip uint64) (sent uint64, done bool, err error) {
 	bc, derr := gw.dialShard(sh, wire.Hello{Mode: wire.ModeRestore, Tenant: tenant})
 	if derr != nil {
-		return false, derr
+		return 0, false, derr
 	}
 	defer bc.close()
 	if werr := bc.write(ftype, payload); werr != nil {
-		return false, werr
+		return 0, false, werr
 	}
-	first := true
+	discarded := uint64(0)
 	for {
 		f, rerr := bc.read()
 		if rerr != nil {
-			if first {
-				return false, rerr
-			}
-			// Mid-stream shard loss: the client already got data frames;
-			// the only honest move is to kill the client stream too (no
-			// RestoreEnd means no success is claimed).
-			return true, rerr
+			// Shard lost. If this source contributed nothing the caller
+			// simply probes the next one; if it did, the caller fails over
+			// mid-stream the same way.
+			return sent, false, rerr
 		}
 		switch f.Type {
 		case wire.TypeRestoreData:
-			first = false
-			if serr := send(wire.TypeRestoreData, f.Payload); serr != nil {
-				return true, serr
+			frame := f.Payload
+			rd, uerr := wire.UnmarshalRestoreData(frame)
+			if uerr != nil {
+				return sent, sent > 0, fmt.Errorf("shard %s: bad RestoreData: %w", sh.ID, uerr)
 			}
+			data := rd.Data
+			if discarded < skip {
+				cut := skip - discarded
+				if cut > uint64(len(data)) {
+					cut = uint64(len(data))
+				}
+				discarded += cut
+				data = data[cut:]
+				if len(data) == 0 {
+					continue
+				}
+				frame = wire.RestoreData{Data: data}.Marshal()
+			}
+			if serr := send(wire.TypeRestoreData, frame); serr != nil {
+				return sent, true, serr
+			}
+			sent += uint64(len(data))
 		case wire.TypeRestoreEnd:
+			if discarded < skip {
+				// This replica's stream is SHORTER than what the client
+				// already received — a diverging stale copy. Relaying its
+				// RestoreEnd would claim success for a stream the client
+				// will fail to verify anyway; kill the relay instead.
+				return sent, true, fmt.Errorf("shard %s stream ended %d bytes short of the relayed prefix",
+					sh.ID, skip-discarded)
+			}
 			gw.cRestores.Add(1)
-			return true, send(wire.TypeRestoreEnd, f.Payload)
+			return sent, true, send(wire.TypeRestoreEnd, f.Payload)
 		case wire.TypeError:
 			em, uerr := wire.UnmarshalError(f.Payload)
 			if uerr != nil {
-				return !first, uerr
+				return sent, sent > 0, uerr
 			}
-			if first && em.Code == wire.CodeNotFound {
-				return false, em // probe the next shard
-			}
-			gw.cErrors.Add(1)
-			return true, send(wire.TypeError, f.Payload)
+			// Any shard-side error — not found, corrupt chunk caught by a
+			// verified read, engine failure — means this source cannot
+			// complete the stream. Fail over: another replica may hold a
+			// clean copy, and the client's end-to-end verification keeps
+			// the splice honest.
+			return sent, false, em
 		default:
-			return !first, fmt.Errorf("unexpected %s in shard restore stream", wire.TypeName(f.Type))
+			return sent, sent > 0, fmt.Errorf("unexpected %s in shard restore stream", wire.TypeName(f.Type))
 		}
 	}
 }

@@ -55,15 +55,19 @@ type gwSession struct {
 	done      chan struct{}
 }
 
-// gwCmd is one client command: its placement (home shard + backend seq,
-// fixed at first receipt so replays land on the same shard session) and
-// enough of its content to re-marshal for forwarding.
+// gwCmd is one client command: its placement (the file's replica set,
+// primary first, with one backend seq per shard — fixed at first receipt
+// so replays land on the same shard sessions) and enough of its content
+// to re-marshal for forwarding. With Replication R every command of a
+// file fans out to the same R ring-successor owners; the client's ack is
+// released only when EVERY replica has acked, so an acked file is
+// durable R ways by construction.
 type gwCmd struct {
-	seq   uint64
-	bseq  uint64
-	shard Shard
-	kind  uint8
-	acked bool
+	seq     uint64
+	shards  []Shard           // replica placement, primary first
+	bseqs   map[string]uint64 // shard ID → backend seq on that shard
+	kind    uint8
+	ackedBy map[string]bool // shard IDs that have acked this command
 
 	name       string // FileBegin
 	totalBytes uint64 // FileEnd
@@ -71,23 +75,41 @@ type gwCmd struct {
 	offer      *gwOffer
 }
 
-// gwOffer is the chunk-routing state of one Offer: the home shard's need
-// list, its index→position map for ChunkData translation, and the
-// residue the client must supply after the peer plane was consulted.
-// All transient — reset when a resume invalidates the incarnation.
+// primary is the file's home shard — the first ring owner, where
+// single-copy placement would have put it. Balance accounting charges it.
+func (c *gwCmd) primary() Shard { return c.shards[0] }
+
+// fullyAcked reports whether every replica shard has acked the command.
+func (c *gwCmd) fullyAcked() bool { return len(c.ackedBy) == len(c.shards) }
+
+// gwOffer is the chunk-routing state of one Offer: each replica shard's
+// need list and index→position map for ChunkData translation, and the
+// residue the client must supply — the union of what the replicas still
+// lack after the peer plane was consulted. All transient — reset when a
+// resume invalidates the incarnation.
 type gwOffer struct {
 	entries    []wire.OfferEntry
-	hNeed      []uint32       // entry indices the home shard needs
-	hPos       map[uint32]int // entry index → position in hNeed
-	clientNeed []uint32       // entry indices the client must send
+	needs      map[string][]uint32       // shard ID → entry indices it needs
+	pos        map[string]map[uint32]int // shard ID → entry index → need position
+	answered   map[string]bool           // shards whose Need (or implicit empty) arrived
+	clientNeed []uint32                  // entry indices the client must send (sorted)
 	needSent   bool
 }
 
+func newGwOffer(entries []wire.OfferEntry) *gwOffer {
+	return &gwOffer{
+		entries:  entries,
+		needs:    make(map[string][]uint32),
+		pos:      make(map[string]map[uint32]int),
+		answered: make(map[string]bool),
+	}
+}
+
 // gwFile is the file currently being routed: every Offer until FileEnd
-// goes to its home shard.
+// goes to its replica set.
 type gwFile struct {
-	name  string
-	shard Shard
+	name   string
+	shards []Shard
 }
 
 // bEvent is one frame (or connection failure) from a backend reader.
@@ -509,16 +531,23 @@ func readBackend(shardID string, bc *shardConn, ch chan<- bEvent, done <-chan st
 func (ss *gwSession) bounceBackends() error {
 	needed := make(map[string]bool)
 	for _, cmd := range ss.cmds {
-		needed[cmd.shard.ID] = true
+		for _, sh := range cmd.shards {
+			needed[sh.ID] = true
+		}
 		// Replay will recompute every offer's routing from scratch.
 		if cmd.offer != nil {
-			cmd.offer.hNeed, cmd.offer.hPos, cmd.offer.clientNeed = nil, nil, nil
+			cmd.offer.needs = make(map[string][]uint32)
+			cmd.offer.pos = make(map[string]map[uint32]int)
+			cmd.offer.answered = make(map[string]bool)
+			cmd.offer.clientNeed = nil
 			cmd.offer.needSent = false
 		}
-		cmd.acked = false
+		cmd.ackedBy = make(map[string]bool)
 	}
 	if ss.curFile != nil {
-		needed[ss.curFile.shard.ID] = true
+		for _, sh := range ss.curFile.shards {
+			needed[sh.ID] = true
+		}
 	}
 	for id, tok := range ss.shardTokens {
 		sh := ss.shardByID[id]
@@ -549,37 +578,49 @@ func (ss *gwSession) allocSeq(sh Shard, clientSeq uint64) uint64 {
 	return b
 }
 
-// forward relays one re-numbered command frame to its home shard.
+// forward relays one re-numbered command frame to every shard in the
+// command's replica set.
 func (ss *gwSession) forward(cmd *gwCmd) error {
-	bc, err := ss.backendFor(cmd.shard)
-	if err != nil {
-		return ss.backendError(cmd.shard, err)
-	}
-	var payload []byte
-	switch cmd.kind {
-	case wire.TypeFileBegin:
-		payload = wire.FileBegin{Seq: cmd.bseq, Name: cmd.name}.Marshal()
-	case wire.TypeOffer:
-		payload = wire.Offer{Seq: cmd.bseq, Entries: cmd.offer.entries}.Marshal()
-	case wire.TypeFileEnd:
-		payload = wire.FileEnd{Seq: cmd.bseq, TotalBytes: cmd.totalBytes, Sum: cmd.sum}.Marshal()
-	default:
-		return gwFatalf(wire.CodeInternal, "unforwardable command kind %d", cmd.kind)
-	}
-	if err := bc.write(cmd.kind, payload); err != nil {
-		return ss.backendError(cmd.shard, err)
+	for _, sh := range cmd.shards {
+		bc, err := ss.backendFor(sh)
+		if err != nil {
+			return ss.backendError(sh, err)
+		}
+		bseq := cmd.bseqs[sh.ID]
+		var payload []byte
+		switch cmd.kind {
+		case wire.TypeFileBegin:
+			payload = wire.FileBegin{Seq: bseq, Name: cmd.name}.Marshal()
+		case wire.TypeOffer:
+			payload = wire.Offer{Seq: bseq, Entries: cmd.offer.entries}.Marshal()
+		case wire.TypeFileEnd:
+			payload = wire.FileEnd{Seq: bseq, TotalBytes: cmd.totalBytes, Sum: cmd.sum}.Marshal()
+		default:
+			return gwFatalf(wire.CodeInternal, "unforwardable command kind %d", cmd.kind)
+		}
+		if err := bc.write(cmd.kind, payload); err != nil {
+			return ss.backendError(sh, err)
+		}
 	}
 	return nil
 }
 
 // backendError classifies a backend dial/write failure: a non-retryable
 // shard refusal (handshake mismatch, lost session) is fatal for the
-// client too; everything else parks the session for resume.
+// client too, and so is losing a DRAINING shard — its placement is gone
+// from the write ring, so a resume would replay into the same dead
+// placement forever; failing fast lets the caller re-put the file through
+// a fresh session whose placement avoids it. Everything else parks the
+// session for resume.
 func (ss *gwSession) backendError(sh Shard, err error) error {
 	var em wire.ErrorMsg
 	if errors.As(err, &em) && !em.Retryable {
 		return &gwFatal{msg: wire.ErrorMsg{Code: em.Code,
 			Msg: fmt.Sprintf("shard %s: %s", sh.ID, em.Msg)}}
+	}
+	if ss.gw.shardDraining(sh.ID) {
+		return &gwFatal{msg: wire.ErrorMsg{Code: wire.CodeInternal,
+			Msg: fmt.Sprintf("draining shard %s unavailable: %v (re-put through a new session for fresh placement)", sh.ID, err)}}
 	}
 	return &gwShed{msg: wire.ErrorMsg{Code: wire.CodeOverloaded, Retryable: true,
 		Msg: fmt.Sprintf("shard %s unavailable: %v", sh.ID, err)}}
@@ -609,9 +650,9 @@ func (ss *gwSession) handleFileBegin(fb wire.FileBegin, send sender) error {
 		return send(wire.TypeAck, wire.Ack{Seq: fb.Seq}.Marshal())
 	}
 	if cmd, ok := ss.cmds[fb.Seq]; ok {
-		// Replay after resume: same placement, same backend seq; the
-		// shard acks idempotently if it already applied it.
-		ss.curFile = &gwFile{name: cmd.name, shard: cmd.shard}
+		// Replay after resume: same placement, same backend seqs; the
+		// shards ack idempotently if they already applied it.
+		ss.curFile = &gwFile{name: cmd.name, shards: cmd.shards}
 		return ss.forward(cmd)
 	}
 	// Quota gate — only for genuinely new files, never replays: the
@@ -630,15 +671,27 @@ func (ss *gwSession) handleFileBegin(fb wire.FileBegin, send sender) error {
 		return err
 	}
 	_, write := ss.gw.rings()
-	sh := write.OwnerOfName(wire.NSJoin(ss.tenant, fb.Name))
-	cmd := &gwCmd{seq: fb.Seq, shard: sh, kind: wire.TypeFileBegin, name: fb.Name}
-	cmd.bseq = ss.allocSeq(sh, fb.Seq)
+	shards := write.OwnersOfName(wire.NSJoin(ss.tenant, fb.Name), ss.gw.cfg.Replication)
+	cmd := ss.newCmd(fb.Seq, shards, wire.TypeFileBegin)
+	cmd.name = fb.Name
 	ss.cmds[fb.Seq] = cmd
-	ss.curFile = &gwFile{name: fb.Name, shard: sh}
-	if c := ss.gw.routedFiles[sh.ID]; c != nil {
+	ss.curFile = &gwFile{name: fb.Name, shards: shards}
+	if c := ss.gw.routedFiles[cmd.primary().ID]; c != nil {
 		c.Add(1)
 	}
 	return ss.forward(cmd)
+}
+
+// newCmd builds a command placed on shards, allocating one backend seq
+// per replica.
+func (ss *gwSession) newCmd(seq uint64, shards []Shard, kind uint8) *gwCmd {
+	cmd := &gwCmd{seq: seq, shards: shards, kind: kind,
+		bseqs:   make(map[string]uint64, len(shards)),
+		ackedBy: make(map[string]bool, len(shards))}
+	for _, sh := range shards {
+		cmd.bseqs[sh.ID] = ss.allocSeq(sh, seq)
+	}
+	return cmd
 }
 
 func (ss *gwSession) handleOffer(of wire.Offer, send sender) error {
@@ -654,10 +707,8 @@ func (ss *gwSession) handleOffer(of wire.Offer, send sender) error {
 	if err := ss.admit(of.Seq); err != nil {
 		return err
 	}
-	sh := ss.curFile.shard
-	cmd := &gwCmd{seq: of.Seq, shard: sh, kind: wire.TypeOffer,
-		offer: &gwOffer{entries: of.Entries}}
-	cmd.bseq = ss.allocSeq(sh, of.Seq)
+	cmd := ss.newCmd(of.Seq, ss.curFile.shards, wire.TypeOffer)
+	cmd.offer = newGwOffer(of.Entries)
 	ss.cmds[of.Seq] = cmd
 	return ss.forward(cmd)
 }
@@ -675,19 +726,18 @@ func (ss *gwSession) handleFileEnd(fe wire.FileEnd, send sender) error {
 	if err := ss.admit(fe.Seq); err != nil {
 		return err
 	}
-	sh := ss.curFile.shard
-	cmd := &gwCmd{seq: fe.Seq, shard: sh, kind: wire.TypeFileEnd,
-		totalBytes: fe.TotalBytes, sum: fe.Sum}
-	cmd.bseq = ss.allocSeq(sh, fe.Seq)
+	cmd := ss.newCmd(fe.Seq, ss.curFile.shards, wire.TypeFileEnd)
+	cmd.totalBytes, cmd.sum = fe.TotalBytes, fe.Sum
 	ss.cmds[fe.Seq] = cmd
-	ss.curFile = nil // the next FileBegin picks its own home shard
+	ss.curFile = nil // the next FileBegin picks its own replica set
 	return ss.forward(cmd)
 }
 
 // handleChunkData translates client chunk runs from client-need
-// positions into home-shard-need positions, relays them, and seeds each
-// chunk's ring owner through the peer plane so the next tenant offering
-// the same hash anywhere in the cluster hits shard-local bytes.
+// positions into each replica shard's need positions, relays them to
+// every replica that asked for the chunk, and seeds each chunk's ring
+// owner through the peer plane so the next tenant offering the same hash
+// anywhere in the cluster hits shard-local bytes.
 func (ss *gwSession) handleChunkData(cd wire.ChunkData) error {
 	if cd.Seq <= ss.lastAcked {
 		return nil // late data for an acked batch; harmless
@@ -701,7 +751,11 @@ func (ss *gwSession) handleChunkData(cd wire.ChunkData) error {
 		return gwFatalf(wire.CodeProtocol, "chunk data for offer %d before its Need was answered", cd.Seq)
 	}
 	full, _ := ss.gw.rings()
-	runs := make([]placedChunk, 0, len(cd.Chunks))
+	replica := make(map[string]bool, len(cmd.shards))
+	for _, sh := range cmd.shards {
+		replica[sh.ID] = true
+	}
+	runs := make(map[string][]placedChunk, len(cmd.shards))
 	seed := make(map[string][][]byte)
 	for j, chunk := range cd.Chunks {
 		cpos := int(cd.Start) + j
@@ -716,15 +770,21 @@ func (ss *gwSession) handleChunkData(cd wire.ChunkData) error {
 		if hashutil.SumBytes(chunk) != e.Hash {
 			return gwFatalf(wire.CodeIntegrity, "offer %d index %d: chunk bytes do not hash to the offered address", cd.Seq, idx)
 		}
-		runs = append(runs, placedChunk{pos: off.hPos[idx], data: chunk})
+		for _, sh := range cmd.shards {
+			if p, needed := off.pos[sh.ID][idx]; needed {
+				runs[sh.ID] = append(runs[sh.ID], placedChunk{pos: p, data: chunk})
+			}
+		}
 		owner := full.Owner(e.Hash)
-		if owner.ID != cmd.shard.ID && !ss.gw.shardDraining(owner.ID) {
+		if !replica[owner.ID] && !ss.gw.shardDraining(owner.ID) {
 			seed[owner.ID] = append(seed[owner.ID], chunk)
 		}
 	}
 	ss.gw.cChunksClient.Add(int64(len(cd.Chunks)))
-	if err := ss.injectChunks(cmd, runs); err != nil {
-		return err
+	for _, sh := range cmd.shards {
+		if err := ss.injectChunks(cmd, sh, runs[sh.ID]); err != nil {
+			return err
+		}
 	}
 	for id, chunks := range seed {
 		ss.gw.peers.put(ss.shardForID(id, full), chunks)
@@ -749,16 +809,16 @@ type placedChunk struct {
 	data []byte
 }
 
-// injectChunks forwards (position, bytes) pairs to the home shard as
-// ChunkData runs: consecutive positions batch into one frame, bounded by
-// the shard's payload cap.
-func (ss *gwSession) injectChunks(cmd *gwCmd, chunks []placedChunk) error {
+// injectChunks forwards (position, bytes) pairs to one replica shard as
+// ChunkData runs against its own need list: consecutive positions batch
+// into one frame, bounded by the shard's payload cap.
+func (ss *gwSession) injectChunks(cmd *gwCmd, sh Shard, chunks []placedChunk) error {
 	if len(chunks) == 0 {
 		return nil
 	}
-	bc, err := ss.backendFor(cmd.shard)
+	bc, err := ss.backendFor(sh)
 	if err != nil {
-		return ss.backendError(cmd.shard, err)
+		return ss.backendError(sh, err)
 	}
 	sort.Slice(chunks, func(a, b int) bool { return chunks[a].pos < chunks[b].pos })
 	const perChunkOverhead = 4
@@ -775,9 +835,9 @@ func (ss *gwSession) injectChunks(cmd *gwCmd, chunks []placedChunk) error {
 			size += len(chunks[j].data) + perChunkOverhead
 			j++
 		}
-		cdata := wire.ChunkData{Seq: cmd.bseq, Start: uint32(start), Chunks: run}
+		cdata := wire.ChunkData{Seq: cmd.bseqs[sh.ID], Start: uint32(start), Chunks: run}
 		if err := bc.write(wire.TypeChunkData, cdata.Marshal()); err != nil {
-			return ss.backendError(cmd.shard, err)
+			return ss.backendError(sh, err)
 		}
 		i = j
 	}
@@ -807,13 +867,11 @@ func (ss *gwSession) beginClose() (map[string]bool, error) {
 // ---------------------------------------------------------------------------
 // Backend frame handling.
 
-// handleBackendNeed is the chunk-routing moment: the home shard named
-// the chunks it lacks; before passing that want-list to the client, the
-// gateway consults the ring owner of every such hash over the peer
-// plane. What an owner supplies is injected into the home shard
-// directly; only the remainder — chunks the cluster has truly never
-// seen, or whose owner is the home shard itself — goes back to the
-// client.
+// handleBackendNeed records one replica shard's want-list. The client's
+// Need can only be answered once EVERY replica has spoken (a Need frame,
+// or an Ack standing in for "need nothing" on replay), because the
+// client's list is the union of what the replicas still lack after the
+// peer plane was consulted.
 func (ss *gwSession) handleBackendNeed(shardID string, need wire.Need, send sender) error {
 	clientSeq, ok := ss.rev[shardID][need.Seq]
 	if !ok {
@@ -824,29 +882,71 @@ func (ss *gwSession) handleBackendNeed(shardID string, need wire.Need, send send
 		return nil
 	}
 	off := cmd.offer
-	off.hNeed = need.Indices
-	off.hPos = make(map[uint32]int, len(need.Indices))
+	pos := make(map[uint32]int, len(need.Indices))
 	for p, idx := range need.Indices {
 		if int(idx) >= len(off.entries) {
 			return gwFatalf(wire.CodeProtocol, "shard %s needs index %d beyond offer of %d", shardID, idx, len(off.entries))
 		}
-		off.hPos[idx] = p
+		pos[idx] = p
+	}
+	off.needs[shardID] = need.Indices
+	off.pos[shardID] = pos
+	off.answered[shardID] = true
+	return ss.maybeAnswerNeed(cmd, send)
+}
+
+// maybeAnswerNeed runs once all replicas have answered: the chunk-routing
+// moment. The union of the replicas' want-lists is split by each chunk's
+// ring owner; owners outside the replica set are consulted over the peer
+// plane, and what they supply is injected into every replica that needs
+// it. Only the remainder — chunks the cluster has truly never seen, or
+// whose owner is itself a lacking replica — goes back to the client.
+func (ss *gwSession) maybeAnswerNeed(cmd *gwCmd, send sender) error {
+	off := cmd.offer
+	if off.needSent {
+		return nil
+	}
+	for _, sh := range cmd.shards {
+		if !off.answered[sh.ID] {
+			return nil
+		}
+	}
+	union := make(map[uint32]bool)
+	for _, sh := range cmd.shards {
+		for _, idx := range off.needs[sh.ID] {
+			union[idx] = true
+		}
+	}
+	lacking := func(idx uint32) []Shard {
+		var out []Shard
+		for _, sh := range cmd.shards {
+			if _, needed := off.pos[sh.ID][idx]; needed {
+				out = append(out, sh)
+			}
+		}
+		return out
 	}
 
 	full, _ := ss.gw.rings()
+	replica := make(map[string]bool, len(cmd.shards))
+	for _, sh := range cmd.shards {
+		replica[sh.ID] = true
+	}
 	byOwner := make(map[string][]uint32)
 	off.clientNeed = off.clientNeed[:0]
-	for _, idx := range off.hNeed {
+	for idx := range union {
 		owner := full.Owner(off.entries[idx].Hash)
-		if owner.ID == cmd.shard.ID {
-			// The owner is the home shard itself and it just said it lacks
-			// the bytes: nobody closer than the client has them.
+		if replica[owner.ID] {
+			// The owner is inside the replica set; whether it lacks the
+			// bytes itself or merely never cached them, its peer cache is
+			// not a better source than the client.
 			off.clientNeed = append(off.clientNeed, idx)
 			continue
 		}
 		byOwner[owner.ID] = append(byOwner[owner.ID], idx)
 	}
-	var fetched []placedChunk
+	fetched := make(map[string][]placedChunk, len(cmd.shards))
+	nFetched := 0
 	for ownerID, idxs := range byOwner {
 		entries := make([]wire.OfferEntry, len(idxs))
 		for i, idx := range idxs {
@@ -854,28 +954,38 @@ func (ss *gwSession) handleBackendNeed(shardID string, need wire.Need, send send
 		}
 		got := ss.gw.peers.fetch(ss.shardForID(ownerID, full), entries)
 		for i, idx := range idxs {
-			if data, ok := got[i]; ok {
-				fetched = append(fetched, placedChunk{pos: off.hPos[idx], data: data})
-			} else {
+			data, ok := got[i]
+			if !ok {
 				off.clientNeed = append(off.clientNeed, idx)
+				continue
+			}
+			nFetched++
+			for _, sh := range lacking(idx) {
+				fetched[sh.ID] = append(fetched[sh.ID], placedChunk{pos: off.pos[sh.ID][idx], data: data})
 			}
 		}
 	}
 	// The client walks its need list in order and ChunkData positions
 	// index into it; keep it ascending like a shard's own need list.
 	sort.Slice(off.clientNeed, func(a, b int) bool { return off.clientNeed[a] < off.clientNeed[b] })
-	ss.gw.cChunksPeer.Add(int64(len(fetched)))
+	ss.gw.cChunksPeer.Add(int64(nFetched))
 
-	if err := ss.injectChunks(cmd, fetched); err != nil {
-		return err
+	for _, sh := range cmd.shards {
+		if err := ss.injectChunks(cmd, sh, fetched[sh.ID]); err != nil {
+			return err
+		}
 	}
 	off.needSent = true
 	return send(wire.TypeNeed, wire.Need{Seq: cmd.seq, Indices: off.clientNeed}.Marshal())
 }
 
-// handleBackendAck marks a command applied on its home shard and
-// releases the contiguous prefix of acks to the client, preserving the
-// client's in-order ack contract across shards.
+// handleBackendAck marks a command applied on one replica shard; once
+// EVERY replica has acked it, the contiguous prefix of fully-acked
+// commands is released to the client, preserving the client's in-order
+// ack contract across shards. Quota is charged exactly once per released
+// FileEnd — logical bytes, independent of how many replicas hold the
+// copies, and a replayed ack can never reach this point twice because
+// release deletes the command.
 func (ss *gwSession) handleBackendAck(shardID string, ack wire.Ack, send sender) error {
 	clientSeq, ok := ss.rev[shardID][ack.Seq]
 	if !ok {
@@ -886,30 +996,33 @@ func (ss *gwSession) handleBackendAck(shardID string, ack wire.Ack, send sender)
 		delete(ss.rev[shardID], ack.Seq)
 		return nil
 	}
-	if cmd.kind == wire.TypeOffer && !cmd.offer.needSent {
-		// Replayed offer the shard had already applied: it acks without a
-		// Need, but the client's replay still blocks on one. An empty
-		// need list is the truthful answer.
-		cmd.offer.needSent = true
-		if err := send(wire.TypeNeed, wire.Need{Seq: cmd.seq}.Marshal()); err != nil {
+	if cmd.kind == wire.TypeOffer && !cmd.offer.needSent && !cmd.offer.answered[shardID] {
+		// Replayed offer this shard had already applied: it acks without a
+		// Need, which stands in for "need nothing" in the union. Once the
+		// last replica has spoken the client gets its (possibly empty)
+		// need list — its replay still blocks on one.
+		cmd.offer.answered[shardID] = true
+		if err := ss.maybeAnswerNeed(cmd, send); err != nil {
 			return err
 		}
 	}
-	cmd.acked = true
+	cmd.ackedBy[shardID] = true
 	for {
 		next, ok := ss.cmds[ss.lastAcked+1]
-		if !ok || !next.acked {
+		if !ok || !next.fullyAcked() {
 			return nil
 		}
 		if next.kind == wire.TypeFileEnd {
 			ss.gw.cFiles.Add(1)
 			ss.gw.tenants.Charge(ss.tenant, int64(next.totalBytes))
-			if c := ss.gw.routedBytes[next.shard.ID]; c != nil {
+			if c := ss.gw.routedBytes[next.primary().ID]; c != nil {
 				c.Add(int64(next.totalBytes))
 			}
 		}
 		delete(ss.cmds, next.seq)
-		delete(ss.rev[next.shard.ID], next.bseq)
+		for _, sh := range next.shards {
+			delete(ss.rev[sh.ID], next.bseqs[sh.ID])
+		}
 		ss.lastAcked = next.seq
 		if err := send(wire.TypeAck, wire.Ack{Seq: next.seq}.Marshal()); err != nil {
 			return err

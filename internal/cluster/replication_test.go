@@ -1,0 +1,86 @@
+// Replication accounting tests: R-way copies are a durability choice the
+// gateway makes, not something a tenant pays for — logical bytes are
+// charged exactly once per file no matter how many shards hold it, and a
+// reconnect replay of an already-charged file never charges again.
+package cluster_test
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"mhdedup/internal/cluster"
+)
+
+// TestReplicationQuotaChargedOnce ingests under a quota'd tenant at R=2
+// and requires the tenant's usage to equal the logical bytes, not 2x.
+func TestReplicationQuotaChargedOnce(t *testing.T) {
+	tc := startCluster(t, 3, func(c *cluster.GatewayConfig) {
+		c.Replication = 2
+		c.Tenants = map[string]cluster.TenantAuth{
+			"acme": {Secret: "alpha", QuotaBytes: 64 << 20},
+		}
+	})
+	cfg := tc.clientConfig()
+	cfg.Tenant, cfg.Secret = "acme", "alpha"
+
+	const size = 1 << 20
+	data := genData(91, size)
+	putAll(t, cfg, map[string][]byte{"img": data}, []string{"img"})
+
+	if used := tc.gw.Tenants().Used("acme"); used != size {
+		t.Fatalf("R=2 ingest of %d logical bytes charged %d — replicas must not multiply quota", size, used)
+	}
+}
+
+// TestReplicationQuotaReplayNoDoubleCharge kills the client→gateway
+// connection mid-ingest so the client resumes and replays un-acked
+// commands into both replicas; the tenant's usage must still equal the
+// logical bytes exactly once per file.
+func TestReplicationQuotaReplayNoDoubleCharge(t *testing.T) {
+	tc := startCluster(t, 3, func(c *cluster.GatewayConfig) {
+		c.Replication = 2
+		c.Tenants = map[string]cluster.TenantAuth{
+			"acme": {Secret: "alpha", QuotaBytes: 64 << 20},
+		}
+	})
+	cfg := tc.clientConfig()
+	cfg.Tenant, cfg.Secret = "acme", "alpha"
+
+	const size = 1 << 20
+	gen1 := genData(92, size)
+	gen2 := mutate(gen1, 93, 8, 4096)
+
+	var once sync.Once
+	cfg.Dial = func(a string) (net.Conn, error) {
+		nc, err := net.Dial("tcp", a)
+		if err != nil {
+			return nil, err
+		}
+		injected := false
+		once.Do(func() { injected = true })
+		if injected {
+			return &killConn{Conn: nc, budget: 600 << 10}, nil
+		}
+		return nc, nil
+	}
+	st := putAll(t, cfg, map[string][]byte{"img-1": gen1, "img-2": gen2}, []string{"img-1", "img-2"})
+	if st.Reconnects == 0 {
+		t.Fatal("fault injection did not trigger a reconnect; the replay path was not exercised")
+	}
+
+	if used := tc.gw.Tenants().Used("acme"); used != 2*size {
+		t.Fatalf("replayed R=2 ingest of %d logical bytes charged %d — replay or replication double-charged", 2*size, used)
+	}
+
+	// And the files really landed on both replicas, bit-identical.
+	clean := tc.clientConfig()
+	clean.Tenant, clean.Secret = "acme", "alpha"
+	for name, want := range map[string][]byte{"img-1": gen1, "img-2": gen2} {
+		got := restoreOne(t, clean, name)
+		if len(got) != len(want) {
+			t.Fatalf("%s: restored %d bytes, want %d", name, len(got), len(want))
+		}
+	}
+	requireFullReplication(t, tc.gw)
+}

@@ -132,6 +132,84 @@ func (r *Ring) OwnerOfName(name string) Shard {
 	return r.Owner(hashutil.SumString(name))
 }
 
+// Owners maps a content hash to its n distinct successor owners: the
+// shards encountered walking clockwise from the hash's ring position,
+// first occurrence of each shard in walk order. Owners(h, 1)[0] ==
+// Owner(h) always; replication policies place copy k on Owners(h, R)[k].
+// n above the shard count clamps to it, so the result length is
+// min(n, len(Shards())). Like Owner, the result is a pure function of
+// (key, shard IDs): removing a shard that is not among a key's owners
+// never changes that key's owner list, and removing one that is only
+// replaces it — the movement-bounded property ring_test pins.
+func (r *Ring) Owners(h hashutil.Sum, n int) []Shard {
+	idxs := r.ownersOf(binary.BigEndian.Uint64(h[:8]), n)
+	out := make([]Shard, len(idxs))
+	for i, s := range idxs {
+		out[i] = r.shards[s]
+	}
+	return out
+}
+
+// OwnersOfName maps a (namespaced) file name to its n distinct successor
+// owners — the shards that hold the file's replicas under an R-way
+// replication policy, primary first.
+func (r *Ring) OwnersOfName(name string, n int) []Shard {
+	return r.Owners(hashutil.SumString(name), n)
+}
+
+// ownersOf resolves one 64-bit ring position to its first n distinct
+// owning shard indices in clockwise walk order. Collision runs (several
+// shards projecting a vnode onto the identical position) are ordered by
+// rendezvous score within the run, which keeps ownersOf(key, 1)[0]
+// identical to ownerOf(key).
+func (r *Ring) ownersOf(key uint64, n int) []int32 {
+	if n > len(r.shards) {
+		n = len(r.shards)
+	}
+	if n < 1 {
+		n = 1
+	}
+	np := len(r.points)
+	start := sort.Search(np, func(j int) bool { return r.points[j].pos >= key })
+	if start == np {
+		start = 0
+	}
+	out := make([]int32, 0, n)
+	seen := make(map[int32]bool, n)
+	add := func(s int32) {
+		if !seen[s] && len(out) < n {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for k := 0; k < np && len(out) < n; {
+		i := (start + k) % np
+		// Extend the collision run: consecutive array slots (runs never
+		// span the wrap, pos is sorted) sharing one position.
+		m := 1
+		for i+m < np && k+m < np && r.points[i+m].pos == r.points[i].pos {
+			m++
+		}
+		if m == 1 {
+			add(r.points[i].shard)
+		} else {
+			members := make([]int32, 0, m)
+			for t := 0; t < m; t++ {
+				members = append(members, r.points[i+t].shard)
+			}
+			sort.Slice(members, func(a, b int) bool {
+				return rendezvousScore(key, r.shards[members[a]].ID) >
+					rendezvousScore(key, r.shards[members[b]].ID)
+			})
+			for _, s := range members {
+				add(s)
+			}
+		}
+		k += m
+	}
+	return out
+}
+
 // ownerOf resolves one 64-bit ring position to a shard index.
 func (r *Ring) ownerOf(key uint64) int32 {
 	n := len(r.points)

@@ -175,6 +175,127 @@ func TestRingRejectsBadConfig(t *testing.T) {
 	}
 }
 
+// TestRingOwnersProperties pins the successor-owner policy replication
+// is built on: for every key and every R, the R owners are distinct
+// shards, the first owner is Owner(), and the list is stable under shard-
+// order permutation (identity is the ID set, never slice order).
+func TestRingOwnersProperties(t *testing.T) {
+	shards := testShards(6)
+	r, err := NewRing(RingConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rev := append([]Shard(nil), shards...)
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	rp, err := NewRing(RingConfig{Shards: rev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := testKeys(20000)
+	for _, n := range []int{1, 2, 3, 6, 9} {
+		want := n
+		if want > len(shards) {
+			want = len(shards)
+		}
+		for _, k := range keys {
+			owners := r.Owners(k, n)
+			if len(owners) != want {
+				t.Fatalf("R=%d: got %d owners, want %d", n, len(owners), want)
+			}
+			if owners[0].ID != r.Owner(k).ID {
+				t.Fatalf("R=%d: first owner %s differs from Owner() %s", n, owners[0].ID, r.Owner(k).ID)
+			}
+			seen := make(map[string]bool, len(owners))
+			for _, o := range owners {
+				if seen[o.ID] {
+					t.Fatalf("R=%d: duplicate owner %s in %v", n, o.ID, owners)
+				}
+				seen[o.ID] = true
+			}
+			perm := rp.Owners(k, n)
+			for i := range owners {
+				if owners[i].ID != perm[i].ID {
+					t.Fatalf("R=%d: shard-order permutation changed owner %d: %s vs %s",
+						n, i, owners[i].ID, perm[i].ID)
+				}
+			}
+		}
+	}
+}
+
+// TestRingOwnersMovementBounded: composing Without() with the successor
+// policy, removing one shard moves only the replicas that lived ON the
+// removed shard — every key keeps its surviving owners in order, and at
+// most one new shard (the replacement) joins the list.
+func TestRingOwnersMovementBounded(t *testing.T) {
+	const R = 3
+	shards := testShards(6)
+	r, err := NewRing(RingConfig{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gone := shards[2].ID
+	smaller, err := r.Without(gone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedKeys := 0
+	for _, k := range testKeys(50000) {
+		before := r.Owners(k, R)
+		after := smaller.Owners(k, R)
+		// Surviving owners must keep their relative order in the new list.
+		kept := make([]string, 0, R)
+		hadGone := false
+		for _, o := range before {
+			if o.ID == gone {
+				hadGone = true
+				continue
+			}
+			kept = append(kept, o.ID)
+		}
+		afterIDs := make(map[string]int, len(after))
+		for i, o := range after {
+			if o.ID == gone {
+				t.Fatalf("removed shard %s still an owner", gone)
+			}
+			afterIDs[o.ID] = i
+		}
+		prev := -1
+		for _, id := range kept {
+			i, ok := afterIDs[id]
+			if !ok {
+				t.Fatalf("surviving owner %s evicted by removing %s (before %v, after %v)",
+					id, gone, before, after)
+			}
+			if i < prev {
+				t.Fatalf("surviving owners reordered by removing %s (before %v, after %v)",
+					gone, before, after)
+			}
+			prev = i
+		}
+		// At most one new shard joins, and only when the removed shard was
+		// an owner.
+		newcomers := len(after) - len(kept)
+		if !hadGone && newcomers != 0 {
+			t.Fatalf("key with no replica on %s gained %d new owners (before %v, after %v)",
+				gone, newcomers, before, after)
+		}
+		if newcomers > 1 {
+			t.Fatalf("removing one shard admitted %d new owners (before %v, after %v)",
+				newcomers, before, after)
+		}
+		if hadGone {
+			movedKeys++
+		}
+	}
+	// Sanity: the removed shard held SOME replicas (~R/N of keys).
+	if movedKeys == 0 {
+		t.Fatal("removed shard owned no replicas at all — test proves nothing")
+	}
+}
+
 // TestOwnerOfNameStable pins name routing (used for home-shard
 // placement) to the same determinism as hash routing.
 func TestOwnerOfNameStable(t *testing.T) {

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"mhdedup/internal/hashutil"
+	"mhdedup/internal/simdisk"
+	"mhdedup/internal/wire"
+)
+
+// peerConn opens a ModePeer connection against a started server.
+func peerConn(t *testing.T, addr string) (func(uint8, []byte), func() wire.Frame) {
+	t.Helper()
+	_, write, read := rawConn(t, addr)
+	write(wire.TypeHello, wire.Hello{Mode: wire.ModePeer}.Marshal())
+	if f := read(); f.Type != wire.TypeHelloOK {
+		t.Fatalf("expected HelloOK, got %s", wire.TypeName(f.Type))
+	}
+	return write, read
+}
+
+// migrateFile drives a whole MigrateBegin→Data→End exchange by hand.
+func migrateFile(t *testing.T, write func(uint8, []byte), read func() wire.Frame,
+	name string, data []byte) wire.Frame {
+	t.Helper()
+	write(wire.TypeMigrateBegin, wire.MigrateBegin{Name: name}.Marshal())
+	for off := 0; off < len(data); off += 64 << 10 {
+		end := off + 64<<10
+		if end > len(data) {
+			end = len(data)
+		}
+		write(wire.TypeMigrateData, wire.MigrateData{Data: data[off:end]}.Marshal())
+	}
+	write(wire.TypeMigrateEnd, wire.MigrateEnd{
+		TotalBytes: uint64(len(data)),
+		Sum:        hashutil.SumBytes(data),
+	}.Marshal())
+	return read()
+}
+
+// TestPeerMigrateIngest: a file streamed over the peer plane lands in the
+// shard's engine bit-identical, restorable like any locally ingested file,
+// and re-migrating the same name is a cheap dedup overwrite, not an error.
+func TestPeerMigrateIngest(t *testing.T) {
+	_, eng, addr := startServer(t, nil)
+	write, read := peerConn(t, addr)
+
+	data := genData(11, 1<<20)
+	const name = "acme/m00/disk.img"
+	if f := migrateFile(t, write, read, name, data); f.Type != wire.TypeMigrateOK {
+		t.Fatalf("expected MigrateOK, got %s", wire.TypeName(f.Type))
+	}
+
+	var got bytes.Buffer
+	if err := eng.Restore(name, &got); err != nil {
+		t.Fatalf("restore of migrated file: %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), data) {
+		t.Fatal("migrated file restored with different bytes")
+	}
+
+	// Second migration of the same name (repair converging on a shard that
+	// already has the file) must succeed, not trip a protocol error.
+	if f := migrateFile(t, write, read, name, data); f.Type != wire.TypeMigrateOK {
+		t.Fatalf("re-migrate: expected MigrateOK, got %s", wire.TypeName(f.Type))
+	}
+}
+
+// TestPeerMigrateBadSum: a stream whose declared sum does not match the
+// received bytes is rejected with an integrity error and the manifest is
+// never committed under the name.
+func TestPeerMigrateBadSum(t *testing.T) {
+	_, eng, addr := startServer(t, nil)
+	write, read := peerConn(t, addr)
+
+	data := genData(12, 256<<10)
+	const name = "acme/m00/bad.img"
+	write(wire.TypeMigrateBegin, wire.MigrateBegin{Name: name}.Marshal())
+	write(wire.TypeMigrateData, wire.MigrateData{Data: data}.Marshal())
+	write(wire.TypeMigrateEnd, wire.MigrateEnd{
+		TotalBytes: uint64(len(data)),
+		Sum:        hashutil.SumString("not the stream's hash"),
+	}.Marshal())
+	expectError(t, read(), wire.CodeIntegrity, false)
+
+	var sink bytes.Buffer
+	if err := eng.Restore(name, &sink); err == nil {
+		t.Fatal("sum-mismatched migration still restorable under its name")
+	}
+}
+
+// TestPeerMigrateProtocol: stream frames outside a migration, and a
+// nested Begin, are protocol errors.
+func TestPeerMigrateProtocol(t *testing.T) {
+	_, _, addr := startServer(t, nil)
+
+	write, read := peerConn(t, addr)
+	write(wire.TypeMigrateData, wire.MigrateData{Data: []byte("x")}.Marshal())
+	expectError(t, read(), wire.CodeProtocol, false)
+
+	write, read = peerConn(t, addr)
+	write(wire.TypeMigrateEnd, wire.MigrateEnd{}.Marshal())
+	expectError(t, read(), wire.CodeProtocol, false)
+
+	write, read = peerConn(t, addr)
+	write(wire.TypeMigrateBegin, wire.MigrateBegin{Name: "t/a"}.Marshal())
+	write(wire.TypeMigrateBegin, wire.MigrateBegin{Name: "t/b"}.Marshal())
+	expectError(t, read(), wire.CodeProtocol, false)
+}
+
+// TestPeerFileDropAndStat: FileDrop removes the manifest (idempotently —
+// dropping an absent name is success), and FileStat answers presence for
+// a batch of names in order.
+func TestPeerFileDropAndStat(t *testing.T) {
+	_, eng, addr := startServer(t, nil)
+	write, read := peerConn(t, addr)
+
+	data := genData(13, 128<<10)
+	const name = "acme/m00/drop.img"
+	if f := migrateFile(t, write, read, name, data); f.Type != wire.TypeMigrateOK {
+		t.Fatalf("expected MigrateOK, got %s", wire.TypeName(f.Type))
+	}
+
+	stat := func(names ...string) []bool {
+		t.Helper()
+		write(wire.TypeFileStat, wire.FileStat{Names: names}.Marshal())
+		f := read()
+		if f.Type != wire.TypeFileStatOK {
+			t.Fatalf("expected FileStatOK, got %s", wire.TypeName(f.Type))
+		}
+		ok, err := wire.UnmarshalFileStatOK(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ok.Present) != len(names) {
+			t.Fatalf("stat of %d names answered %d bits", len(names), len(ok.Present))
+		}
+		return ok.Present
+	}
+
+	if got := stat(name, "acme/never-existed"); !got[0] || got[1] {
+		t.Fatalf("stat before drop: %v", got)
+	}
+
+	drop := func() {
+		t.Helper()
+		write(wire.TypeFileDrop, wire.FileDrop{Name: name}.Marshal())
+		if f := read(); f.Type != wire.TypeFileDropOK {
+			t.Fatalf("expected FileDropOK, got %s", wire.TypeName(f.Type))
+		}
+	}
+	drop()
+	if eng.Disk().Exists(simdisk.FileManifest, name) {
+		t.Fatal("manifest survived FileDrop")
+	}
+	if got := stat(name); got[0] {
+		t.Fatal("dropped file still reported present")
+	}
+	drop() // second drop of the same name: idempotent success
+}

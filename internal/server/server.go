@@ -196,6 +196,9 @@ type Server struct {
 	cPeerServed     *atomic.Int64
 	cPeerMissed     *atomic.Int64
 	cPeerPut        *atomic.Int64
+	cMigratedIn     *atomic.Int64
+	cMigratedBytes  *atomic.Int64
+	cFileDrops      *atomic.Int64
 
 	// Latency histograms (nanoseconds; also in cfg.Registry).
 	hFrame   map[uint8]*metrics.Histogram // per ingest frame type
@@ -256,6 +259,9 @@ func New(cfg Config) (*Server, error) {
 	s.cPeerServed = r.Counter("server.peer.chunks_served")
 	s.cPeerMissed = r.Counter("server.peer.chunks_missed")
 	s.cPeerPut = r.Counter("server.peer.chunks_put")
+	s.cMigratedIn = r.Counter("server.migrate.files_in")
+	s.cMigratedBytes = r.Counter("server.migrate.bytes_in")
+	s.cFileDrops = r.Counter("server.migrate.drops")
 	s.hFrame = map[uint8]*metrics.Histogram{
 		wire.TypeFileBegin: r.Histogram("server.frame.file_begin_ns"),
 		wire.TypeOffer:     r.Histogram("server.frame.offer_ns"),
@@ -831,10 +837,25 @@ const peerChunkOverhead = 8
 // corrupt every later negotiation that hits it.
 func (s *Server) servePeerConn(read func() (wire.Frame, error), send sender,
 	sendErr func(code uint16, retryable bool, format string, args ...any)) {
+	// At most one migrated-file ingest streams per peer connection; if the
+	// connection dies mid-stream the half-fed file must be aborted, never
+	// committed.
+	var mig *peerMigration
+	defer func() {
+		if mig != nil {
+			mig.cancel()
+		}
+	}()
 	for {
 		f, err := read()
 		if err != nil {
 			return
+		}
+		if handled, fatal := s.handleMigrateFrames(f, &mig, send, sendErr); handled {
+			if fatal {
+				return
+			}
+			continue
 		}
 		switch f.Type {
 		case wire.TypePeerFetch:

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"mhdedup/internal/core"
@@ -52,7 +53,31 @@ type ingestSession struct {
 	// Owned by the attached handler.
 	lastApplied uint64
 	pending     map[uint64]*pendingCmd
-	file        *openFile
+
+	// file is the in-flight reassembly. The attached handler owns the
+	// feed, but Server.Close tears sessions down from another goroutine
+	// while a handler can be mid-apply (a shard hard-killed under load),
+	// so the POINTER is guarded: both sides take a reference or swap it
+	// out under fileMu and never dereference ss.file directly.
+	fileMu sync.Mutex
+	file   *openFile
+}
+
+// currentFile returns the open file (nil when none) under the lock.
+func (ss *ingestSession) currentFile() *openFile {
+	ss.fileMu.Lock()
+	defer ss.fileMu.Unlock()
+	return ss.file
+}
+
+// takeFile detaches and returns the open file, exactly once: the caller
+// that gets a non-nil result owns its teardown or completion.
+func (ss *ingestSession) takeFile() *openFile {
+	ss.fileMu.Lock()
+	defer ss.fileMu.Unlock()
+	f := ss.file
+	ss.file = nil
+	return f
 }
 
 // pendingCmd is one client command received but not yet applied. Commands
@@ -265,8 +290,11 @@ func (ss *ingestSession) applyReady(send sender) error {
 func (ss *ingestSession) apply(pc *pendingCmd) error {
 	switch pc.kind {
 	case wire.TypeFileBegin:
+		ss.fileMu.Lock()
 		if ss.file != nil {
-			return fatalf(wire.CodeProtocol, "FileBegin %q while %q is open", pc.begin.Name, ss.file.name)
+			open := ss.file.name
+			ss.fileMu.Unlock()
+			return fatalf(wire.CodeProtocol, "FileBegin %q while %q is open", pc.begin.Name, open)
 		}
 		pr, pw := io.Pipe()
 		f := &openFile{name: wire.NSJoin(ss.tenant, pc.begin.Name), pw: pw, done: make(chan error, 1), hash: hashutil.NewHasher()}
@@ -278,30 +306,31 @@ func (ss *ingestSession) apply(pc *pendingCmd) error {
 			f.done <- err
 		}()
 		ss.file = f
+		ss.fileMu.Unlock()
 		return nil
 
 	case wire.TypeOffer:
-		if ss.file == nil {
+		f := ss.currentFile()
+		if f == nil {
 			return fatalf(wire.CodeProtocol, "Offer %d outside a file", pc.seq)
 		}
 		for i, data := range pc.data {
 			if data == nil {
 				return fatalf(wire.CodeInternal, "offer %d index %d has no bytes at apply time", pc.seq, i)
 			}
-			if _, err := ss.file.pw.Write(data); err != nil {
-				return ss.feedFailure(err)
+			if _, err := f.pw.Write(data); err != nil {
+				return ss.feedFailure(f.name, err)
 			}
-			ss.file.hash.Write(data)
-			ss.file.fed += uint64(len(data))
+			f.hash.Write(data)
+			f.fed += uint64(len(data))
 		}
 		return nil
 
 	case wire.TypeFileEnd:
-		if ss.file == nil {
+		f := ss.takeFile()
+		if f == nil {
 			return fatalf(wire.CodeProtocol, "FileEnd %d outside a file", pc.seq)
 		}
-		f := ss.file
-		ss.file = nil
 		f.pw.Close()
 		if err := <-f.done; err != nil {
 			return fatalf(wire.CodeInternal, "ingest of %q failed: %v", f.name, err)
@@ -331,14 +360,14 @@ func (ss *ingestSession) apply(pc *pendingCmd) error {
 	return fatalf(wire.CodeInternal, "unapplicable command kind %d", pc.kind)
 }
 
-// feedFailure maps a pipe-write failure (the engine goroutine died) to the
-// engine's real error.
-func (ss *ingestSession) feedFailure(writeErr error) error {
+// feedFailure maps a pipe-write failure (the engine goroutine died, or
+// the session was torn down under the handler) to the real error.
+func (ss *ingestSession) feedFailure(name string, writeErr error) error {
 	var done errIngestDone
 	if errors.As(writeErr, &done) && done.err != nil {
-		return fatalf(wire.CodeInternal, "ingest of %q failed: %v", ss.file.name, done.err)
+		return fatalf(wire.CodeInternal, "ingest of %q failed: %v", name, done.err)
 	}
-	return fatalf(wire.CodeInternal, "ingest feed of %q failed: %v", ss.file.name, writeErr)
+	return fatalf(wire.CodeInternal, "ingest feed of %q failed: %v", name, writeErr)
 }
 
 // errIngestDone carries PutFile's result through the pipe so a blocked
@@ -355,8 +384,8 @@ func (e errIngestDone) Error() string {
 // closeRequested finalizes the session on an orderly Close: every command
 // must already be applied and no file may be open.
 func (ss *ingestSession) closeRequested() error {
-	if ss.file != nil {
-		return fatalf(wire.CodeProtocol, "Close with file %q still open", ss.file.name)
+	if f := ss.currentFile(); f != nil {
+		return fatalf(wire.CodeProtocol, "Close with file %q still open", f.name)
 	}
 	if len(ss.pending) != 0 {
 		return fatalf(wire.CodeProtocol, "Close with %d commands unapplied", len(ss.pending))
@@ -368,13 +397,13 @@ func (ss *ingestSession) closeRequested() error {
 // fatal-error paths): the engine side is cancelled via the session
 // context by the caller; here the pipe is broken so both ends unblock.
 func (ss *ingestSession) abortOpenFile(cause error) {
-	if ss.file == nil {
+	f := ss.takeFile()
+	if f == nil {
 		return
 	}
-	ss.file.pw.CloseWithError(cause)
+	f.pw.CloseWithError(cause)
 	// Drain the result so the engine goroutine's buffered send never
 	// blocks; the error itself is expected (cancelled context or pipe
 	// breakage) and already accounted.
-	go func(f *openFile) { <-f.done }(ss.file)
-	ss.file = nil
+	go func() { <-f.done }()
 }

@@ -97,7 +97,16 @@ func (r *reader) u64() uint64 {
 	return binary.BigEndian.Uint64(b)
 }
 
-func (r *reader) bool() bool { return r.u8() != 0 }
+// bool reads a strict boolean: only 0 and 1 are accepted, so every
+// accepted payload re-encodes byte-identically (the canonical-encode
+// invariant the decode fuzzers pin).
+func (r *reader) bool() bool {
+	b := r.u8()
+	if r.e == nil && b > 1 {
+		r.fail(fmt.Errorf("%w: boolean byte 0x%02x", ErrFieldRange, b))
+	}
+	return b == 1
+}
 
 func (r *reader) hash() hashutil.Sum {
 	var s hashutil.Sum
@@ -220,7 +229,20 @@ func UnmarshalAny(f Frame) (any, error) {
 		return UnmarshalPeerChunks(f.Payload)
 	case TypePeerPut:
 		return UnmarshalPeerPut(f.Payload)
-	case TypeListReq, TypeClose, TypeCloseOK, TypePeerPutOK:
+	case TypeMigrateBegin:
+		return UnmarshalMigrateBegin(f.Payload)
+	case TypeMigrateData:
+		return UnmarshalMigrateData(f.Payload)
+	case TypeMigrateEnd:
+		return UnmarshalMigrateEnd(f.Payload)
+	case TypeFileDrop:
+		return UnmarshalFileDrop(f.Payload)
+	case TypeFileStat:
+		return UnmarshalFileStat(f.Payload)
+	case TypeFileStatOK:
+		return UnmarshalFileStatOK(f.Payload)
+	case TypeListReq, TypeClose, TypeCloseOK, TypePeerPutOK, TypeMigrateOK,
+		TypeFileDropOK:
 		if len(f.Payload) != 0 {
 			return nil, ErrTrailing
 		}

@@ -1,0 +1,215 @@
+// Replica/migrate plane payload codecs. These frames ride ModePeer
+// connections between a cluster gateway and a shard during rebalance and
+// replication repair: MigrateBegin/MigrateData/MigrateEnd stream a whole
+// file into the target shard's engine (which re-chunks and dedups the
+// byte stream itself, so no chunker-options handshake is needed on this
+// interior link), FileStat batch-checks which files a shard holds, and
+// FileDrop forgets a file that finished migrating off a drained shard.
+//
+// Every request grammar is versioned like RestoreRange: the shard rejects
+// a version it does not speak instead of misparsing it, so the plane can
+// grow fields without a flag day.
+package wire
+
+import (
+	"fmt"
+
+	"mhdedup/internal/hashutil"
+)
+
+// MaxStatNames bounds one FileStat batch.
+const MaxStatNames = 1 << 16
+
+// migrateVersion versions the MigrateBegin payload grammar.
+const migrateVersion uint8 = 1
+
+// fileDropVersion versions the FileDrop payload grammar.
+const fileDropVersion uint8 = 1
+
+// fileStatVersion versions the FileStat payload grammar.
+const fileStatVersion uint8 = 1
+
+// MigrateBegin starts one migrated-file ingest on a shard. Name is the
+// full (already tenant-namespaced) store name — migration is an interior
+// operation, so no tenant scoping is applied by the receiving shard.
+type MigrateBegin struct {
+	Name string
+}
+
+// Marshal encodes m as a TypeMigrateBegin payload.
+func (m MigrateBegin) Marshal() []byte {
+	b := make([]byte, 0, 3+len(m.Name))
+	b = append(b, migrateVersion)
+	b = putStr(b, m.Name)
+	return b
+}
+
+// UnmarshalMigrateBegin decodes a TypeMigrateBegin payload.
+func UnmarshalMigrateBegin(p []byte) (MigrateBegin, error) {
+	r := &reader{buf: p}
+	if v := r.u8(); r.e == nil && v != migrateVersion {
+		return MigrateBegin{}, fmt.Errorf("wire: MigrateBegin version %d not supported", v)
+	}
+	var m MigrateBegin
+	m.Name = r.str()
+	if err := r.done(); err != nil {
+		return MigrateBegin{}, err
+	}
+	if m.Name == "" {
+		return MigrateBegin{}, fmt.Errorf("%w: MigrateBegin with empty name", ErrFieldRange)
+	}
+	return m, nil
+}
+
+// MigrateData carries one in-order run of the migrating file's bytes.
+type MigrateData struct {
+	Data []byte
+}
+
+// Marshal encodes d as a TypeMigrateData payload.
+func (d MigrateData) Marshal() []byte {
+	b := make([]byte, 0, 4+len(d.Data))
+	return putBlob(b, d.Data)
+}
+
+// UnmarshalMigrateData decodes a TypeMigrateData payload. The returned
+// bytes alias the payload; callers that retain them must copy.
+func UnmarshalMigrateData(p []byte) (MigrateData, error) {
+	r := &reader{buf: p}
+	var d MigrateData
+	d.Data = r.blob()
+	if err := r.done(); err != nil {
+		return MigrateData{}, err
+	}
+	return d, nil
+}
+
+// MigrateEnd closes the migrated stream, declaring its whole-file size
+// and SHA-1 so the receiving shard can refuse a short or corrupted copy
+// before acknowledging it with MigrateOK.
+type MigrateEnd struct {
+	TotalBytes uint64
+	Sum        hashutil.Sum
+}
+
+// Marshal encodes e as a TypeMigrateEnd payload.
+func (e MigrateEnd) Marshal() []byte {
+	b := make([]byte, 0, 8+hashutil.Size)
+	b = putU64(b, e.TotalBytes)
+	return append(b, e.Sum[:]...)
+}
+
+// UnmarshalMigrateEnd decodes a TypeMigrateEnd payload.
+func UnmarshalMigrateEnd(p []byte) (MigrateEnd, error) {
+	r := &reader{buf: p}
+	var e MigrateEnd
+	e.TotalBytes = r.u64()
+	e.Sum = r.hash()
+	if err := r.done(); err != nil {
+		return MigrateEnd{}, err
+	}
+	return e, nil
+}
+
+// FileDrop asks a shard to forget one (fully namespaced) file — the final
+// step of migrating it off a drained shard. Dropping a file the shard
+// does not have is answered with FileDropOK too (idempotent).
+type FileDrop struct {
+	Name string
+}
+
+// Marshal encodes d as a TypeFileDrop payload.
+func (d FileDrop) Marshal() []byte {
+	b := make([]byte, 0, 3+len(d.Name))
+	b = append(b, fileDropVersion)
+	b = putStr(b, d.Name)
+	return b
+}
+
+// UnmarshalFileDrop decodes a TypeFileDrop payload.
+func UnmarshalFileDrop(p []byte) (FileDrop, error) {
+	r := &reader{buf: p}
+	if v := r.u8(); r.e == nil && v != fileDropVersion {
+		return FileDrop{}, fmt.Errorf("wire: FileDrop version %d not supported", v)
+	}
+	var d FileDrop
+	d.Name = r.str()
+	if err := r.done(); err != nil {
+		return FileDrop{}, err
+	}
+	if d.Name == "" {
+		return FileDrop{}, fmt.Errorf("%w: FileDrop with empty name", ErrFieldRange)
+	}
+	return d, nil
+}
+
+// FileStat asks which of a batch of (fully namespaced) file names the
+// shard holds; FileStatOK answers with a presence flag per name in order.
+type FileStat struct {
+	Names []string
+}
+
+// Marshal encodes s as a TypeFileStat payload.
+func (s FileStat) Marshal() []byte {
+	b := make([]byte, 0, 16)
+	b = append(b, fileStatVersion)
+	b = putU32(b, uint32(len(s.Names)))
+	for _, n := range s.Names {
+		b = putStr(b, n)
+	}
+	return b
+}
+
+// UnmarshalFileStat decodes a TypeFileStat payload, rejecting hostile
+// counts (each declared name needs at least its 2-byte length prefix).
+func UnmarshalFileStat(p []byte) (FileStat, error) {
+	r := &reader{buf: p}
+	if v := r.u8(); r.e == nil && v != fileStatVersion {
+		return FileStat{}, fmt.Errorf("wire: FileStat version %d not supported", v)
+	}
+	n := r.u32()
+	if !r.count(n, MaxStatNames, 2) {
+		return FileStat{}, r.done()
+	}
+	s := FileStat{Names: make([]string, n)}
+	for i := range s.Names {
+		s.Names[i] = r.str()
+	}
+	if err := r.done(); err != nil {
+		return FileStat{}, err
+	}
+	return s, nil
+}
+
+// FileStatOK answers FileStat: Present[i] reports whether Names[i] exists
+// on the shard.
+type FileStatOK struct {
+	Present []bool
+}
+
+// Marshal encodes s as a TypeFileStatOK payload.
+func (s FileStatOK) Marshal() []byte {
+	b := make([]byte, 0, 4+len(s.Present))
+	b = putU32(b, uint32(len(s.Present)))
+	for _, v := range s.Present {
+		b = putBool(b, v)
+	}
+	return b
+}
+
+// UnmarshalFileStatOK decodes a TypeFileStatOK payload.
+func UnmarshalFileStatOK(p []byte) (FileStatOK, error) {
+	r := &reader{buf: p}
+	n := r.u32()
+	if !r.count(n, MaxStatNames, 1) {
+		return FileStatOK{}, r.done()
+	}
+	s := FileStatOK{Present: make([]bool, n)}
+	for i := range s.Present {
+		s.Present[i] = r.bool()
+	}
+	if err := r.done(); err != nil {
+		return FileStatOK{}, err
+	}
+	return s, nil
+}

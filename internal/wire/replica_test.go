@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+
+	"mhdedup/internal/hashutil"
+)
+
+func TestMigrateBeginRejectsBadInput(t *testing.T) {
+	good := MigrateBegin{Name: "t/x"}.Marshal()
+	if _, err := UnmarshalMigrateBegin(good); err != nil {
+		t.Fatalf("good payload rejected: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad version":  append([]byte{99}, good[1:]...),
+		"empty name":   MigrateBegin{Name: ""}.Marshal(),
+		"truncated":    good[:len(good)-1],
+		"trailing":     append(append([]byte{}, good...), 0),
+		"length lies":  {migrateVersion, 0xff, 0xff, 'x'},
+		"oversize len": append([]byte{migrateVersion}, putU16(nil, MaxNameLen+1)...),
+	}
+	for name, p := range cases {
+		if _, err := UnmarshalMigrateBegin(p); err == nil {
+			t.Errorf("%s: accepted %x", name, p)
+		}
+	}
+}
+
+func TestFileDropRejectsBadInput(t *testing.T) {
+	good := FileDrop{Name: "t/x"}.Marshal()
+	if _, err := UnmarshalFileDrop(good); err != nil {
+		t.Fatalf("good payload rejected: %v", err)
+	}
+	for name, p := range map[string][]byte{
+		"empty":       {},
+		"bad version": append([]byte{77}, good[1:]...),
+		"empty name":  FileDrop{Name: ""}.Marshal(),
+		"truncated":   good[:2],
+	} {
+		if _, err := UnmarshalFileDrop(p); err == nil {
+			t.Errorf("%s: accepted %x", name, p)
+		}
+	}
+}
+
+func TestMigrateEndRoundTripAndBounds(t *testing.T) {
+	e := MigrateEnd{TotalBytes: 1<<40 + 7, Sum: hashutil.SumString("s")}
+	got, err := UnmarshalMigrateEnd(e.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("round trip: got %+v want %+v", got, e)
+	}
+	if _, err := UnmarshalMigrateEnd(e.Marshal()[:10]); err == nil {
+		t.Error("truncated MigrateEnd accepted")
+	}
+	if _, err := UnmarshalMigrateEnd(append(e.Marshal(), 1)); err == nil {
+		t.Error("trailing MigrateEnd accepted")
+	}
+}
+
+func TestMigrateDataAliasesAndBounds(t *testing.T) {
+	d := MigrateData{Data: []byte("payload bytes here")}
+	got, err := UnmarshalMigrateData(d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Data, d.Data) {
+		t.Fatalf("round trip: got %q", got.Data)
+	}
+	// A blob length claiming more bytes than the payload holds must fail,
+	// not allocate.
+	bad := putU32(nil, 1<<30)
+	if _, err := UnmarshalMigrateData(bad); err == nil {
+		t.Error("oversize blob length accepted")
+	}
+}
+
+func TestFileStatHostileCount(t *testing.T) {
+	s := FileStat{Names: []string{"a", strings.Repeat("n", 64), ""}}
+	got, err := UnmarshalFileStat(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Names) != 3 || got.Names[1] != s.Names[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+	// Hostile count: 2^31 declared names in a 16-byte payload must be
+	// rejected by the count guard (each name needs >= 2 bytes).
+	hostile := []byte{fileStatVersion}
+	hostile = putU32(hostile, 1<<31)
+	hostile = append(hostile, make([]byte, 11)...)
+	if _, err := UnmarshalFileStat(hostile); !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrFieldRange) {
+		t.Errorf("hostile count: got %v", err)
+	}
+	// Count over the hard cap with enough bytes behind it.
+	over := []byte{fileStatVersion}
+	over = putU32(over, MaxStatNames+1)
+	over = append(over, make([]byte, 2*(MaxStatNames+1))...)
+	if _, err := UnmarshalFileStat(over); !errors.Is(err, ErrFieldRange) {
+		t.Errorf("over-cap count: got %v", err)
+	}
+}
+
+func TestFileStatOKHostileCount(t *testing.T) {
+	s := FileStatOK{Present: []bool{true, false, true}}
+	got, err := UnmarshalFileStatOK(s.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Present) != 3 || !got.Present[0] || got.Present[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+	hostile := putU32(nil, 1<<31)
+	if _, err := UnmarshalFileStatOK(hostile); err == nil {
+		t.Error("hostile count accepted")
+	}
+}
+
+// TestReplicaFramesDispatch pins that UnmarshalAny routes every new frame
+// type and that the bare ack frames demand empty payloads.
+func TestReplicaFramesDispatch(t *testing.T) {
+	for _, tc := range []struct {
+		t   uint8
+		msg interface{ Marshal() []byte }
+	}{
+		{TypeMigrateBegin, MigrateBegin{Name: "x"}},
+		{TypeMigrateData, MigrateData{Data: []byte("d")}},
+		{TypeMigrateEnd, MigrateEnd{TotalBytes: 1}},
+		{TypeFileDrop, FileDrop{Name: "x"}},
+		{TypeFileStat, FileStat{Names: []string{"x"}}},
+		{TypeFileStatOK, FileStatOK{Present: []bool{true}}},
+	} {
+		if _, err := UnmarshalAny(Frame{Type: tc.t, Payload: tc.msg.Marshal()}); err != nil {
+			t.Errorf("%s: dispatch failed: %v", TypeName(tc.t), err)
+		}
+	}
+	for _, bare := range []uint8{TypeMigrateOK, TypeFileDropOK} {
+		if _, err := UnmarshalAny(Frame{Type: bare, Payload: nil}); err != nil {
+			t.Errorf("%s: empty payload rejected: %v", TypeName(bare), err)
+		}
+		if _, err := UnmarshalAny(Frame{Type: bare, Payload: []byte{1}}); err == nil {
+			t.Errorf("%s: non-empty payload accepted", TypeName(bare))
+		}
+	}
+}
+
+// FuzzWireReplicaDecode hammers the replica/migrate-plane decoders with
+// hostile counts, truncation and oversize fields, and checks the
+// canonical-encode invariant: any payload a decoder accepts must
+// re-encode byte-identically.
+func FuzzWireReplicaDecode(f *testing.F) {
+	f.Add(uint8(TypeMigrateBegin), MigrateBegin{Name: "t/file"}.Marshal())
+	f.Add(uint8(TypeMigrateData), MigrateData{Data: []byte("bytes")}.Marshal())
+	f.Add(uint8(TypeMigrateEnd), MigrateEnd{TotalBytes: 42, Sum: hashutil.SumString("x")}.Marshal())
+	f.Add(uint8(TypeFileDrop), FileDrop{Name: "t/file"}.Marshal())
+	f.Add(uint8(TypeFileStat), FileStat{Names: []string{"a", "b", "c"}}.Marshal())
+	f.Add(uint8(TypeFileStatOK), FileStatOK{Present: []bool{true, false}}.Marshal())
+	// Structured garbage: hostile count, truncated string, huge blob.
+	hostile := []byte{fileStatVersion}
+	hostile = binary.BigEndian.AppendUint32(hostile, 0xffffffff)
+	f.Add(uint8(TypeFileStat), hostile)
+	f.Add(uint8(TypeMigrateBegin), []byte{migrateVersion, 0xff, 0xff})
+	f.Add(uint8(TypeMigrateData), binary.BigEndian.AppendUint32(nil, 1<<31))
+	f.Fuzz(func(t *testing.T, typ uint8, payload []byte) {
+		ft := typ
+		if ft < TypeMigrateBegin || ft > TypeFileStatOK {
+			ft = TypeMigrateBegin + typ%(TypeFileStatOK-TypeMigrateBegin+1)
+		}
+		msg, err := UnmarshalAny(Frame{Type: ft, Payload: payload})
+		if err != nil || msg == nil {
+			return
+		}
+		m, ok := msg.(interface{ Marshal() []byte })
+		if !ok {
+			t.Fatalf("decoded %T has no Marshal", msg)
+		}
+		if got := m.Marshal(); !bytes.Equal(got, payload) {
+			t.Fatalf("%s: decode/encode not canonical:\npayload %x\nreenc   %x",
+				TypeName(ft), payload, got)
+		}
+	})
+}
